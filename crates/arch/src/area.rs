@@ -1,0 +1,146 @@
+//! Wafer area model (§III-B).
+//!
+//! A 12-inch wafer provides ~40,000 mm² of usable area (paper text). Every
+//! die slot consumes: the compute die, the on-substrate share of its DRAM
+//! chiplets (CoWoS lets chiplets partially overlap interposer routing, so
+//! only [`AreaModel::dram_overlap_factor`] of their raw footprint counts),
+//! and a fixed D2D-margin strip.
+//!
+//! Calibration: with the defaults below, all four Table II presets fit,
+//! with Config 3 at ~99.8% wafer utilization (the paper's "universal
+//! optimum" sits right on the area constraint, as one would expect of an
+//! efficient design point).
+
+use crate::die::ComputeDieConfig;
+use crate::dram::DramStack;
+use crate::error::ArchError;
+use crate::units::{Area, Mm};
+use serde::{Deserialize, Serialize};
+
+/// Area-accounting model for wafer floorplans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Usable wafer edge (Fig. 3: 198.32 mm).
+    pub wafer_edge: Mm,
+    /// Usable wafer area budget (~40,000 mm² on a 12-inch wafer).
+    pub usable_area: Area,
+    /// Fraction of raw DRAM-chiplet area that consumes wafer budget.
+    pub dram_overlap_factor: f64,
+    /// Fixed per-slot routing/keep-out margin.
+    pub slot_margin: Area,
+}
+
+impl AreaModel {
+    /// Area consumed by one die slot (compute die + DRAM share + margin).
+    pub fn slot_area(&self, die: &ComputeDieConfig, dram: &DramStack) -> Area {
+        die.area() + dram.footprint(self.dram_overlap_factor) + self.slot_margin
+    }
+
+    /// Area consumed by `n` die slots.
+    pub fn floorplan_area(&self, die: &ComputeDieConfig, dram: &DramStack, n: usize) -> Area {
+        self.slot_area(die, dram) * n as f64
+    }
+
+    /// Check whether `n` die slots fit on the wafer.
+    pub fn check(&self, die: &ComputeDieConfig, dram: &DramStack, n: usize) -> Result<(), ArchError> {
+        let required = self.floorplan_area(die, dram, n);
+        if required.as_mm2() > self.usable_area.as_mm2() {
+            Err(ArchError::InfeasibleArea {
+                required,
+                available: self.usable_area,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fraction of the wafer consumed by `n` die slots.
+    pub fn utilization(&self, die: &ComputeDieConfig, dram: &DramStack, n: usize) -> f64 {
+        self.floorplan_area(die, dram, n).as_mm2() / self.usable_area.as_mm2()
+    }
+
+    /// Largest `nx × ny` grid of slots that fits both the linear wafer
+    /// edges and the total area budget.
+    ///
+    /// The slot pitch packs DRAM chiplets above the die (Fig. 3 layout):
+    /// `pitch_x = die_w + margin`, `pitch_y = die_h + dram_rows × hbm_h`.
+    pub fn max_grid(&self, die: &ComputeDieConfig, dram: &DramStack) -> (usize, usize) {
+        let hbm = &dram.chiplet;
+        let per_row = (die.width.as_f64() / hbm.width.as_f64()).floor().max(1.0);
+        let dram_rows = (dram.chiplet_equivalents() / per_row).ceil();
+        let pitch_x = die.width.as_f64() + 2.87; // D2D interface strip
+        let pitch_y = die.height.as_f64() + dram_rows * hbm.height.as_f64() * self.dram_overlap_factor;
+        let nx = (self.wafer_edge.as_f64() / pitch_x).floor() as usize;
+        let ny = (self.wafer_edge.as_f64() / pitch_y).floor() as usize;
+        // Clamp to total-area feasibility.
+        let mut n = nx * ny;
+        let slot = self.slot_area(die, dram).as_mm2();
+        let cap = (self.usable_area.as_mm2() / slot).floor() as usize;
+        n = n.min(cap);
+        // Report a grid no larger than nx x ny that holds <= n dies,
+        // trimming rows first (matches Table II's 8x8 -> 7x8 -> 6x8).
+        let mut gx = nx;
+        let gy = ny;
+        while gx > 1 && gx * gy > n {
+            gx -= 1;
+        }
+        (gx, gy)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            wafer_edge: Mm::new(198.32),
+            usable_area: Area::from_mm2(40_000.0),
+            dram_overlap_factor: 0.4,
+            slot_margin: Area::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn table_ii_presets_all_fit() {
+        let model = AreaModel::default();
+        for cfg in presets::table_ii_configs() {
+            let n = cfg.die_count();
+            model
+                .check(&cfg.die, &cfg.dram, n)
+                .unwrap_or_else(|e| panic!("{} does not fit: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn config3_is_near_full_utilization() {
+        let model = AreaModel::default();
+        let c3 = presets::config(3);
+        let u = model.utilization(&c3.die, &c3.dram, c3.die_count());
+        assert!(u > 0.97 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        let model = AreaModel::default();
+        let c3 = presets::config(3);
+        // 80 of Config 3's dies cannot fit.
+        assert!(model.check(&c3.die, &c3.dram, 80).is_err());
+    }
+
+    #[test]
+    fn more_dram_means_fewer_dies() {
+        let model = AreaModel::default();
+        let c2 = presets::config(2);
+        let c4 = presets::config(4);
+        let (x2, y2) = model.max_grid(&c2.die, &c2.dram);
+        let (x4, y4) = model.max_grid(&c4.die, &c4.dram);
+        assert!(
+            x4 * y4 <= x2 * y2,
+            "config4 ({x4}x{y4}) should hold no more dies than config2 ({x2}x{y2})"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Compute-core configuration (the innermost level of the Fig. 3 hierarchy).
+//!
+//! Each core holds a PE (MAC) array for GEMM, a vector unit for scalar and
+//! element-wise work, a shared SRAM, a DMA engine and a NoC port. The PE
+//! array dimensions matter beyond peak FLOPS: tile-quantization (alignment)
+//! losses in the detailed simulator derive from them.
+
+use crate::units::{Bytes, FlopRate};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one compute core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Rows of the MAC array (the `m` dimension of Fig. 14's `m × n` array).
+    pub pe_rows: usize,
+    /// Columns of the MAC array (the `n` dimension).
+    pub pe_cols: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Shared SRAM capacity.
+    pub sram: Bytes,
+    /// Vector-unit throughput relative to one MAC-array row
+    /// (element-wise ops per cycle = `vector_lanes`).
+    pub vector_lanes: usize,
+}
+
+impl CoreConfig {
+    /// A Dojo-style core: 2 GHz, ~2 TFLOPS FP16, 1.25 MB SRAM (§V-A).
+    pub fn dojo_style() -> Self {
+        CoreConfig {
+            pe_rows: 16,
+            pe_cols: 32,
+            freq_ghz: 2.0,
+            sram: Bytes::new(1_310_720), // 1.25 MiB
+            vector_lanes: 64,
+        }
+    }
+
+    /// Number of MAC units in the PE array.
+    pub fn mac_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Peak FP16 matrix throughput: 2 FLOPs per MAC per cycle.
+    pub fn peak_flops(&self) -> FlopRate {
+        FlopRate::gflops(2.0 * self.mac_count() as f64 * self.freq_ghz)
+    }
+
+    /// Peak vector (element-wise) throughput in FLOP/s.
+    pub fn vector_flops(&self) -> FlopRate {
+        FlopRate::gflops(self.vector_lanes as f64 * self.freq_ghz)
+    }
+
+    /// Validate structural sanity.
+    pub fn validate(&self) -> Result<(), crate::error::ArchError> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err(crate::error::ArchError::InvalidConfig(
+                "PE array must be non-empty".into(),
+            ));
+        }
+        if self.freq_ghz <= 0.0 {
+            return Err(crate::error::ArchError::InvalidConfig(
+                "frequency must be positive".into(),
+            ));
+        }
+        if self.sram == Bytes::ZERO {
+            return Err(crate::error::ArchError::InvalidConfig(
+                "core SRAM must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::dojo_style()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dojo_core_peak_is_about_two_tflops() {
+        let c = CoreConfig::dojo_style();
+        let tf = c.peak_flops().as_tflops();
+        assert!((tf - 2.048).abs() < 1e-9, "got {tf}");
+    }
+
+    #[test]
+    fn mac_count_is_product() {
+        let c = CoreConfig::dojo_style();
+        assert_eq!(c.mac_count(), 512);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_cores() {
+        let mut c = CoreConfig::dojo_style();
+        c.pe_rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::dojo_style();
+        c.freq_ghz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::dojo_style();
+        c.sram = Bytes::ZERO;
+        assert!(c.validate().is_err());
+        assert!(CoreConfig::dojo_style().validate().is_ok());
+    }
+
+    #[test]
+    fn vector_unit_is_much_slower_than_matrix() {
+        let c = CoreConfig::dojo_style();
+        assert!(c.vector_flops().as_f64() < c.peak_flops().as_f64() / 4.0);
+    }
+}

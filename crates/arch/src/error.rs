@@ -1,0 +1,58 @@
+//! Error type for architecture construction and enumeration.
+
+use crate::units::Area;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while building or validating wafer-scale architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// The requested floorplan does not fit on the wafer.
+    InfeasibleArea {
+        /// Area the floorplan requires.
+        required: Area,
+        /// Area the wafer provides.
+        available: Area,
+    },
+    /// A structurally invalid configuration (zero dies, zero cores, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InfeasibleArea {
+                required,
+                available,
+            } => write!(
+                f,
+                "floorplan requires {required} but the wafer provides {available}"
+            ),
+            ArchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_areas() {
+        let e = ArchError::InfeasibleArea {
+            required: Area::from_mm2(50_000.0),
+            available: Area::from_mm2(40_000.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("50000.0 mm^2"));
+        assert!(s.contains("40000.0 mm^2"));
+    }
+
+    #[test]
+    fn invalid_config_displays_message() {
+        let e = ArchError::InvalidConfig("zero dies".into());
+        assert!(e.to_string().contains("zero dies"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Link- and die-fault model (§VI-D, Fig. 22).
+//!
+//! Faults are expressed against die grid coordinates so that this crate
+//! stays independent of the mesh crate. A *link fault* degrades (or kills)
+//! the D2D link between two adjacent dies; a *die fault* degrades (or
+//! kills) a die's compute capability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Grid coordinate of a die on the wafer.
+pub type DiePos = (usize, usize);
+
+/// Canonical (sorted) endpoint pair identifying an undirected mesh link.
+fn canon(a: DiePos, b: DiePos) -> (DiePos, DiePos) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A map of injected faults over an `nx × ny` die grid.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    link_quality: HashMap<(DiePos, DiePos), f64>,
+    die_health: HashMap<DiePos, f64>,
+}
+
+impl FaultMap {
+    /// A fault-free map.
+    pub fn none() -> Self {
+        FaultMap::default()
+    }
+
+    /// True when no faults are present.
+    pub fn is_empty(&self) -> bool {
+        self.link_quality.is_empty() && self.die_health.is_empty()
+    }
+
+    /// Record a degraded link; `quality` ∈ [0, 1], 0 = completely broken.
+    pub fn set_link_quality(&mut self, a: DiePos, b: DiePos, quality: f64) {
+        self.link_quality.insert(canon(a, b), quality.clamp(0.0, 1.0));
+    }
+
+    /// Record a degraded die; `health` ∈ [0, 1], 0 = dead.
+    pub fn set_die_health(&mut self, d: DiePos, health: f64) {
+        self.die_health.insert(d, health.clamp(0.0, 1.0));
+    }
+
+    /// Quality of the link between `a` and `b` (1.0 when unfaulted).
+    pub fn link_quality(&self, a: DiePos, b: DiePos) -> f64 {
+        *self.link_quality.get(&canon(a, b)).unwrap_or(&1.0)
+    }
+
+    /// Health of die `d` (1.0 when unfaulted).
+    pub fn die_health(&self, d: DiePos) -> f64 {
+        *self.die_health.get(&d).unwrap_or(&1.0)
+    }
+
+    /// Iterate over all faulted links.
+    pub fn faulted_links(&self) -> impl Iterator<Item = (&(DiePos, DiePos), &f64)> {
+        self.link_quality.iter()
+    }
+
+    /// Iterate over all faulted dies.
+    pub fn faulted_dies(&self) -> impl Iterator<Item = (&DiePos, &f64)> {
+        self.die_health.iter()
+    }
+
+    /// Number of faulted links.
+    pub fn link_fault_count(&self) -> usize {
+        self.link_quality.len()
+    }
+
+    /// Number of faulted dies.
+    pub fn die_fault_count(&self) -> usize {
+        self.die_health.len()
+    }
+
+    /// Inject link faults: each mesh link of the `nx × ny` grid fails with
+    /// probability `rate`. A failed link's quality is drawn uniformly from
+    /// [0, 0.7]; with probability 0.2 it is completely broken (quality 0).
+    pub fn inject_link_faults(nx: usize, ny: usize, rate: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11a7_f00d);
+        let mut map = FaultMap::none();
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx && rng.gen::<f64>() < rate {
+                    let q = if rng.gen::<f64>() < 0.2 { 0.0 } else { rng.gen::<f64>() * 0.7 };
+                    map.set_link_quality((x, y), (x + 1, y), q);
+                }
+                if y + 1 < ny && rng.gen::<f64>() < rate {
+                    let q = if rng.gen::<f64>() < 0.2 { 0.0 } else { rng.gen::<f64>() * 0.7 };
+                    map.set_link_quality((x, y), (x, y + 1), q);
+                }
+            }
+        }
+        map
+    }
+
+    /// Inject die faults: each die fails with probability `rate`. A failed
+    /// die's health is drawn uniformly from [0.3, 0.9]; with probability
+    /// 0.15 the die is dead (health 0).
+    pub fn inject_die_faults(nx: usize, ny: usize, rate: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1e_fa11);
+        let mut map = FaultMap::none();
+        for y in 0..ny {
+            for x in 0..nx {
+                if rng.gen::<f64>() < rate {
+                    let h = if rng.gen::<f64>() < 0.15 {
+                        0.0
+                    } else {
+                        0.3 + rng.gen::<f64>() * 0.6
+                    };
+                    map.set_die_health((x, y), h);
+                }
+            }
+        }
+        map
+    }
+
+    /// Merge another fault map into this one (worst value wins).
+    pub fn merge(&mut self, other: &FaultMap) {
+        for (&k, &q) in &other.link_quality {
+            let e = self.link_quality.entry(k).or_insert(1.0);
+            *e = e.min(q);
+        }
+        for (&k, &h) in &other.die_health {
+            let e = self.die_health.entry(k).or_insert(1.0);
+            *e = e.min(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfaulted_defaults_are_perfect() {
+        let m = FaultMap::none();
+        assert_eq!(m.link_quality((0, 0), (1, 0)), 1.0);
+        assert_eq!(m.die_health((3, 3)), 1.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn link_lookup_is_symmetric() {
+        let mut m = FaultMap::none();
+        m.set_link_quality((2, 1), (1, 1), 0.25);
+        assert_eq!(m.link_quality((1, 1), (2, 1)), 0.25);
+        assert_eq!(m.link_quality((2, 1), (1, 1)), 0.25);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = FaultMap::inject_link_faults(8, 7, 0.2, 42);
+        let b = FaultMap::inject_link_faults(8, 7, 0.2, 42);
+        assert_eq!(a, b);
+        let c = FaultMap::inject_link_faults(8, 7, 0.2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn injection_rate_scales_fault_count() {
+        let low = FaultMap::inject_link_faults(8, 8, 0.1, 7).link_fault_count();
+        let high = FaultMap::inject_link_faults(8, 8, 0.6, 7).link_fault_count();
+        assert!(high > low, "high={high} low={low}");
+        let zero = FaultMap::inject_link_faults(8, 8, 0.0, 7).link_fault_count();
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn die_fault_health_in_valid_range() {
+        let m = FaultMap::inject_die_faults(8, 8, 0.5, 11);
+        for (_, &h) in m.faulted_dies() {
+            assert!((0.0..=0.9).contains(&h));
+        }
+        assert!(m.die_fault_count() > 0);
+    }
+
+    #[test]
+    fn merge_takes_worst() {
+        let mut a = FaultMap::none();
+        a.set_link_quality((0, 0), (1, 0), 0.5);
+        let mut b = FaultMap::none();
+        b.set_link_quality((0, 0), (1, 0), 0.2);
+        b.set_die_health((1, 1), 0.7);
+        a.merge(&b);
+        assert_eq!(a.link_quality((0, 0), (1, 0)), 0.2);
+        assert_eq!(a.die_health((1, 1)), 0.7);
+    }
+
+    #[test]
+    fn quality_is_clamped() {
+        let mut m = FaultMap::none();
+        m.set_link_quality((0, 0), (0, 1), 1.7);
+        assert_eq!(m.link_quality((0, 0), (0, 1)), 1.0);
+        m.set_die_health((0, 0), -0.3);
+        assert_eq!(m.die_health((0, 0)), 0.0);
+    }
+}

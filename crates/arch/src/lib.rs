@@ -1,0 +1,38 @@
+//! # wsc-arch — wafer-scale chip hardware template
+//!
+//! The configurable hardware template of the WATOS framework (§II-A of the
+//! paper): a three-level hierarchy of **wafer → die → core**, an area model
+//! enforcing the ~40,000 mm² wafer constraint, the Table II presets, an
+//! architecture [`enumerate::Enumerator`], and the fault model used by the
+//! robustness experiments.
+//!
+//! ```
+//! use wsc_arch::presets;
+//!
+//! let config3 = presets::config(3);
+//! assert_eq!(config3.die_count(), 56);
+//! // 56 dies x 708 TFLOPS = 39,648 TFLOPS (§V-C)
+//! assert!((config3.total_flops().as_tflops() - 39_648.0).abs() < 1e-6);
+//! ```
+
+pub mod area;
+pub mod core;
+pub mod die;
+pub mod dram;
+pub mod enumerate;
+pub mod error;
+pub mod fault;
+pub mod presets;
+pub mod units;
+pub mod wafer;
+
+pub use crate::area::AreaModel;
+pub use crate::core::CoreConfig;
+pub use crate::die::ComputeDieConfig;
+pub use crate::dram::{DramChiplet, DramStack};
+pub use crate::enumerate::{die_granularity_sweep, DieShapeClass, Enumerator, GranularityPoint};
+pub use crate::error::ArchError;
+pub use crate::fault::{DiePos, FaultMap};
+pub use crate::presets::GpuSystemConfig;
+pub use crate::units::{Area, Bandwidth, Bytes, FlopRate, Flops, Mm, Time};
+pub use crate::wafer::{MultiWaferConfig, WaferConfig};

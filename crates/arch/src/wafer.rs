@@ -1,0 +1,143 @@
+//! Whole-wafer configuration (the outermost level of the Fig. 3 hierarchy).
+//!
+//! A wafer is an `nx × ny` grid of identical die slots connected by a 2D
+//! mesh of D2D links. Each slot holds one compute die and its DRAM stack.
+
+use crate::area::AreaModel;
+use crate::die::ComputeDieConfig;
+use crate::dram::DramStack;
+use crate::error::ArchError;
+use crate::units::{Bandwidth, Bytes, FlopRate, Time};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one wafer-scale chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaferConfig {
+    /// Human-readable configuration name (e.g. "Config 3").
+    pub name: String,
+    /// Dies along the wafer X dimension (`N_D^X`).
+    pub nx: usize,
+    /// Dies along the wafer Y dimension (`N_D^Y`).
+    pub ny: usize,
+    /// Compute-die configuration shared by all slots.
+    pub die: ComputeDieConfig,
+    /// Per-die DRAM provisioning.
+    pub dram: DramStack,
+    /// Total D2D bandwidth per die across its four directions.
+    pub d2d_per_die: Bandwidth,
+    /// Per-hop D2D link latency.
+    pub d2d_link_latency: Time,
+    /// Host ↔ wafer link (PCIe-class; used only by offloading baselines).
+    pub host_link_bw: Bandwidth,
+}
+
+impl WaferConfig {
+    /// Number of dies on the wafer.
+    pub fn die_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Bandwidth of one directional D2D mesh link.
+    ///
+    /// The per-die budget is spread over the four mesh directions; links
+    /// are full-duplex so each direction owns a quarter of the budget.
+    pub fn d2d_link_bw(&self) -> Bandwidth {
+        self.d2d_per_die / 4.0
+    }
+
+    /// Aggregate wafer compute throughput.
+    pub fn total_flops(&self) -> FlopRate {
+        self.die.peak_flops() * self.die_count() as f64
+    }
+
+    /// Aggregate wafer DRAM capacity.
+    pub fn total_dram(&self) -> Bytes {
+        self.dram.capacity * self.die_count() as u64
+    }
+
+    /// Aggregate wafer DRAM bandwidth.
+    pub fn total_dram_bw(&self) -> Bandwidth {
+        self.dram.bandwidth * self.die_count() as f64
+    }
+
+    /// Validate structure and area feasibility under `model`.
+    pub fn validate(&self, model: &AreaModel) -> Result<(), ArchError> {
+        if self.nx == 0 || self.ny == 0 {
+            return Err(ArchError::InvalidConfig("wafer must hold at least one die".into()));
+        }
+        self.die.validate()?;
+        model.check(&self.die, &self.dram, self.die_count())
+    }
+}
+
+/// A multi-wafer node (§VI-F): several wafers linked by W2W interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWaferConfig {
+    /// Number of wafers in the node.
+    pub wafers: usize,
+    /// Per-wafer configuration.
+    pub wafer: WaferConfig,
+    /// Wafer-to-wafer interconnect bandwidth (per wafer pair).
+    pub w2w_bw: Bandwidth,
+    /// W2W link latency.
+    pub w2w_latency: Time,
+}
+
+impl MultiWaferConfig {
+    /// Total dies across all wafers.
+    pub fn total_dies(&self) -> usize {
+        self.wafers * self.wafer.die_count()
+    }
+
+    /// Aggregate compute throughput across wafers.
+    pub fn total_flops(&self) -> FlopRate {
+        self.wafer.total_flops() * self.wafers as f64
+    }
+
+    /// Aggregate DRAM capacity across wafers.
+    pub fn total_dram(&self) -> Bytes {
+        self.wafer.total_dram() * self.wafers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn config3_matches_paper_headline_totals() {
+        let c3 = presets::config(3);
+        assert_eq!(c3.die_count(), 56);
+        // 56 x 708 TFLOPS = 39,648 TFLOPS (§V-C).
+        assert!((c3.total_flops().as_tflops() - 39_648.0).abs() < 1e-6);
+        // 56 x 70 GB = 3920 GB (§V-C scales MG-GPU DRAM to this).
+        assert!((c3.total_dram().as_gib() - 3920.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn d2d_link_is_quarter_of_die_budget() {
+        let c1 = presets::config(1);
+        assert!((c1.d2d_link_bw().as_tb_per_s() - 4.5 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        let model = AreaModel::default();
+        for cfg in presets::table_ii_configs() {
+            assert!(cfg.validate(&model).is_ok(), "{} invalid", cfg.name);
+        }
+    }
+
+    #[test]
+    fn multi_wafer_totals_scale() {
+        let node = MultiWaferConfig {
+            wafers: 4,
+            wafer: presets::config(3),
+            w2w_bw: Bandwidth::tb_per_s(1.8),
+            w2w_latency: Time::from_nanos(500.0),
+        };
+        assert_eq!(node.total_dies(), 224);
+        assert!((node.total_flops().as_tflops() - 4.0 * 39_648.0).abs() < 1e-3);
+    }
+}

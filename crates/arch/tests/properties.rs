@@ -1,0 +1,80 @@
+//! Property-based tests for units arithmetic and the area model.
+
+use proptest::prelude::*;
+use wsc_arch::area::AreaModel;
+use wsc_arch::dram::DramStack;
+use wsc_arch::enumerate::synth_die;
+use wsc_arch::units::{Bandwidth, Bytes, Time};
+
+proptest! {
+    #[test]
+    fn bytes_subtraction_never_underflows(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let x = Bytes::new(a);
+        let y = Bytes::new(b);
+        let d = x - y;
+        prop_assert!(d.as_u64() <= a);
+        prop_assert_eq!(x.saturating_sub(y), d);
+    }
+
+    #[test]
+    fn bytes_scale_round_trips_fraction(a in 1u64..1u64 << 40, num in 1u32..64, den in 1u32..64) {
+        let f = num as f64 / den as f64;
+        let scaled = Bytes::new(a).scale(f);
+        let expected = a as f64 * f;
+        prop_assert!((scaled.as_f64() - expected).abs() <= 0.5 + expected * 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone(bytes in 1u64..1u64 << 44, tbps in 1u32..10) {
+        let t1 = Bytes::new(bytes) / Bandwidth::tb_per_s(tbps as f64);
+        let t2 = Bytes::new(bytes * 2) / Bandwidth::tb_per_s(tbps as f64);
+        prop_assert!(t2.as_secs() >= t1.as_secs());
+        prop_assert!(t1.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn time_ops_stay_non_negative(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let x = Time::from_secs(a);
+        let y = Time::from_secs(b);
+        prop_assert!((x - y).as_secs() >= 0.0);
+        prop_assert!((x + y).as_secs() >= a.max(b));
+        prop_assert!(x.saturating_sub(y).as_secs() >= 0.0);
+    }
+
+    #[test]
+    fn synth_die_hits_requested_geometry(area in 150.0f64..700.0, aspect in 1.0f64..3.0) {
+        let d = synth_die(area, aspect);
+        prop_assert!((d.area().as_mm2() - area).abs() < area * 0.02);
+        prop_assert!((d.aspect_ratio() - aspect).abs() < 0.05);
+        prop_assert!(d.core_count() >= 1);
+        prop_assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn area_model_grid_is_always_feasible(
+        area in 200.0f64..650.0,
+        aspect in 1.0f64..2.5,
+        cap_gb in 16u64..128,
+    ) {
+        // Whatever grid max_grid reports must pass the area check.
+        let model = AreaModel::default();
+        let die = synth_die(area, aspect);
+        let dram = DramStack::new(Bytes::gib(cap_gb), Bandwidth::tb_per_s(1.0));
+        let (nx, ny) = model.max_grid(&die, &dram);
+        if nx * ny > 0 {
+            prop_assert!(model.check(&die, &dram, nx * ny).is_ok(),
+                "{}x{} of {:.0}mm2 + {}GB fails the area check", nx, ny, area, cap_gb);
+        }
+    }
+
+    #[test]
+    fn more_dram_never_increases_d2d_budget(
+        bw1 in 1u32..25, bw2 in 1u32..25,
+    ) {
+        let die = wsc_arch::presets::big_die();
+        let (lo, hi) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
+        let d_lo = die.d2d_budget(Bandwidth::tb_per_s(lo as f64 / 5.0));
+        let d_hi = die.d2d_budget(Bandwidth::tb_per_s(hi as f64 / 5.0));
+        prop_assert!(d_hi.as_bytes_per_s() <= d_lo.as_bytes_per_s() + 1.0);
+    }
+}

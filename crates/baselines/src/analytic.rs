@@ -1,0 +1,109 @@
+//! The first-order analytic DSE model of Fig. 15 (`Analytic*`):
+//!
+//! ```text
+//! Time = max( (C_comp + C_recomp) / Power , C_access / BW_DRAM ) + C_comm / BW_D2D
+//! C_recomp = (MemRequire − DRAM_Aggr) × η
+//! ```
+//!
+//! The paper shows this model "fails to capture the insights and
+//! consistently favors configs with the largest DRAM capacity" — the
+//! knapsack-like compute/memory/bandwidth trade-off needs WATOS's full
+//! machinery.
+
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::Time;
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::memory::model_p_total;
+use wsc_workload::training::TrainingJob;
+
+/// Analytic-model estimate for one wafer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticEstimate {
+    /// Estimated iteration time.
+    pub time: Time,
+    /// Estimated recompute FLOPs.
+    pub recompute_flops: f64,
+}
+
+/// Compute FLOPs implied per byte of recomputed checkpoint (η).
+///
+/// First-order modelers take the model's bulk arithmetic intensity per
+/// retained activation byte; the crudeness of this single constant is
+/// precisely what Fig. 15 criticizes.
+const ETA_FLOPS_PER_BYTE: f64 = 4.0e5;
+
+/// Evaluate the first-order model.
+pub fn estimate(wafer: &WaferConfig, job: &TrainingJob) -> AnalyticEstimate {
+    let useful = job.flops_per_iter().as_f64();
+    // Memory requirement: modelP + pipeline-resident activations (the
+    // modeler assumes a representative 14-deep in-flight window).
+    let act = (job.micro_batch * job.seq) as f64
+        * job.model.hidden as f64
+        * 2.0
+        * job.model.layers as f64
+        * 6.0
+        * 14.0;
+    let mem_require = model_p_total(&job.model).as_f64() + act;
+    let dram_aggr = wafer.total_dram().as_f64();
+    let overflow = (mem_require - dram_aggr).max(0.0);
+    let recompute_flops = overflow * ETA_FLOPS_PER_BYTE;
+    let comp_time = (useful + recompute_flops) / wafer.total_flops().as_f64();
+    let access = 4.0 * mem_require; // every byte touched a few times
+    let access_time = access / wafer.total_dram_bw().as_bytes_per_s();
+    let comm = 4.0
+        * job.model.layers as f64
+        * (job.global_batch * job.seq * job.model.hidden) as f64
+        * 2.0;
+    let comm_time = comm / (wafer.d2d_per_die.as_bytes_per_s() * wafer.die_count() as f64);
+    AnalyticEstimate {
+        time: Time::from_secs(comp_time.max(access_time) + comm_time),
+        recompute_flops,
+    }
+}
+
+/// Rank Table-II-style configs by the analytic model (lower time first).
+pub fn rank<'a>(configs: &'a [WaferConfig], job: &TrainingJob) -> Vec<(&'a WaferConfig, Time)> {
+    let mut out: Vec<(&WaferConfig, Time)> = configs
+        .iter()
+        .map(|c| (c, estimate(c, job).time))
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_workload::zoo;
+
+    #[test]
+    fn analytic_model_favors_biggest_dram() {
+        // The Fig. 15 observation: for a memory-pressured workload the
+        // first-order model picks the config with the largest aggregate
+        // DRAM, missing the compute/communication trade-off.
+        let configs = presets::table_ii_configs();
+        let job = TrainingJob::with_batch(zoo::gpt_175b(), 512, 8, 2048);
+        let ranked = rank(&configs, &job);
+        let winner = ranked[0].0;
+        let max_dram = configs
+            .iter()
+            .map(|c| c.total_dram().as_f64())
+            .fold(0.0f64, f64::max);
+        assert_eq!(
+            winner.total_dram().as_f64(),
+            max_dram,
+            "analytic winner {} should have max aggregate DRAM",
+            winner.name
+        );
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        for c in presets::table_ii_configs() {
+            let e = estimate(&c, &job);
+            assert!(e.time.is_finite() && e.time.as_secs() > 0.0, "{}", c.name);
+        }
+    }
+}

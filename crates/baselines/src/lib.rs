@@ -1,0 +1,24 @@
+//! # wsc-baselines — comparison systems for the WATOS evaluation
+//!
+//! Everything WATOS is compared against in the paper: the Megatron-GPU
+//! cluster model and NVL72 rack ([`gpu`]), Megatron's strategy applied to
+//! the wafer ([`megatron`]), Cerebras weight streaming ([`cerebras`]),
+//! FSDP traffic ([`fsdp`], Fig. 6a), host offloading ([`offload`],
+//! Fig. 6b), the seven prior DSE frameworks of Fig. 20 ([`dse`]), and the
+//! first-order analytic model of Fig. 15 ([`analytic`]).
+
+pub mod analytic;
+pub mod cerebras;
+pub mod dse;
+pub mod fsdp;
+pub mod gpu;
+pub mod megatron;
+pub mod offload;
+
+pub use crate::analytic::{estimate as analytic_estimate, AnalyticEstimate};
+pub use crate::cerebras::{weight_streaming, CerebrasResult};
+pub use crate::dse::{run as run_dse, DseMethod};
+pub use crate::fsdp::{compare as fsdp_compare, FsdpComparison};
+pub use crate::gpu::{evaluate_gpu, gpu_die, megatron_gpu, megatron_parallelism, GpuPerf};
+pub use crate::megatron::{mg_parallelism, mg_wafer, MgWaferResult};
+pub use crate::offload::{compare as offload_compare, OffloadComparison};

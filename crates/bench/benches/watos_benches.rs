@@ -1,0 +1,190 @@
+//! Criterion benchmarks for the WATOS machinery: one group per
+//! table/figure family, measuring the cost of regenerating each result
+//! plus the core algorithmic kernels (GCMR DP, placement search, GA,
+//! collectives, 1F1B timing, the evaluator, and the DSE loop itself —
+//! the paper quotes 0.274 s per 100 GA exploration steps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use watos::ga::GaParams;
+use watos::placement::{optimize, serpentine, PairDemand};
+use watos::scheduler::{explore, schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::stage::build_stage_profiles;
+use wsc_arch::presets;
+use wsc_arch::units::{Bandwidth, Bytes, Time};
+use wsc_bench::figures;
+use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
+use wsc_mesh::topology::Mesh2D;
+use wsc_pipeline::gcmr::gcmr;
+use wsc_pipeline::onefb::{simulate, StageTiming};
+use wsc_sim::op_cost::DieModel;
+use wsc_sim::predictor::{generate_corpus, DnnPredictor};
+use wsc_workload::graph::{layer_ops_at, ShardingCtx};
+use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn quick_opts() -> SchedulerOptions {
+    SchedulerOptions {
+        ga: None,
+        strategies: vec![TpSplitStrategy::SequenceParallel],
+        ..SchedulerOptions::default()
+    }
+}
+
+/// Core kernels: 1F1B timing, collectives, GCMR, placement, GA.
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+
+    g.bench_function("onefb_56x512", |b| {
+        let stages = vec![
+            StageTiming {
+                fwd: Time::from_millis(1.0),
+                bwd: Time::from_millis(2.0),
+                p2p: Time::from_micros(10.0),
+            };
+            56
+        ];
+        b.iter(|| black_box(simulate(&stages, 512)));
+    });
+
+    g.bench_function("ring_allreduce_cost", |b| {
+        b.iter(|| {
+            black_box(all_reduce_time(
+                CollectiveAlgo::RingBi,
+                GroupShape::new(2, 2),
+                Bytes::mib(256),
+                Bandwidth::tb_per_s(1.0),
+                Time::from_nanos(50.0),
+            ))
+        });
+    });
+
+    let wafer = presets::config(3);
+    let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
+    let ctx = ShardingCtx::new(4, 4096, 4, TpSplitStrategy::Megatron);
+    let stages = build_stage_profiles(
+        &wafer,
+        &job,
+        ParallelSpec::model_parallel(4, 14),
+        &ctx,
+        128,
+    );
+    let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
+    g.bench_function("gcmr_dp_14_stages", |b| {
+        b.iter(|| black_box(gcmr(&inputs, wafer.dram.capacity, 11)));
+    });
+
+    let mesh = Mesh2D::new(8, 4);
+    let pairs = vec![
+        PairDemand { sender: 0, helper: 7, volume: 1.0 },
+        PairDemand { sender: 1, helper: 6, volume: 1.0 },
+    ];
+    g.bench_function("placement_optimize_8_stages", |b| {
+        b.iter(|| black_box(optimize(&mesh, 8, 2, 2, 1.0, &pairs, 42)));
+    });
+
+    // The paper quotes 0.274 s per 100 global-optimizer exploration steps.
+    g.bench_function("ga_100_steps", |b| {
+        b.iter(|| {
+            black_box(figures::discussion::ga_history(
+                &wafer, &job, 0.5, 100,
+            ))
+        });
+    });
+    g.finish();
+}
+
+/// The evaluator and scheduler paths behind Figs. 15–18.
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(10);
+    let wafer = presets::config(3);
+    let job = TrainingJob::standard(zoo::llama2_30b());
+
+    g.bench_function("schedule_fixed_tp4_pp14", |b| {
+        b.iter(|| {
+            black_box(schedule_fixed(
+                &wafer,
+                &job,
+                4,
+                14,
+                TpSplitStrategy::SequenceParallel,
+                &quick_opts(),
+                None,
+            ))
+        });
+    });
+
+    g.bench_function("explore_config3_llama30b", |b| {
+        b.iter(|| black_box(explore(&wafer, &job, &quick_opts())));
+    });
+
+    let mut naive = quick_opts();
+    naive.recompute = RecomputeMode::Naive;
+    g.bench_function("schedule_fixed_naive_recompute", |b| {
+        b.iter(|| {
+            black_box(schedule_fixed(
+                &wafer,
+                &job,
+                8,
+                7,
+                TpSplitStrategy::SequenceParallel,
+                &naive,
+                None,
+            ))
+        });
+    });
+    g.finish();
+}
+
+/// Die-level operator costing + the DNN predictor (Fig. 10).
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    let dm = DieModel::new(presets::big_die(), Bandwidth::tb_per_s(2.0));
+    let ctx = ShardingCtx::new(16, 4096, 8, TpSplitStrategy::Megatron);
+    let ops = layer_ops_at(&zoo::llama_65b(), 0, &ctx);
+
+    g.bench_function("op_cost_transformer_layer", |b| {
+        b.iter(|| {
+            for op in &ops {
+                black_box(dm.op_cost(op));
+            }
+        });
+    });
+
+    g.sample_size(10);
+    let corpus = generate_corpus(&dm, 256, 7);
+    g.bench_function("dnn_predictor_train_256x60", |b| {
+        b.iter(|| black_box(DnnPredictor::train(&corpus, 60, 99)));
+    });
+    g.finish();
+}
+
+/// Figure regeneration end-to-end (quick profiles).
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5b_link_utilization", |b| {
+        b.iter(|| black_box(figures::motivation::fig5b(true)));
+    });
+    g.bench_function("fig11_placement", |b| {
+        b.iter(|| black_box(figures::evaluation::fig11(true)));
+    });
+    g.bench_function("fig8_gcmr_vs_naive", |b| {
+        b.iter(|| black_box(figures::motivation::fig8(true)));
+    });
+    g.bench_function("table2", |b| {
+        b.iter(|| black_box(figures::early::table2(true)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_scheduling,
+    bench_sim,
+    bench_figures
+);
+criterion_main!(benches);

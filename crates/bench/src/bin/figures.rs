@@ -1,0 +1,29 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage: `figures [--quick] [all | table2 | fig1 | fig5a | ...]`
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let registry = wsc_bench::figures::registry();
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w.as_str() == "all");
+    let mut ran = 0;
+    for (name, f) in &registry {
+        if run_all || wanted.iter().any(|w| w.as_str() == *name) {
+            let t0 = std::time::Instant::now();
+            println!("{}", f(quick));
+            eprintln!("[{name} done in {:?}]\n", t0.elapsed());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown figure; available:");
+        for (name, _) in &registry {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+}

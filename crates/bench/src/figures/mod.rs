@@ -1,0 +1,56 @@
+//! One module per paper-figure family; every public function returns the
+//! formatted rows/series the paper reports.
+
+pub mod discussion;
+pub mod early;
+pub mod evaluation;
+pub mod motivation;
+
+/// A named figure generator.
+pub type FigureFn = fn(bool) -> String;
+
+/// The full registry of regenerable tables and figures.
+pub fn registry() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("table2", early::table2 as FigureFn),
+        ("fig1", early::fig1),
+        ("fig2", early::fig2),
+        ("fig5a", motivation::fig5a),
+        ("fig5b", motivation::fig5b),
+        ("fig5c", motivation::fig5c),
+        ("fig6a", motivation::fig6a),
+        ("fig6b", motivation::fig6b),
+        ("fig7", motivation::fig7),
+        ("fig8", motivation::fig8),
+        ("fig10b", evaluation::fig10b),
+        ("fig10c", evaluation::fig10c),
+        ("fig11", evaluation::fig11),
+        ("fig15", evaluation::fig15),
+        ("fig16", evaluation::fig16),
+        ("fig17", evaluation::fig17),
+        ("fig18", evaluation::fig18),
+        ("fig19", discussion::fig19),
+        ("fig20", discussion::fig20),
+        ("fig21", discussion::fig21),
+        ("fig22", discussion::fig22),
+        ("fig23", discussion::fig23),
+        ("fig24a", discussion::fig24a),
+        ("fig24b", discussion::fig24b),
+        ("fig25", discussion::fig25),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_covers_every_figure() {
+        let names: Vec<&str> = super::registry().iter().map(|(n, _)| *n).collect();
+        for required in [
+            "table2", "fig1", "fig2", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7",
+            "fig8", "fig10b", "fig10c", "fig11", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig20", "fig21", "fig22", "fig23", "fig24a", "fig24b", "fig25",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! # wsc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the WATOS paper as text
+//! rows/series (see `DESIGN.md` for the experiment index). Figures run in
+//! `quick` mode for smoke tests and full mode from the `figures` binary.
+
+pub mod figures;
+pub mod util;

@@ -1,0 +1,138 @@
+//! Shared helpers for the figure harness: text tables, normalization, and
+//! common scheduler option sets.
+
+use watos::scheduler::{RecomputeMode, SchedulerOptions};
+use wsc_mesh::collective::CollectiveAlgo;
+use wsc_workload::parallel::TpSplitStrategy;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{c:<w$}  ", w = w));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+        }
+        out
+    }
+}
+
+/// Normalize a series so its minimum is 1.0 (paper convention: "all
+/// results normalized to the lowest-performing configuration").
+pub fn normalize_min1(values: &[f64]) -> Vec<f64> {
+    let min = values
+        .iter()
+        .cloned()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !min.is_finite() {
+        return values.to_vec();
+    }
+    values.iter().map(|v| v / min).collect()
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Scheduler options for figure runs: `quick` disables the GA and trims
+/// the strategy set so smoke tests stay fast.
+pub fn watos_options(quick: bool) -> SchedulerOptions {
+    SchedulerOptions {
+        ga: if quick {
+            None
+        } else {
+            Some(watos::ga::GaParams {
+                population: 12,
+                steps: 40,
+                omega: 0.5,
+                seed: 7,
+            })
+        },
+        strategies: if quick {
+            vec![TpSplitStrategy::SequenceParallel]
+        } else {
+            vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel]
+        },
+        collectives: vec![CollectiveAlgo::RingBi],
+        recompute: RecomputeMode::Gcmr,
+        memory_scheduler: true,
+        ..SchedulerOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_padding() {
+        let mut t = TextTable::new(vec!["a", "bbb"]);
+        t.row(vec!["xx", "y"]);
+        let s = t.render();
+        assert!(s.contains("a "));
+        assert!(s.contains("xx"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x", "y"]);
+    }
+
+    #[test]
+    fn normalization_min_is_one() {
+        let n = normalize_min1(&[2.0, 4.0, 8.0]);
+        assert_eq!(n, vec![1.0, 2.0, 4.0]);
+    }
+}

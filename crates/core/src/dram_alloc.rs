@@ -1,0 +1,196 @@
+//! Location-aware DRAM capacity allocation (Alg. 3, §IV-C-2).
+//!
+//! Refines the coarse Sender/Helper pairing of GCMR into fine-grained
+//! per-helper DRAM grants: each Sender's overflow is served from the
+//! *nearest* helpers first (priority queue ordered by placement distance),
+//! splitting grants when a helper's spare capacity runs out. Because D2D
+//! bandwidth exceeds DRAM bandwidth on all presets, remote checkpoint
+//! traffic is DRAM-bound and overlaps compute — distance only matters
+//! through the Eq. 2 conflict/congestion cost, which is what this
+//! allocation minimizes.
+
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::Bytes;
+
+/// A fine-grained DRAM grant: `bytes` of `helper`'s DRAM serve `sender`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramGrant {
+    /// Overflowing stage.
+    pub sender: usize,
+    /// Hosting stage.
+    pub helper: usize,
+    /// Granted bytes.
+    pub bytes: Bytes,
+    /// Center-to-center hop distance at grant time.
+    pub hops: f64,
+}
+
+/// Result of the Alg. 3 allocation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DramAllocation {
+    /// All grants, in allocation order.
+    pub grants: Vec<DramGrant>,
+    /// Senders whose demand could not be fully served.
+    pub unserved: Vec<(usize, Bytes)>,
+}
+
+impl DramAllocation {
+    /// True when every sender's overflow found a home.
+    pub fn complete(&self) -> bool {
+        self.unserved.is_empty()
+    }
+
+    /// Total bytes hosted remotely.
+    pub fn hosted_bytes(&self) -> Bytes {
+        self.grants.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Mean grant distance in hops (weighted by bytes).
+    pub fn mean_hops(&self) -> f64 {
+        let total = self.hosted_bytes().as_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.grants
+            .iter()
+            .map(|g| g.hops * g.bytes.as_f64())
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Run the location-aware allocation.
+///
+/// `overflow[s]` is stage `s`'s demand; `spare[s]` its donatable DRAM.
+/// Helpers are prioritized per sender by placement distance (the Alg. 3
+/// `GlobalCost`-ordered queue `Q`), re-inserted with reduced capacity
+/// after partial grants.
+pub fn allocate(
+    placement: &Placement,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+) -> DramAllocation {
+    assert_eq!(overflow.len(), spare.len(), "per-stage arrays must align");
+    assert_eq!(
+        overflow.len(),
+        placement.stages.len(),
+        "placement must cover every stage"
+    );
+    let mut remaining: Vec<Bytes> = spare.to_vec();
+    let mut out = DramAllocation::default();
+
+    // Serve the most-pressured senders first (DescendSort of Alg. 2).
+    let mut senders: Vec<usize> = (0..overflow.len())
+        .filter(|&s| overflow[s] > Bytes::ZERO)
+        .collect();
+    senders.sort_by(|&a, &b| overflow[b].cmp(&overflow[a]));
+
+    for s in senders {
+        let mut need = overflow[s];
+        // Priority queue Q: helpers by distance from this sender.
+        let mut q: Vec<usize> = (0..remaining.len())
+            .filter(|&h| h != s && remaining[h] > Bytes::ZERO)
+            .collect();
+        q.sort_by(|&a, &b| {
+            let da = placement.stages[s].dist(&placement.stages[a]);
+            let db = placement.stages[s].dist(&placement.stages[b]);
+            da.partial_cmp(&db).expect("finite distances")
+        });
+        for h in q {
+            if need == Bytes::ZERO {
+                break;
+            }
+            let take = need.min(remaining[h]);
+            if take == Bytes::ZERO {
+                continue;
+            }
+            out.grants.push(DramGrant {
+                sender: s,
+                helper: h,
+                bytes: take,
+                hops: placement.stages[s].dist(&placement.stages[h]),
+            });
+            remaining[h] -= take;
+            need -= take;
+        }
+        if need > Bytes::ZERO {
+            out.unserved.push((s, need));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::serpentine;
+
+    fn line_placement(pp: usize) -> Placement {
+        serpentine(2 * pp, 1, pp, 2, 1).expect("fits")
+    }
+
+    #[test]
+    fn nearest_helper_is_used_first() {
+        let p = line_placement(4);
+        // Stage 0 overflows; stages 1 and 3 have spare.
+        let overflow = vec![Bytes::gib(4), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(8), Bytes::ZERO, Bytes::gib(8)];
+        let alloc = allocate(&p, &overflow, &spare);
+        assert!(alloc.complete());
+        assert_eq!(alloc.grants.len(), 1);
+        assert_eq!(alloc.grants[0].helper, 1, "nearest helper wins");
+    }
+
+    #[test]
+    fn grants_split_across_helpers() {
+        let p = line_placement(4);
+        let overflow = vec![Bytes::gib(10), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(4), Bytes::gib(4), Bytes::gib(4)];
+        let alloc = allocate(&p, &overflow, &spare);
+        assert!(alloc.complete());
+        assert_eq!(alloc.grants.len(), 3);
+        assert_eq!(alloc.hosted_bytes(), Bytes::gib(10));
+        // Ordered near → far.
+        assert!(alloc.grants[0].hops <= alloc.grants[1].hops);
+        assert!(alloc.grants[1].hops <= alloc.grants[2].hops);
+    }
+
+    #[test]
+    fn insufficient_spare_reports_unserved() {
+        let p = line_placement(3);
+        let overflow = vec![Bytes::gib(8), Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(2), Bytes::gib(2)];
+        let alloc = allocate(&p, &overflow, &spare);
+        assert!(!alloc.complete());
+        assert_eq!(alloc.unserved[0], (0, Bytes::gib(4)));
+    }
+
+    #[test]
+    fn heaviest_sender_served_first() {
+        let p = line_placement(4);
+        // Stage 2 needs more than stage 0; only stage 1 has spare.
+        let overflow = vec![Bytes::gib(2), Bytes::ZERO, Bytes::gib(6), Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(6), Bytes::ZERO, Bytes::ZERO];
+        let alloc = allocate(&p, &overflow, &spare);
+        // Stage 2 (heavier) claimed the helper; stage 0 starves.
+        assert!(alloc.grants.iter().any(|g| g.sender == 2 && g.bytes == Bytes::gib(6)));
+        assert_eq!(alloc.unserved, vec![(0, Bytes::gib(2))]);
+    }
+
+    #[test]
+    fn mean_hops_weighted() {
+        let p = line_placement(4);
+        let overflow = vec![Bytes::gib(4), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(4), Bytes::ZERO, Bytes::ZERO];
+        let alloc = allocate(&p, &overflow, &spare);
+        assert!((alloc.mean_hops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_arrays_panic() {
+        let p = line_placement(2);
+        let _ = allocate(&p, &[Bytes::ZERO], &[Bytes::ZERO, Bytes::ZERO]);
+    }
+}

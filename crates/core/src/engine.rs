@@ -1,0 +1,111 @@
+//! The co-exploration engine (Fig. 9, outer loop): enumerate architecture
+//! candidates, run the central scheduler on each, and report the best
+//! (architecture, training strategy) pair.
+
+use crate::scheduler::{explore, ScheduledConfig, SchedulerOptions};
+use serde::{Deserialize, Serialize};
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::training::TrainingJob;
+
+/// One explored (architecture, schedule) record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationRecord {
+    /// Architecture name.
+    pub arch: String,
+    /// Best schedule found on it (None = no feasible schedule).
+    pub best: Option<ScheduledConfig>,
+}
+
+/// The WATOS co-exploration engine.
+#[derive(Debug, Clone, Default)]
+pub struct CoExplorationEngine {
+    /// Scheduler options applied to every candidate.
+    pub options: SchedulerOptions,
+}
+
+impl CoExplorationEngine {
+    /// Create an engine with the given scheduler options.
+    pub fn new(options: SchedulerOptions) -> Self {
+        CoExplorationEngine { options }
+    }
+
+    /// Explore one architecture.
+    pub fn explore_arch(&self, wafer: &WaferConfig, job: &TrainingJob) -> ExplorationRecord {
+        ExplorationRecord {
+            arch: wafer.name.clone(),
+            best: explore(wafer, job, &self.options),
+        }
+    }
+
+    /// Explore every candidate architecture for a job; records are
+    /// returned in candidate order.
+    pub fn explore_all(
+        &self,
+        candidates: &[WaferConfig],
+        job: &TrainingJob,
+    ) -> Vec<ExplorationRecord> {
+        candidates
+            .iter()
+            .map(|w| self.explore_arch(w, job))
+            .collect()
+    }
+
+    /// The best (architecture, schedule) pair across candidates, by
+    /// iteration time.
+    pub fn best<'a>(
+        &self,
+        candidates: &'a [WaferConfig],
+        job: &TrainingJob,
+    ) -> Option<(&'a WaferConfig, ScheduledConfig)> {
+        let mut best: Option<(&WaferConfig, ScheduledConfig)> = None;
+        for w in candidates {
+            if let Some(cfg) = explore(w, job, &self.options).filter(|c| c.report.feasible) {
+                let better = best.as_ref().map_or(true, |(_, b)| {
+                    cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
+                });
+                if better {
+                    best = Some((w, cfg));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::RecomputeMode;
+    use wsc_arch::presets;
+    use wsc_workload::parallel::TpSplitStrategy;
+    use wsc_workload::zoo;
+
+    fn quick_engine() -> CoExplorationEngine {
+        CoExplorationEngine::new(SchedulerOptions {
+            ga: None,
+            strategies: vec![TpSplitStrategy::Megatron],
+            recompute: RecomputeMode::Gcmr,
+            ..SchedulerOptions::default()
+        })
+    }
+
+    #[test]
+    fn engine_explores_table_ii() {
+        let engine = quick_engine();
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let candidates = vec![presets::config(3), presets::config(4)];
+        let records = engine.explore_all(&candidates, &job);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.best.is_some()));
+    }
+
+    #[test]
+    fn best_picks_fastest_architecture() {
+        let engine = quick_engine();
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let candidates = vec![presets::config(1), presets::config(3)];
+        let (w, cfg) = engine.best(&candidates, &job).expect("feasible somewhere");
+        assert!(cfg.report.feasible);
+        assert!(!w.name.is_empty());
+    }
+}

@@ -1,0 +1,480 @@
+//! Genetic-algorithm global optimizer (§IV-D, Fig. 12, Fig. 24b).
+//!
+//! Greedy Sender/Helper pairing and serpentine-seeded placement can trap
+//! the downstream schedulers in local optima. The GA explores jointly over
+//! three genome components with the paper's five operators:
+//!
+//! * **Op1** `R` variation — enable/disable recomputation for an operator
+//!   (here: nudge a stage's extra-recomputation level).
+//! * **Op2** `R` crossover — swap recomputation configs of two stages.
+//! * **Op3** placement variation — swap the physical slots of two stages.
+//! * **Op4** `A` variation — re-rank a Sender's helper preference.
+//! * **Op5** `A` crossover — exchange helper preferences of two Senders.
+//!
+//! Fitness is `t_max × GlobalCost` (minimized). Selection blends elitism
+//! (fraction ω) with binary tournament: ω → 1 converges fast but greedily,
+//! ω → 0 preserves diversity (the Fig. 24b trade-off).
+
+use crate::dram_alloc::DramGrant;
+use crate::placement::{global_cost, tile_slots, PairDemand, Placement, Rect};
+use crate::stage::StageProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::{Bytes, Time};
+use wsc_mesh::topology::Mesh2D;
+use wsc_pipeline::recompute::RecomputePlan;
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Exploration steps (generations).
+    pub steps: usize,
+    /// Elitism proportion ω ∈ [0, 1].
+    pub omega: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 16,
+            steps: 100,
+            omega: 0.5,
+            seed: 0xa11e_1e5,
+        }
+    }
+}
+
+/// One individual: placement slots, per-stage extra recomputation level,
+/// per-sender helper-preference rotation.
+#[derive(Debug, Clone, PartialEq)]
+struct Genome {
+    placement: Placement,
+    extra: Vec<f64>,
+    bias: Vec<usize>,
+}
+
+/// GA outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// Refined placement.
+    pub placement: Placement,
+    /// Refined recomputation plan.
+    pub recompute: RecomputePlan,
+    /// Refined DRAM grants.
+    pub grants: Vec<DramGrant>,
+    /// Best fitness value (t_max × GlobalCost; lower is better).
+    pub fitness: f64,
+    /// Best fitness after each step (for the Fig. 24b convergence curves).
+    pub history: Vec<f64>,
+}
+
+struct GaCtx<'a> {
+    mesh: &'a Mesh2D,
+    stages: &'a [StageProfile],
+    base: &'a RecomputePlan,
+    overflow: &'a [Bytes],
+    spare: &'a [Bytes],
+    pp_volume: f64,
+    slots: Vec<Rect>,
+}
+
+/// Biased greedy allocation: each sender's helper queue (sorted by
+/// distance) is rotated by `bias[sender]` before grants are taken.
+fn biased_allocate(
+    ctx: &GaCtx<'_>,
+    placement: &Placement,
+    overflow: &[Bytes],
+    bias: &[usize],
+) -> (Vec<DramGrant>, bool) {
+    let pp = overflow.len();
+    let mut remaining: Vec<Bytes> = ctx.spare.to_vec();
+    let mut grants = Vec::new();
+    let mut complete = true;
+    let mut senders: Vec<usize> = (0..pp).filter(|&s| overflow[s] > Bytes::ZERO).collect();
+    senders.sort_by(|&a, &b| overflow[b].cmp(&overflow[a]));
+    for s in senders {
+        let mut need = overflow[s];
+        let mut q: Vec<usize> = (0..pp)
+            .filter(|&h| h != s && remaining[h] > Bytes::ZERO)
+            .collect();
+        q.sort_by(|&a, &b| {
+            let da = placement.stages[s].dist(&placement.stages[a]);
+            let db = placement.stages[s].dist(&placement.stages[b]);
+            da.partial_cmp(&db).expect("finite")
+        });
+        if !q.is_empty() {
+            let rot = bias[s] % q.len();
+            q.rotate_left(rot);
+        }
+        for h in q {
+            if need == Bytes::ZERO {
+                break;
+            }
+            let take = need.min(remaining[h]);
+            if take == Bytes::ZERO {
+                continue;
+            }
+            grants.push(DramGrant {
+                sender: s,
+                helper: h,
+                bytes: take,
+                hops: placement.stages[s].dist(&placement.stages[h]),
+            });
+            remaining[h] -= take;
+            need -= take;
+        }
+        if need > Bytes::ZERO {
+            complete = false;
+        }
+    }
+    (grants, complete)
+}
+
+fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
+    let pp = ctx.stages.len();
+    // Extra recomputation on top of the base plan.
+    let mut plan = ctx.base.clone();
+    let mut overflow: Vec<Bytes> = ctx.overflow.to_vec();
+    for s in 0..pp {
+        if g.extra[s] <= 0.0 {
+            continue;
+        }
+        let menu = &ctx.stages[s].menu;
+        let want = menu.max_savings().scale(g.extra[s]);
+        let target = plan.saved_per_mb[s].max(want);
+        if let Some(t) = menu.time_for_savings(target) {
+            let freed = target.saturating_sub(plan.saved_per_mb[s]);
+            plan.recompute_time[s] = ctx.base.recompute_time[s].max(t);
+            plan.saved_per_mb[s] = target;
+            overflow[s] =
+                overflow[s].saturating_sub(freed * ctx.stages[s].in_flight as u64);
+        }
+    }
+    let (grants, complete) = biased_allocate(ctx, &g.placement, &overflow, &g.bias);
+    // Fitness: t_max × GlobalCost (Eq. 2), infeasible → +inf.
+    let t_max = ctx
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(s, sp)| {
+            (sp.fwd_compute + sp.bwd_compute + plan.recompute_time[s]).as_secs()
+        })
+        .fold(0.0f64, f64::max);
+    let pairs: Vec<PairDemand> = grants
+        .iter()
+        .map(|gr| PairDemand {
+            sender: gr.sender,
+            helper: gr.helper,
+            volume: gr.bytes.as_f64(),
+        })
+        .collect();
+    let gc = global_cost(ctx.mesh, &g.placement, ctx.pp_volume, &pairs);
+    let fitness = if complete {
+        t_max * (1.0 + gc / (ctx.pp_volume * pp as f64 + 1.0))
+    } else {
+        f64::INFINITY
+    };
+    (plan, grants, fitness)
+}
+
+fn mutate(ctx: &GaCtx<'_>, g: &mut Genome, rng: &mut StdRng) {
+    let pp = ctx.stages.len();
+    match rng.gen_range(0..5) {
+        // Op1: R variation.
+        0 => {
+            let s = rng.gen_range(0..pp);
+            let delta = if rng.gen_bool(0.5) { 0.15 } else { -0.15 };
+            g.extra[s] = (g.extra[s] + delta).clamp(0.0, 1.0);
+        }
+        // Op2: R crossover between two stages.
+        1 => {
+            let a = rng.gen_range(0..pp);
+            let b = rng.gen_range(0..pp);
+            g.extra.swap(a, b);
+        }
+        // Op3: placement variation.
+        2 => {
+            if ctx.slots.len() > pp && rng.gen_bool(0.4) {
+                let used: std::collections::HashSet<Rect> =
+                    g.placement.stages.iter().copied().collect();
+                let free: Vec<Rect> = ctx
+                    .slots
+                    .iter()
+                    .copied()
+                    .filter(|s| !used.contains(s))
+                    .collect();
+                if !free.is_empty() {
+                    let idx = rng.gen_range(0..pp);
+                    g.placement.stages[idx] = free[rng.gen_range(0..free.len())];
+                    return;
+                }
+            }
+            let a = rng.gen_range(0..pp);
+            let b = rng.gen_range(0..pp);
+            g.placement.stages.swap(a, b);
+        }
+        // Op4: A variation.
+        3 => {
+            let s = rng.gen_range(0..pp);
+            g.bias[s] = g.bias[s].wrapping_add(1) % pp.max(1);
+        }
+        // Op5: A crossover.
+        _ => {
+            let a = rng.gen_range(0..pp);
+            let b = rng.gen_range(0..pp);
+            g.bias.swap(a, b);
+        }
+    }
+}
+
+fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+    Genome {
+        placement: if rng.gen_bool(0.5) {
+            a.placement.clone()
+        } else {
+            b.placement.clone()
+        },
+        extra: a
+            .extra
+            .iter()
+            .zip(&b.extra)
+            .map(|(x, y)| if rng.gen_bool(0.5) { *x } else { *y })
+            .collect(),
+        bias: a
+            .bias
+            .iter()
+            .zip(&b.bias)
+            .map(|(x, y)| if rng.gen_bool(0.5) { *x } else { *y })
+            .collect(),
+    }
+}
+
+/// Run the GA refinement.
+#[allow(clippy::too_many_arguments)]
+pub fn refine(
+    mesh: &Mesh2D,
+    stages: &[StageProfile],
+    base_plan: &RecomputePlan,
+    base_placement: &Placement,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+    pp_volume: f64,
+    _capacity: Bytes,
+    params: &GaParams,
+) -> GaResult {
+    let pp = stages.len();
+    let tile = base_placement.stages[0];
+    let ctx = GaCtx {
+        mesh,
+        stages,
+        base: base_plan,
+        overflow,
+        spare,
+        pp_volume,
+        slots: tile_slots(mesh.nx, mesh.ny, tile.w, tile.h),
+    };
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let seed_genome = Genome {
+        placement: base_placement.clone(),
+        extra: vec![0.0; pp],
+        bias: vec![0; pp],
+    };
+    let mut population: Vec<(Genome, f64)> = (0..params.population.max(2))
+        .map(|i| {
+            let mut g = seed_genome.clone();
+            for _ in 0..i {
+                mutate(&ctx, &mut g, &mut rng);
+            }
+            let (_, _, f) = decode(&ctx, &g);
+            (g, f)
+        })
+        .collect();
+    let mut history = Vec::with_capacity(params.steps);
+
+    for _ in 0..params.steps {
+        population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
+        history.push(population[0].1);
+        let pop = population.len();
+        let mut next: Vec<(Genome, f64)> = population[..2.min(pop)].to_vec();
+        while next.len() < pop {
+            // Parent selection: elitist with probability ω, else binary
+            // tournament over the whole population.
+            let pick = |rng: &mut StdRng| -> usize {
+                if rng.gen::<f64>() < params.omega {
+                    rng.gen_range(0..(pop / 4).max(1))
+                } else {
+                    let a = rng.gen_range(0..pop);
+                    let b = rng.gen_range(0..pop);
+                    if population[a].1 <= population[b].1 {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            };
+            let pa = pick(&mut rng);
+            let pb = pick(&mut rng);
+            let mut child = crossover(&population[pa].0, &population[pb].0, &mut rng);
+            mutate(&ctx, &mut child, &mut rng);
+            if rng.gen_bool(0.3) {
+                mutate(&ctx, &mut child, &mut rng);
+            }
+            let (_, _, f) = decode(&ctx, &child);
+            next.push((child, f));
+        }
+        population = next;
+    }
+    population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
+    let best = population.remove(0);
+    let (plan, grants, fitness) = decode(&ctx, &best.0);
+    history.push(fitness);
+    GaResult {
+        placement: best.0.placement,
+        recompute: RecomputePlan {
+            feasible: base_plan.feasible,
+            ..plan
+        },
+        grants,
+        fitness,
+        history,
+    }
+}
+
+/// The recompute-time helper used by fitness decoding; exposed for tests.
+pub fn stage_mb_time(sp: &StageProfile, recompute: Time) -> Time {
+    sp.fwd_compute + sp.bwd_compute + recompute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::serpentine;
+    use crate::stage::build_stage_profiles;
+    use wsc_arch::presets;
+    use wsc_workload::graph::ShardingCtx;
+    use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+    use wsc_workload::training::TrainingJob;
+    use wsc_workload::zoo;
+
+    fn setup() -> (
+        Mesh2D,
+        Vec<StageProfile>,
+        RecomputePlan,
+        Placement,
+        Vec<Bytes>,
+        Vec<Bytes>,
+        f64,
+        Bytes,
+    ) {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama3_70b());
+        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let stages = build_stage_profiles(
+            &wafer,
+            &job,
+            ParallelSpec::model_parallel(4, 8),
+            &ctx,
+            job.microbatches(1),
+        );
+        let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
+        let cap = wafer.dram.capacity;
+        let plan = wsc_pipeline::gcmr::gcmr(&inputs, cap, 12);
+        let rp = plan.as_recompute_plan();
+        let placement = serpentine(wafer.nx, wafer.ny, 8, 2, 2).unwrap();
+        let mut overflow = Vec::new();
+        let mut spare = Vec::new();
+        for (s, i) in inputs.iter().enumerate() {
+            let kept = i.ckpt_per_mb.saturating_sub(rp.saved_per_mb[s]);
+            let local = i.model_p + kept * i.in_flight as u64;
+            overflow.push(local.saturating_sub(cap));
+            spare.push(cap.saturating_sub(local));
+        }
+        let ppv = 1e8;
+        (
+            Mesh2D::new(wafer.nx, wafer.ny),
+            stages,
+            rp,
+            placement,
+            overflow,
+            spare,
+            ppv,
+            cap,
+        )
+    }
+
+    fn run(omega: f64, steps: usize, seed: u64) -> GaResult {
+        let (mesh, stages, plan, placement, overflow, spare, ppv, cap) = setup();
+        refine(
+            &mesh,
+            &stages,
+            &plan,
+            &placement,
+            &overflow,
+            &spare,
+            ppv,
+            cap,
+            &GaParams {
+                population: 12,
+                steps,
+                omega,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn ga_improves_or_matches_seed() {
+        let r = run(0.5, 40, 7);
+        assert!(r.fitness.is_finite());
+        let first = r.history.first().copied().unwrap();
+        let last = r.history.last().copied().unwrap();
+        assert!(last <= first + 1e-12, "history must be non-increasing overall");
+    }
+
+    #[test]
+    fn history_length_matches_steps() {
+        let r = run(0.5, 25, 1);
+        assert_eq!(r.history.len(), 26); // one per step + final
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let a = run(0.5, 20, 3);
+        let b = run(0.5, 20, 3);
+        assert_eq!(a.fitness, b.fitness);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn elitist_converges_faster_early() {
+        // Fig. 24b: ω = 1 converges fastest initially.
+        let greedy = run(1.0, 12, 11);
+        let diverse = run(0.0, 12, 11);
+        let g_early = greedy.history[8];
+        let d_early = diverse.history[8];
+        assert!(
+            g_early <= d_early * 1.2,
+            "greedy early {g_early} vs diverse {d_early}"
+        );
+    }
+
+    #[test]
+    fn refined_plan_remains_feasible() {
+        let r = run(0.5, 30, 5);
+        assert!(r.recompute.feasible);
+        assert_eq!(r.placement.stages.len(), 8);
+        // Extra recomputation can only *add* savings.
+        let (_, _, plan, _, _, _, _, _) = {
+            let s = setup();
+            (0, 0, s.2, 0, 0, 0, 0, 0)
+        };
+        for (a, b) in r.recompute.saved_per_mb.iter().zip(&plan.saved_per_mb) {
+            assert!(a >= b);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # watos — LLM training strategy & wafer-scale architecture co-exploration
+//!
+//! A reproduction of the WATOS framework (HPCA 2026): given a
+//! configurable wafer-scale-chip hardware template and an LLM training
+//! job, WATOS jointly searches parallelism (TP/PP), tensor-partition
+//! strategies, recomputation schedules (GCMR, Alg. 2), checkpoint
+//! placement (Eq. 2), DRAM allocation (Alg. 3), and a GA-refined global
+//! configuration (§IV-D) — and evaluates everything on an operator-level
+//! simulator (§IV-F).
+//!
+//! ```
+//! use watos::scheduler::{explore, SchedulerOptions};
+//! use wsc_arch::presets;
+//! use wsc_workload::{training::TrainingJob, zoo};
+//!
+//! let wafer = presets::config(3);
+//! let job = TrainingJob::standard(zoo::llama2_30b());
+//! let mut opts = SchedulerOptions::default();
+//! opts.ga = None; // quick run
+//! let best = explore(&wafer, &job, &opts).expect("schedulable");
+//! assert!(best.report.feasible);
+//! ```
+
+pub mod dram_alloc;
+pub mod engine;
+pub mod evaluator;
+pub mod ga;
+pub mod multiwafer;
+pub mod placement;
+pub mod robust;
+pub mod scheduler;
+pub mod stage;
+
+pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
+pub use crate::engine::{CoExplorationEngine, ExplorationRecord};
+pub use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
+pub use crate::ga::{GaParams, GaResult};
+pub use crate::multiwafer::{evaluate_multi_wafer, explore_multi_wafer, MultiWaferReport};
+pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect};
+pub use crate::robust::{fault_sweep, FaultKind, FaultPoint};
+pub use crate::scheduler::{
+    evaluate_scheduled, explore, schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions,
+};
+pub use crate::stage::{build_stage_profiles, StageProfile};

@@ -1,0 +1,405 @@
+//! Spatial location-aware resource placement (§IV-C-1, Fig. 11, Eq. 2).
+//!
+//! Pipeline stages are rectangles of `tp` dies tiled onto the wafer mesh.
+//! The traditional serpentine placement keeps consecutive stages adjacent
+//! but puts `Mem_pair` partners far apart; the location-aware strategy
+//! minimizes the Eq. 2 `GlobalCost`:
+//!
+//! ```text
+//! GlobalCost = Σ Dist(Sᵢ, Sᵢ₊₁)·Comm_PP  +  Σ Dist(Sₛ, Sₕ)·Comm_pair·(1 + γ)
+//! ```
+//!
+//! where γ counts routing conflicts between activation-balance paths and
+//! pipeline paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use wsc_mesh::routing::{path_links, xy_path};
+use wsc_mesh::topology::{DirLink, Mesh2D, NodeId};
+
+/// An axis-aligned rectangle of dies assigned to one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left die column.
+    pub x: usize,
+    /// Top die row.
+    pub y: usize,
+    /// Width in dies.
+    pub w: usize,
+    /// Height in dies.
+    pub h: usize,
+}
+
+impl Rect {
+    /// Die-grid center (continuous coordinates).
+    pub fn center(&self) -> (f64, f64) {
+        (
+            self.x as f64 + (self.w as f64 - 1.0) / 2.0,
+            self.y as f64 + (self.h as f64 - 1.0) / 2.0,
+        )
+    }
+
+    /// The die nearest the rectangle center (used as routing anchor).
+    pub fn center_node(&self, mesh: &Mesh2D) -> NodeId {
+        let (cx, cy) = self.center();
+        mesh.node(cx.round() as usize, cy.round() as usize)
+    }
+
+    /// All dies covered by the rectangle.
+    pub fn nodes(&self, mesh: &Mesh2D) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.w * self.h);
+        for yy in self.y..self.y + self.h {
+            for xx in self.x..self.x + self.w {
+                out.push(mesh.node(xx, yy));
+            }
+        }
+        out
+    }
+
+    /// Manhattan distance between rectangle centers (hop estimate).
+    pub fn dist(&self, other: &Rect) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        (ax - bx).abs() + (ay - by).abs()
+    }
+}
+
+/// A full pipeline placement: one rectangle per stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Per-stage die rectangles, indexed by stage.
+    pub stages: Vec<Rect>,
+}
+
+impl Placement {
+    /// Total pipeline-path hops (consecutive-stage distances).
+    pub fn pipeline_hops(&self) -> f64 {
+        self.stages.windows(2).map(|w| w[0].dist(&w[1])).sum()
+    }
+}
+
+/// Enumerate the tile slots a `tile_w × tile_h` stage rectangle can occupy
+/// on an `nx × ny` mesh (non-overlapping grid tiling).
+pub fn tile_slots(nx: usize, ny: usize, tile_w: usize, tile_h: usize) -> Vec<Rect> {
+    let mut slots = Vec::new();
+    let cols = nx / tile_w;
+    let rows = ny / tile_h;
+    for r in 0..rows {
+        for c in 0..cols {
+            slots.push(Rect {
+                x: c * tile_w,
+                y: r * tile_h,
+                w: tile_w,
+                h: tile_h,
+            });
+        }
+    }
+    slots
+}
+
+/// Choose a TP-group tile shape that can host `pp` stages on an
+/// `nx × ny` mesh: among all factorizations of `tp` (both orientations)
+/// with enough slots, prefer the most square (best ring embedding), then
+/// the one wasting fewest dies.
+///
+/// This is how `D(1)T(4)P(14)` fits a 7×8 wafer: 2×2 tiles yield only 12
+/// slots, so the 1×4 tile (7 columns × 2 rows = 14 slots) is selected.
+pub fn choose_tile(nx: usize, ny: usize, tp: usize, pp: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, i64, usize)> = None; // (w, h, squareness, slots)
+    for w in 1..=tp.min(nx) {
+        if tp % w != 0 {
+            continue;
+        }
+        let h = tp / w;
+        if h > ny {
+            continue;
+        }
+        let slots = (nx / w) * (ny / h);
+        if slots < pp {
+            continue;
+        }
+        let sq = (w as i64 - h as i64).abs();
+        let better = match best {
+            None => true,
+            Some((_, _, bsq, bslots)) => sq < bsq || (sq == bsq && slots > bslots),
+        };
+        if better {
+            best = Some((w, h, sq, slots));
+        }
+    }
+    best.map(|(w, h, _, _)| (w, h))
+}
+
+/// The traditional "left-to-right, upper-to-bottom" placement of Fig. 11a
+/// (what the paper calls the naive serpentine arrangement and applies to
+/// MG-wafer): stage `i` goes to slot `i` in row-major order, wrapping at
+/// row ends. Returns `None` when the mesh cannot hold `pp` stage tiles.
+pub fn row_major(nx: usize, ny: usize, pp: usize, tile_w: usize, tile_h: usize) -> Option<Placement> {
+    let slots = tile_slots(nx, ny, tile_w, tile_h);
+    if slots.len() < pp {
+        return None;
+    }
+    Some(Placement {
+        stages: slots.into_iter().take(pp).collect(),
+    })
+}
+
+/// Boustrophedon placement: row-major with alternating row direction, so
+/// consecutive stages stay mesh-adjacent even across row wraps. Used as
+/// the seed for [`optimize`].
+pub fn serpentine(nx: usize, ny: usize, pp: usize, tile_w: usize, tile_h: usize) -> Option<Placement> {
+    let slots = tile_slots(nx, ny, tile_w, tile_h);
+    if slots.len() < pp {
+        return None;
+    }
+    let cols = nx / tile_w;
+    let rows = ny / tile_h;
+    let mut ordered = Vec::with_capacity(slots.len());
+    for r in 0..rows {
+        if r % 2 == 0 {
+            for c in 0..cols {
+                ordered.push(slots[r * cols + c]);
+            }
+        } else {
+            for c in (0..cols).rev() {
+                ordered.push(slots[r * cols + c]);
+            }
+        }
+    }
+    Some(Placement {
+        stages: ordered.into_iter().take(pp).collect(),
+    })
+}
+
+/// A Sender→Helper traffic demand for cost evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairDemand {
+    /// Sender stage index.
+    pub sender: usize,
+    /// Helper stage index.
+    pub helper: usize,
+    /// Relative communication volume (bytes per iteration).
+    pub volume: f64,
+}
+
+/// Build the set of links used by the pipeline paths of a placement.
+fn pipeline_link_set(mesh: &Mesh2D, placement: &Placement) -> HashSet<DirLink> {
+    let mut pipeline_links: HashSet<DirLink> = HashSet::new();
+    for w in placement.stages.windows(2) {
+        let a = w[0].center_node(mesh);
+        let b = w[1].center_node(mesh);
+        for l in path_links(&xy_path(mesh, a, b)) {
+            pipeline_links.insert(l);
+            pipeline_links.insert(l.reversed());
+        }
+    }
+    pipeline_links
+}
+
+fn pair_conflicts(
+    mesh: &Mesh2D,
+    placement: &Placement,
+    pipeline_links: &HashSet<DirLink>,
+    pair: &PairDemand,
+) -> usize {
+    let s = placement.stages[pair.sender].center_node(mesh);
+    let h = placement.stages[pair.helper].center_node(mesh);
+    path_links(&xy_path(mesh, s, h))
+        .into_iter()
+        .filter(|l| pipeline_links.contains(l))
+        .count()
+}
+
+/// Count routing conflicts γ: links shared between the XY routes of
+/// activation-balance paths and pipeline paths.
+pub fn conflict_factor(mesh: &Mesh2D, placement: &Placement, pair: &PairDemand) -> usize {
+    pair_conflicts(mesh, placement, &pipeline_link_set(mesh, placement), pair)
+}
+
+/// The Eq. 2 global communication cost of a placement.
+///
+/// `pp_volume` is the per-iteration inter-stage pipeline traffic (bytes);
+/// pair volumes come from the Mem_pair plan. Conflicted balance paths are
+/// punished by `(1 + γ)`.
+pub fn global_cost(
+    mesh: &Mesh2D,
+    placement: &Placement,
+    pp_volume: f64,
+    pairs: &[PairDemand],
+) -> f64 {
+    let mut cost = 0.0;
+    for w in placement.stages.windows(2) {
+        cost += w[0].dist(&w[1]) * pp_volume;
+    }
+    if pairs.is_empty() {
+        return cost;
+    }
+    let pipeline_links = pipeline_link_set(mesh, placement);
+    for pair in pairs {
+        let gamma = pair_conflicts(mesh, placement, &pipeline_links, pair) as f64;
+        cost += placement.stages[pair.sender].dist(&placement.stages[pair.helper])
+            * pair.volume
+            * (1.0 + gamma);
+    }
+    cost
+}
+
+/// Location-aware placement (§IV-C-1): start from serpentine and
+/// hill-climb over stage↔slot swaps to minimize [`global_cost`], keeping
+/// the pipeline path intact as a first-class cost term.
+pub fn optimize(
+    mesh: &Mesh2D,
+    pp: usize,
+    tile_w: usize,
+    tile_h: usize,
+    pp_volume: f64,
+    pairs: &[PairDemand],
+    seed: u64,
+) -> Option<Placement> {
+    let base = serpentine(mesh.nx, mesh.ny, pp, tile_w, tile_h)?;
+    if pairs.is_empty() {
+        // No balance traffic: the boustrophedon layout already minimizes
+        // the pipeline term (all consecutive stages adjacent).
+        return Some(base);
+    }
+    let slots = tile_slots(mesh.nx, mesh.ny, tile_w, tile_h);
+    let mut best = base;
+    let mut best_cost = global_cost(mesh, &best, pp_volume, pairs);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a1e_77a7);
+    // Swap moves: either two stages exchange slots, or one stage moves to
+    // an unused slot.
+    let iters = 60 + 40 * pp;
+    for _ in 0..iters {
+        let mut cand = best.clone();
+        if slots.len() > pp && rng.gen_bool(0.3) {
+            // Move a stage to a free slot.
+            let used: HashSet<Rect> = cand.stages.iter().copied().collect();
+            let free: Vec<Rect> = slots.iter().copied().filter(|s| !used.contains(s)).collect();
+            if let Some(&slot) = free.get(rng.gen_range(0..free.len().max(1)).min(free.len().saturating_sub(1))) {
+                let idx = rng.gen_range(0..pp);
+                cand.stages[idx] = slot;
+            }
+        } else {
+            let i = rng.gen_range(0..pp);
+            let j = rng.gen_range(0..pp);
+            if i == j {
+                continue;
+            }
+            cand.stages.swap(i, j);
+        }
+        let c = global_cost(mesh, &cand, pp_volume, pairs);
+        if c < best_cost {
+            best_cost = c;
+            best = cand;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig11_pairs() -> Vec<PairDemand> {
+        // Fig. 11: 8-stage pipeline, Mem_pairs (S1,S8) and (S2,S7) — here
+        // 0-indexed as (0,7), (1,6).
+        vec![
+            PairDemand { sender: 0, helper: 7, volume: 1.0 },
+            PairDemand { sender: 1, helper: 6, volume: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn serpentine_tiles_8_stages_on_4x2_slots() {
+        // 8 stages of 2x2 tiles on an 8x4 mesh.
+        let p = serpentine(8, 4, 8, 2, 2).unwrap();
+        assert_eq!(p.stages.len(), 8);
+        // Consecutive stages are adjacent (distance = tile pitch).
+        for w in p.stages.windows(2) {
+            assert!(w[0].dist(&w[1]) <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn serpentine_fails_when_mesh_too_small() {
+        assert!(serpentine(4, 4, 8, 2, 2).is_none());
+    }
+
+    #[test]
+    fn fig11_location_aware_beats_naive_placement() {
+        // The Fig. 11 experiment: with Mem_pairs (S1,S8),(S2,S7), the
+        // location-aware placement cuts balance-path hops and GlobalCost
+        // versus the naive left-to-right upper-to-bottom arrangement.
+        let mesh = Mesh2D::new(8, 4);
+        let pairs = fig11_pairs();
+        let naive = row_major(8, 4, 8, 2, 2).unwrap();
+        let naive_cost = global_cost(&mesh, &naive, 1.0, &pairs);
+        let opt = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 42).unwrap();
+        let opt_cost = global_cost(&mesh, &opt, 1.0, &pairs);
+        assert!(
+            opt_cost < naive_cost,
+            "optimized {opt_cost} should beat naive {naive_cost}"
+        );
+        // Fig. 11 reports ~30% total-hop reduction; require at least 15%.
+        assert!(opt_cost < naive_cost * 0.85, "only {}%", 100.0 * opt_cost / naive_cost);
+    }
+
+    #[test]
+    fn naive_balance_paths_are_long() {
+        // In the Fig. 11a arrangement, S1 and S8 sit far apart (6 hops).
+        let naive = row_major(8, 4, 8, 2, 2).unwrap();
+        let d = naive.stages[0].dist(&naive.stages[7]);
+        assert!(d >= 2.0, "S1-S8 distance {d}");
+    }
+
+    #[test]
+    fn choose_tile_finds_line_for_tp4_pp14() {
+        // D(1)T(4)P(14) on a 7x8 wafer: 2x2 tiles give only 12 slots, so
+        // the 1x4 tile (14 slots) must be selected.
+        assert_eq!(choose_tile(7, 8, 4, 14), Some((1, 4)));
+        // With pp <= 12 the square tile wins.
+        assert_eq!(choose_tile(7, 8, 4, 12), Some((2, 2)));
+        // Impossible demands yield None.
+        assert_eq!(choose_tile(7, 8, 4, 15), None);
+        assert_eq!(choose_tile(7, 8, 64, 1), None);
+    }
+
+    #[test]
+    fn conflict_factor_counts_shared_links() {
+        let mesh = Mesh2D::new(8, 1);
+        // A line of 4 stages of 2x1 tiles: balance path (0 -> 3) must ride
+        // the pipeline path: conflicts are inevitable.
+        let p = serpentine(8, 1, 4, 2, 1).unwrap();
+        let pair = PairDemand { sender: 0, helper: 3, volume: 1.0 };
+        assert!(conflict_factor(&mesh, &p, &pair) > 0);
+    }
+
+    #[test]
+    fn global_cost_punishes_conflicts() {
+        let mesh = Mesh2D::new(8, 1);
+        let p = serpentine(8, 1, 4, 2, 1).unwrap();
+        let pair_conflicted = vec![PairDemand { sender: 0, helper: 3, volume: 1.0 }];
+        let with = global_cost(&mesh, &p, 0.0, &pair_conflicted);
+        let raw_dist = p.stages[0].dist(&p.stages[3]);
+        assert!(with > raw_dist, "conflict punishment must inflate cost");
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect { x: 2, y: 1, w: 2, h: 2 };
+        assert_eq!(r.center(), (2.5, 1.5));
+        let mesh = Mesh2D::new(8, 4);
+        assert_eq!(r.nodes(&mesh).len(), 4);
+    }
+
+    #[test]
+    fn optimize_is_deterministic() {
+        let mesh = Mesh2D::new(8, 4);
+        let pairs = fig11_pairs();
+        let a = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
+        let b = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

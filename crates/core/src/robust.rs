@@ -1,0 +1,128 @@
+//! Robustness and reliability evaluation (§VI-D, Fig. 22).
+//!
+//! WATOS's 3-stage robustness design — fault localization, link-quality-
+//! and core-aware workload scheduling, adaptive rerouting — is implemented
+//! inside the evaluator (`EvalOptions::robust`). This module provides the
+//! Fig. 22 fault-rate sweep harness: inject faults at increasing rates and
+//! compare robust WATOS against the non-robust baseline.
+
+use crate::scheduler::{evaluate_scheduled, ScheduledConfig};
+use serde::{Deserialize, Serialize};
+use wsc_arch::fault::FaultMap;
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::training::TrainingJob;
+
+/// Which fault class a sweep injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// D2D link degradation/failure.
+    Link,
+    /// Compute-die degradation/failure.
+    Die,
+}
+
+/// One point of a fault sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPoint {
+    /// Injected fault rate.
+    pub rate: f64,
+    /// Throughput of robust WATOS, normalized to the fault-free run.
+    pub robust: f64,
+    /// Throughput of the non-robust baseline, normalized likewise.
+    pub baseline: f64,
+}
+
+/// Run the Fig. 22 sweep for one fault kind.
+pub fn fault_sweep(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    cfg: &ScheduledConfig,
+    kind: FaultKind,
+    rates: &[f64],
+    seed: u64,
+) -> Vec<FaultPoint> {
+    let clean = evaluate_scheduled(wafer, job, cfg, None, true);
+    let clean_tp = clean.useful_throughput.as_f64().max(1e-9);
+    rates
+        .iter()
+        .map(|&rate| {
+            let fm = match kind {
+                FaultKind::Link => FaultMap::inject_link_faults(wafer.nx, wafer.ny, rate, seed),
+                FaultKind::Die => FaultMap::inject_die_faults(wafer.nx, wafer.ny, rate, seed),
+            };
+            let robust = evaluate_scheduled(wafer, job, cfg, Some(&fm), true);
+            let baseline = evaluate_scheduled(wafer, job, cfg, Some(&fm), false);
+            FaultPoint {
+                rate,
+                robust: robust.useful_throughput.as_f64() / clean_tp,
+                baseline: baseline.useful_throughput.as_f64() / clean_tp,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{schedule_fixed, SchedulerOptions};
+    use wsc_arch::presets;
+    use wsc_workload::parallel::TpSplitStrategy;
+    use wsc_workload::zoo;
+
+    fn setup() -> (WaferConfig, TrainingJob, ScheduledConfig) {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let opts = SchedulerOptions {
+            ga: None,
+            strategies: vec![TpSplitStrategy::Megatron],
+            ..SchedulerOptions::default()
+        };
+        let cfg = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &opts, None)
+            .expect("schedulable");
+        (wafer, job, cfg)
+    }
+
+    #[test]
+    fn throughput_degrades_with_fault_rate() {
+        let (wafer, job, cfg) = setup();
+        let pts = fault_sweep(&wafer, &job, &cfg, FaultKind::Link, &[0.0, 0.2, 0.5], 9);
+        assert!(pts[0].robust > 0.99, "zero faults ≈ clean");
+        assert!(pts[2].robust < pts[1].robust);
+        assert!(pts[1].robust < pts[0].robust + 1e-9);
+    }
+
+    #[test]
+    fn robust_beats_baseline_at_20pct_links() {
+        // Fig. 22: +18% at a 20% link fault rate (we require a clear win).
+        let (wafer, job, cfg) = setup();
+        let pts = fault_sweep(&wafer, &job, &cfg, FaultKind::Link, &[0.2], 42);
+        assert!(
+            pts[0].robust > pts[0].baseline * 1.05,
+            "robust {} vs baseline {}",
+            pts[0].robust,
+            pts[0].baseline
+        );
+    }
+
+    #[test]
+    fn robust_beats_baseline_at_20pct_dies() {
+        // Fig. 22: +35% at a 20% die fault rate.
+        let (wafer, job, cfg) = setup();
+        let pts = fault_sweep(&wafer, &job, &cfg, FaultKind::Die, &[0.2], 42);
+        assert!(
+            pts[0].robust > pts[0].baseline * 1.1,
+            "robust {} vs baseline {}",
+            pts[0].robust,
+            pts[0].baseline
+        );
+    }
+
+    #[test]
+    fn baseline_collapses_under_heavy_die_faults() {
+        // Fig. 22: rapid degradation of the baseline vs gradual for WATOS.
+        let (wafer, job, cfg) = setup();
+        let pts = fault_sweep(&wafer, &job, &cfg, FaultKind::Die, &[0.45], 7);
+        assert!(pts[0].baseline < 0.5, "baseline {}", pts[0].baseline);
+        assert!(pts[0].robust > pts[0].baseline);
+    }
+}

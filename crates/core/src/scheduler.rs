@@ -1,0 +1,525 @@
+//! The early-pruning central scheduler (Alg. 1) and the downstream
+//! scheduler orchestration of Fig. 9.
+//!
+//! For each feasible (TP, PP) pair and TP partition strategy, the central
+//! scheduler: prunes candidates whose `modelP` cannot fit the aggregate
+//! wafer memory (line 1–2); delegates checkpoint overflow to the GCMR
+//! recomputation scheduler (line 5–6); invokes the memory scheduler
+//! (location-aware placement + Alg. 3 DRAM allocation); optionally refines
+//! with the GA global optimizer; and evaluates the result, keeping the
+//! best configuration (line 7–8).
+
+use crate::dram_alloc::{allocate, DramGrant};
+use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
+use crate::ga::{self, GaParams};
+use crate::placement::{self, PairDemand, Placement};
+use crate::stage::{boundary_bytes, build_stage_profiles};
+use serde::{Deserialize, Serialize};
+use wsc_arch::fault::FaultMap;
+use wsc_arch::units::Bytes;
+use wsc_arch::wafer::WaferConfig;
+use wsc_mesh::collective::{CollectiveAlgo, GroupShape};
+use wsc_mesh::topology::Mesh2D;
+use wsc_pipeline::gcmr::gcmr;
+use wsc_pipeline::recompute::{naive_recompute, RecomputePlan};
+use wsc_workload::graph::ShardingCtx;
+use wsc_workload::memory::model_p_total;
+use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::training::TrainingJob;
+
+/// Which recomputation scheduler to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecomputeMode {
+    /// No recomputation at all (OOM configs are simply infeasible).
+    None,
+    /// Per-stage naive recomputation (Fig. 8a baseline).
+    Naive,
+    /// Globally coordinated memory-efficient recomputation (Alg. 2).
+    Gcmr,
+}
+
+/// Scheduler knobs (the ablation switches of Fig. 18 map directly here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerOptions {
+    /// TP partition strategies to explore (the set `S` of Alg. 1).
+    pub strategies: Vec<TpSplitStrategy>,
+    /// Collective algorithms to consider per TP shape.
+    pub collectives: Vec<CollectiveAlgo>,
+    /// Allow odd TP degrees (expanded search space of Fig. 21).
+    pub allow_odd_tp: bool,
+    /// Recomputation scheduler selection.
+    pub recompute: RecomputeMode,
+    /// Enable the location-aware memory scheduler (§IV-C).
+    pub memory_scheduler: bool,
+    /// GA global-optimizer parameters (None disables the GA).
+    pub ga: Option<GaParams>,
+    /// Link-punishment factor for PP routing.
+    pub punish: f64,
+    /// Explicit TP candidates (None = automatic).
+    pub tp_candidates: Option<Vec<usize>>,
+    /// RNG seed for placement optimization and the GA.
+    pub seed: u64,
+}
+
+/// Default RNG seed for the scheduler's stochastic components.
+pub const DEFAULT_SEED: u64 = 0x0005_eed0_a705;
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
+            collectives: vec![CollectiveAlgo::RingBi],
+            allow_odd_tp: false,
+            recompute: RecomputeMode::Gcmr,
+            memory_scheduler: true,
+            ga: Some(GaParams::default()),
+            punish: 4.0,
+            tp_candidates: None,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// One fully scheduled configuration plus its evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledConfig {
+    /// Parallelism.
+    pub parallel: ParallelSpec,
+    /// TP partition strategy.
+    pub strategy: TpSplitStrategy,
+    /// Chosen collective algorithm.
+    pub collective: CollectiveAlgo,
+    /// Stage placement.
+    pub placement: Placement,
+    /// Recomputation plan.
+    pub recompute: RecomputePlan,
+    /// Sender→Helper DRAM grants.
+    pub grants: Vec<DramGrant>,
+    /// Evaluation report.
+    pub report: PerfReport,
+}
+
+fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
+    if let Some(c) = &opts.tp_candidates {
+        return c.clone();
+    }
+    let dies = wafer.die_count();
+    let mut out = vec![1usize];
+    for tp in 2..=16usize {
+        if tp > dies {
+            break;
+        }
+        let even_ok = tp % 2 == 0 || opts.allow_odd_tp;
+        if !even_ok {
+            continue;
+        }
+        if GroupShape::best_rectangle(tp, wafer.nx, wafer.ny).is_some() {
+            out.push(tp);
+        }
+    }
+    out
+}
+
+fn pick_collective(
+    opts: &SchedulerOptions,
+    shape: GroupShape,
+    volume: Bytes,
+    wafer: &WaferConfig,
+) -> Option<CollectiveAlgo> {
+    let mut best: Option<(CollectiveAlgo, f64)> = None;
+    for &algo in &opts.collectives {
+        if !algo.supports(shape) {
+            continue;
+        }
+        let t = wsc_mesh::collective::all_reduce_time(
+            algo,
+            shape,
+            volume,
+            wafer.d2d_link_bw(),
+            wafer.d2d_link_latency,
+        );
+        if best.as_ref().map_or(true, |(_, bt)| t.as_secs() < *bt) {
+            best = Some((algo, t.as_secs()));
+        }
+    }
+    best.map(|(a, _)| a)
+}
+
+/// Schedule a *fixed* (TP, PP, strategy): run the downstream schedulers
+/// and evaluate. This is the Alg. 1 loop body, also used directly by the
+/// ablation and baseline experiments.
+pub fn schedule_fixed(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    tp: usize,
+    pp: usize,
+    strategy: TpSplitStrategy,
+    opts: &SchedulerOptions,
+    faults: Option<&FaultMap>,
+) -> Option<ScheduledConfig> {
+    if pp == 0 || pp > job.model.layers {
+        return None;
+    }
+    let (tile_w, tile_h) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp)?;
+    let shape = GroupShape::new(tile_w, tile_h);
+    let slots = (wafer.nx / tile_w) * (wafer.ny / tile_h);
+    let dp_max = (job.global_batch / job.micro_batch).max(1);
+    let dp = (slots / pp).clamp(1, dp_max);
+    let parallel = ParallelSpec::new(dp, tp, pp);
+    let n_mb = job.microbatches(dp);
+    let ctx = ShardingCtx::new(job.micro_batch, job.seq, tp, strategy);
+    let cap = wafer.dram.capacity;
+
+    // Alg. 1 line 1–2: early pruning on aggregate modelP.
+    let mp_dies = (tp * pp) as f64;
+    if model_p_total(&job.model).as_f64() / mp_dies > cap.as_f64() {
+        return None;
+    }
+
+    let stages = build_stage_profiles(wafer, job, parallel, &ctx, n_mb);
+    let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
+
+    // Recomputation scheduler.
+    let quanta = (160 / pp).clamp(3, 16);
+    let (plan, mem_pairs) = match opts.recompute {
+        RecomputeMode::None => {
+            let fits = inputs.iter().all(|i| i.full_memory() <= cap);
+            let mut p = RecomputePlan::none(pp);
+            p.feasible = fits;
+            (p, Vec::new())
+        }
+        RecomputeMode::Naive => (naive_recompute(&inputs, cap), Vec::new()),
+        RecomputeMode::Gcmr => {
+            let g = gcmr(&inputs, cap, quanta);
+            let pairs = g.mem_pairs.clone();
+            (g.as_recompute_plan(), pairs)
+        }
+    };
+    if !plan.feasible {
+        return None;
+    }
+
+    // Memory scheduler: placement (+ fine-grained DRAM allocation).
+    let pp_volume = boundary_bytes(job, &ctx).as_f64();
+    let pair_demands: Vec<PairDemand> = mem_pairs
+        .iter()
+        .map(|p| PairDemand {
+            sender: p.sender,
+            helper: p.helper,
+            volume: p.bytes.as_f64(),
+        })
+        .collect();
+    let placement = if opts.memory_scheduler {
+        placement::optimize(
+            &Mesh2D::new(wafer.nx, wafer.ny),
+            pp,
+            shape.w,
+            shape.h,
+            pp_volume,
+            &pair_demands,
+            opts.seed,
+        )?
+    } else {
+        placement::serpentine(wafer.nx, wafer.ny, pp, shape.w, shape.h)?
+    };
+
+    // Fine-grained DRAM allocation (Alg. 3): overflow/spare per stage.
+    let mut overflow = Vec::with_capacity(pp);
+    let mut spare = Vec::with_capacity(pp);
+    for (s, input) in inputs.iter().enumerate() {
+        let kept = input.ckpt_per_mb.saturating_sub(plan.saved_per_mb[s]);
+        let local = input.model_p + kept * input.in_flight as u64;
+        overflow.push(local.saturating_sub(cap));
+        spare.push(cap.saturating_sub(local));
+    }
+    let grants: Vec<DramGrant> = if opts.memory_scheduler {
+        let alloc = allocate(&placement, &overflow, &spare);
+        if !alloc.complete() {
+            return None;
+        }
+        alloc.grants
+    } else {
+        // Naive pairing from GCMR (distance-unaware).
+        mem_pairs
+            .iter()
+            .map(|p| DramGrant {
+                sender: p.sender,
+                helper: p.helper,
+                bytes: p.bytes,
+                hops: placement.stages[p.sender].dist(&placement.stages[p.helper]),
+            })
+            .collect()
+    };
+
+    // Collective selection for this shape.
+    let typical_volume = stages
+        .first()
+        .map(|s| s.fwd_comm_bytes / s.fwd_collectives.max(1) as u64)
+        .unwrap_or(Bytes::ZERO);
+    let collective = pick_collective(opts, shape, typical_volume, wafer)?;
+
+    let options = EvalOptions {
+        collective,
+        punish: opts.punish,
+        robust: true,
+    };
+    let eval_with = |placement: &Placement, plan: &RecomputePlan, grants: &[DramGrant]| {
+        evaluate(&EvalInput {
+            wafer,
+            job,
+            parallel,
+            ctx,
+            stages: &stages,
+            recompute: plan,
+            placement,
+            grants,
+            faults,
+            options: options.clone(),
+        })
+    };
+    let base_report = eval_with(&placement, &plan, &grants);
+
+    // Optional GA refinement of placement + recomputation + pairing;
+    // kept only when the full evaluation confirms the improvement.
+    let (placement, plan, grants, report) = if let Some(params) = &opts.ga {
+        let refined = ga::refine(
+            &Mesh2D::new(wafer.nx, wafer.ny),
+            &stages,
+            &plan,
+            &placement,
+            &overflow,
+            &spare,
+            pp_volume,
+            cap,
+            params,
+        );
+        let refined_report = eval_with(&refined.placement, &refined.recompute, &refined.grants);
+        if refined_report.feasible
+            && refined_report.iteration.as_secs() < base_report.iteration.as_secs()
+        {
+            (
+                refined.placement,
+                refined.recompute,
+                refined.grants,
+                refined_report,
+            )
+        } else {
+            (placement, plan, grants, base_report)
+        }
+    } else {
+        (placement, plan, grants, base_report)
+    };
+    if !report.feasible {
+        return None;
+    }
+    Some(ScheduledConfig {
+        parallel,
+        strategy,
+        collective,
+        placement,
+        recompute: plan,
+        grants,
+        report,
+    })
+}
+
+/// The full Alg. 1 exploration: iterate TP, PP and strategies, keep the
+/// configuration with the shortest iteration time.
+pub fn explore(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    opts: &SchedulerOptions,
+) -> Option<ScheduledConfig> {
+    // Alg. 1 line 1–2 at the wafer level.
+    let dies = wafer.die_count();
+    if model_p_total(&job.model).as_f64() / dies as f64 > wafer.dram.capacity.as_f64() {
+        return None;
+    }
+    let mut best: Option<ScheduledConfig> = None;
+    for tp in tp_candidates(wafer, opts) {
+        let max_pp = (dies / tp).min(job.model.layers);
+        for pp in 1..=max_pp {
+            // Skip configurations that strand more than half the wafer.
+            let Some((tw, th)) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp) else {
+                continue;
+            };
+            let slots = (wafer.nx / tw) * (wafer.ny / th);
+            if tp * pp * ((slots / pp).max(1)).min(job.global_batch / job.micro_batch)
+                < dies / 2
+            {
+                continue;
+            }
+            for &strategy in &opts.strategies {
+                // Run the cheap loop body without the GA; GA refines the
+                // winner at the end.
+                let mut inner = opts.clone();
+                inner.ga = None;
+                if let Some(cfg) = schedule_fixed(wafer, job, tp, pp, strategy, &inner, None) {
+                    let better = best.as_ref().map_or(true, |b| {
+                        cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
+                    });
+                    if better {
+                        best = Some(cfg);
+                    }
+                }
+            }
+        }
+    }
+    // GA refinement of the winner.
+    if let (Some(b), Some(_)) = (&best, &opts.ga) {
+        if let Some(refined) = schedule_fixed(
+            wafer,
+            job,
+            b.parallel.tp,
+            b.parallel.pp,
+            b.strategy,
+            opts,
+            None,
+        ) {
+            if refined.report.iteration.as_secs() <= b.report.iteration.as_secs() {
+                best = Some(refined);
+            }
+        }
+    }
+    best
+}
+
+/// Re-evaluate a scheduled configuration under faults (Fig. 22) or with a
+/// different robustness policy.
+pub fn evaluate_scheduled(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    cfg: &ScheduledConfig,
+    faults: Option<&FaultMap>,
+    robust: bool,
+) -> PerfReport {
+    let ctx = ShardingCtx::new(job.micro_batch, job.seq, cfg.parallel.tp, cfg.strategy);
+    let n_mb = job.microbatches(cfg.parallel.dp);
+    let stages = build_stage_profiles(wafer, job, cfg.parallel, &ctx, n_mb);
+    evaluate(&EvalInput {
+        wafer,
+        job,
+        parallel: cfg.parallel,
+        ctx,
+        stages: &stages,
+        recompute: &cfg.recompute,
+        placement: &cfg.placement,
+        grants: &cfg.grants,
+        faults,
+        options: EvalOptions {
+            collective: cfg.collective,
+            punish: 4.0,
+            robust,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_workload::zoo;
+
+    fn quick_opts() -> SchedulerOptions {
+        SchedulerOptions {
+            ga: None,
+            strategies: vec![TpSplitStrategy::Megatron],
+            ..SchedulerOptions::default()
+        }
+    }
+
+    #[test]
+    fn schedule_fixed_produces_feasible_config() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let cfg = schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            14,
+            TpSplitStrategy::Megatron,
+            &quick_opts(),
+            None,
+        )
+        .expect("schedulable");
+        assert!(cfg.report.feasible);
+        assert_eq!(cfg.parallel.tp, 4);
+        assert_eq!(cfg.parallel.pp, 14);
+        assert_eq!(cfg.placement.stages.len(), 14);
+    }
+
+    #[test]
+    fn early_pruning_rejects_oversized_models() {
+        // DeepSeek-671B modelP = 671e9 x 16 B ≈ 10.7 TB > Config 3's
+        // 3.92 TB wafer: every candidate must be pruned.
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::deepseek_v3());
+        assert!(explore(&wafer, &job, &quick_opts()).is_none());
+    }
+
+    #[test]
+    fn explore_finds_small_tp() {
+        // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let best = explore(&wafer, &job, &quick_opts()).expect("feasible");
+        assert!(
+            best.parallel.tp <= 4,
+            "expected small TP, got {}",
+            best.parallel
+        );
+        assert!(best.report.feasible);
+    }
+
+    #[test]
+    fn infeasible_pp_returns_none() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        // 61 stages on 56 dies with TP=4: no.
+        assert!(schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            61,
+            TpSplitStrategy::Megatron,
+            &quick_opts(),
+            None
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn memory_scheduler_never_hurts() {
+        let wafer = presets::config(2); // tighter memory than config 3
+        let job = TrainingJob::standard(zoo::llama3_70b());
+        let mut with = quick_opts();
+        with.memory_scheduler = true;
+        let mut without = quick_opts();
+        without.memory_scheduler = false;
+        let a = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &with, None);
+        let b = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &without, None);
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!(a.report.iteration.as_secs() <= b.report.iteration.as_secs() * 1.05);
+        }
+    }
+
+    #[test]
+    fn gcmr_mode_beats_naive_mode() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama3_70b());
+        let mut gcmr_opts = quick_opts();
+        gcmr_opts.recompute = RecomputeMode::Gcmr;
+        let mut naive_opts = quick_opts();
+        naive_opts.recompute = RecomputeMode::Naive;
+        let g = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &gcmr_opts, None)
+            .expect("gcmr feasible");
+        let n = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &naive_opts, None)
+            .expect("naive feasible");
+        assert!(
+            g.report.iteration.as_secs() <= n.report.iteration.as_secs() * 1.001,
+            "gcmr {} vs naive {}",
+            g.report.iteration,
+            n.report.iteration
+        );
+    }
+}

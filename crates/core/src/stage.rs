@@ -1,0 +1,248 @@
+//! Per-pipeline-stage profiles: the bridge between the workload graph,
+//! the die-level simulator, and the schedulers.
+//!
+//! A [`StageProfile`] aggregates, for the layers one stage hosts: compute
+//! times, TP-collective volumes, checkpoint footprints, `modelP`, and the
+//! recomputation menu — everything Alg. 1/2/3 and the evaluator need.
+
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::{Bandwidth, Bytes, Flops, Time};
+use wsc_arch::wafer::WaferConfig;
+use wsc_pipeline::recompute::StageRecomputeInput;
+use wsc_sim::op_cost::DieModel;
+use wsc_sim::profile::{profile_layer, LayerProfile, RecomputeMenu};
+use wsc_workload::graph::{self, ShardingCtx};
+use wsc_workload::memory;
+use wsc_workload::parallel::ParallelSpec;
+use wsc_workload::training::TrainingJob;
+
+/// Aggregated profile of one pipeline stage (per die, per micro-batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage index.
+    pub stage: usize,
+    /// Layers hosted.
+    pub layers: usize,
+    /// Forward compute time per micro-batch (no collectives).
+    pub fwd_compute: Time,
+    /// Backward compute time per micro-batch (no collectives/recompute).
+    pub bwd_compute: Time,
+    /// Forward TP-collective volume per micro-batch.
+    pub fwd_comm_bytes: Bytes,
+    /// Backward TP-collective volume per micro-batch.
+    pub bwd_comm_bytes: Bytes,
+    /// Number of forward collectives per micro-batch (α terms).
+    pub fwd_collectives: usize,
+    /// Number of backward collectives per micro-batch.
+    pub bwd_collectives: usize,
+    /// Full checkpoint bytes per micro-batch.
+    pub ckpt_per_mb: Bytes,
+    /// Mandatory training state per die.
+    pub model_p: Bytes,
+    /// In-flight micro-batches under 1F1B.
+    pub in_flight: usize,
+    /// Forward FLOPs per micro-batch per die (useful work accounting).
+    pub fwd_flops: Flops,
+    /// Backward FLOPs per micro-batch per die.
+    pub bwd_flops: Flops,
+    /// Recomputation menu of this stage.
+    pub menu: RecomputeMenu,
+}
+
+impl StageProfile {
+    /// View as the recomputation scheduler's input.
+    pub fn as_recompute_input(&self) -> StageRecomputeInput {
+        StageRecomputeInput {
+            menu: self.menu.clone(),
+            model_p: self.model_p,
+            ckpt_per_mb: self.ckpt_per_mb,
+            in_flight: self.in_flight,
+            base_mb_time: self.fwd_compute + self.bwd_compute,
+        }
+    }
+
+    /// Peak memory without recomputation or balancing.
+    pub fn full_memory(&self) -> Bytes {
+        self.model_p + self.ckpt_per_mb * self.in_flight as u64
+    }
+}
+
+/// Build the per-stage profiles for a parallel configuration.
+///
+/// Layer profiles are cached per distinct layer kind (dense vs MoE), so
+/// the cost is O(distinct kinds) simulator calls plus O(layers)
+/// arithmetic.
+pub fn build_stage_profiles(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    parallel: ParallelSpec,
+    ctx: &ShardingCtx,
+    microbatches: usize,
+) -> Vec<StageProfile> {
+    let dm = DieModel::new(wafer.die.clone(), wafer.dram.bandwidth);
+    let model = &job.model;
+    let pp = parallel.pp;
+
+    // Two possible layer kinds: dense and MoE. Profile each kind once.
+    let first_dense = (0..model.layers).find(|&l| !graph::is_moe_layer(model, l));
+    let first_moe = (0..model.layers).find(|&l| graph::is_moe_layer(model, l));
+    let dense_profile: Option<LayerProfile> =
+        first_dense.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx)));
+    let moe_profile: Option<LayerProfile> =
+        first_moe.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx)));
+    let profile_of = |layer_idx: usize| -> &LayerProfile {
+        if graph::is_moe_layer(model, layer_idx) {
+            moe_profile.as_ref().expect("moe profile cached")
+        } else {
+            dense_profile.as_ref().expect("dense profile cached")
+        }
+    };
+
+    (0..pp)
+        .map(|s| {
+            let (lo, hi) = memory::stage_layer_range(model.layers, pp, s);
+            let mut fwd_compute = Time::ZERO;
+            let mut bwd_compute = Time::ZERO;
+            let mut fwd_comm = Bytes::ZERO;
+            let mut bwd_comm = Bytes::ZERO;
+            let mut fwd_coll = 0usize;
+            let mut bwd_coll = 0usize;
+            let mut ckpt = Bytes::ZERO;
+            let mut fwd_flops = Flops::ZERO;
+            let mut bwd_flops = Flops::ZERO;
+            let mut menus = Vec::new();
+            // Group identical consecutive layers for menu construction.
+            let mut dense_count = 0usize;
+            let mut moe_count = 0usize;
+            for l in lo..hi {
+                let p = profile_of(l);
+                fwd_compute += p.fwd_time();
+                bwd_compute += p.bwd_time();
+                fwd_comm += p.fwd_comm();
+                bwd_comm += p.bwd_comm();
+                fwd_coll += p.ops.iter().filter(|o| o.fwd_comm > Bytes::ZERO).count();
+                bwd_coll += p.ops.iter().filter(|o| o.bwd_comm > Bytes::ZERO).count();
+                ckpt += p.full_ckpt_bytes();
+                if graph::is_moe_layer(model, l) {
+                    moe_count += 1;
+                } else {
+                    dense_count += 1;
+                }
+            }
+            // FLOPs from the op graph directly (profiles carry times only).
+            for l in lo..hi {
+                let s = graph::summarize(&graph::layer_ops_at(model, l, ctx));
+                fwd_flops += s.fwd_flops;
+                bwd_flops += s.bwd_flops;
+            }
+            if dense_count > 0 {
+                menus.push(RecomputeMenu::from_layer_profile(
+                    dense_profile.as_ref().expect("dense profile cached"),
+                    dense_count,
+                ));
+            }
+            if moe_count > 0 {
+                menus.push(RecomputeMenu::from_layer_profile(
+                    moe_profile.as_ref().expect("moe profile cached"),
+                    moe_count,
+                ));
+            }
+            StageProfile {
+                stage: s,
+                layers: hi - lo,
+                fwd_compute,
+                bwd_compute,
+                fwd_comm_bytes: fwd_comm,
+                bwd_comm_bytes: bwd_comm,
+                fwd_collectives: fwd_coll,
+                bwd_collectives: bwd_coll,
+                ckpt_per_mb: ckpt,
+                model_p: memory::model_p_per_die(model, ctx.tp, pp, s),
+                in_flight: (pp - s).min(microbatches.max(1)),
+                fwd_flops,
+                bwd_flops,
+                menu: RecomputeMenu::merged(menus),
+            }
+        })
+        .collect()
+}
+
+/// The inter-stage boundary tensor per micro-batch (what PP transfers).
+pub fn boundary_bytes(job: &TrainingJob, ctx: &ShardingCtx) -> Bytes {
+    graph::layer_input_bytes(&job.model, ctx)
+}
+
+/// The DRAM bandwidth available per die (helper for callers).
+pub fn die_dram_bw(wafer: &WaferConfig) -> Bandwidth {
+    wafer.dram.bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_workload::parallel::TpSplitStrategy;
+    use wsc_workload::zoo;
+
+    fn setup(pp: usize) -> Vec<StageProfile> {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        build_stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, pp), &ctx, 16)
+    }
+
+    #[test]
+    fn stage_layers_cover_model() {
+        let stages = setup(8);
+        let total: usize = stages.iter().map(|s| s.layers).sum();
+        assert_eq!(total, zoo::llama2_30b().layers);
+    }
+
+    #[test]
+    fn in_flight_decreases_along_pipeline() {
+        let stages = setup(8);
+        assert_eq!(stages[0].in_flight, 8);
+        assert_eq!(stages[7].in_flight, 1);
+    }
+
+    #[test]
+    fn early_stage_memory_skew() {
+        let stages = setup(8);
+        assert!(stages[0].full_memory() > stages[7].full_memory());
+    }
+
+    #[test]
+    fn compute_times_are_positive_and_layer_proportional() {
+        let stages = setup(4);
+        for s in &stages {
+            assert!(s.fwd_compute.as_secs() > 0.0);
+            assert!(s.bwd_compute > s.fwd_compute);
+        }
+        // 60 layers over 4 stages = 15 each; times should be equal.
+        assert!(
+            (stages[0].fwd_compute.as_secs() - stages[3].fwd_compute.as_secs()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn moe_stages_have_shuffle_volume() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::gshard_137b());
+        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let stages =
+            build_stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, 4), &ctx, 8);
+        for s in &stages {
+            assert!(s.fwd_comm_bytes > Bytes::ZERO);
+            assert!(!s.menu.items().is_empty());
+        }
+    }
+
+    #[test]
+    fn boundary_is_token_times_hidden() {
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let ctx = ShardingCtx::new(4, 4096, 4, TpSplitStrategy::Megatron);
+        let b = boundary_bytes(&job, &ctx);
+        assert_eq!(b.as_u64(), (4 * 4096 * 6656 * 2) as u64);
+    }
+}

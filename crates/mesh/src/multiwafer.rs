@@ -1,0 +1,84 @@
+//! Multi-wafer fabric (§VI-F, Fig. 24a): several wafers joined by
+//! wafer-to-wafer (W2W) links in a chain.
+
+use crate::topology::Mesh2D;
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::{Bandwidth, Bytes, Time};
+
+/// A chain of wafers with W2W links between neighbours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWaferFabric {
+    /// Number of wafers.
+    pub wafers: usize,
+    /// Mesh on each wafer.
+    pub wafer_mesh: Mesh2D,
+    /// Bandwidth of one W2W link.
+    pub w2w_bw: Bandwidth,
+    /// W2W link latency.
+    pub w2w_latency: Time,
+}
+
+impl MultiWaferFabric {
+    /// Total dies across the node.
+    pub fn total_dies(&self) -> usize {
+        self.wafers * self.wafer_mesh.len()
+    }
+
+    /// Number of W2W crossings between wafer `a` and wafer `b`.
+    pub fn w2w_hops(&self, a: usize, b: usize) -> usize {
+        a.abs_diff(b)
+    }
+
+    /// Time to move `bytes` between adjacent wafers.
+    pub fn w2w_transfer(&self, bytes: Bytes) -> Time {
+        self.w2w_latency + bytes / self.w2w_bw
+    }
+
+    /// Time to move `bytes` across `hops` W2W crossings (store-and-forward
+    /// per crossing is avoided by pipelining: latency per hop, bandwidth
+    /// once).
+    pub fn cross_wafer_time(&self, bytes: Bytes, hops: usize) -> Time {
+        if hops == 0 {
+            return Time::ZERO;
+        }
+        self.w2w_latency.scale(hops as f64) + bytes / self.w2w_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(bw_tbps: f64) -> MultiWaferFabric {
+        MultiWaferFabric {
+            wafers: 4,
+            wafer_mesh: Mesh2D::new(7, 8),
+            w2w_bw: Bandwidth::tb_per_s(bw_tbps),
+            w2w_latency: Time::from_nanos(400.0),
+        }
+    }
+
+    #[test]
+    fn four_config3_wafers_hold_224_dies() {
+        assert_eq!(fabric(1.8).total_dies(), 224);
+    }
+
+    #[test]
+    fn hops_are_chain_distance() {
+        let f = fabric(1.8);
+        assert_eq!(f.w2w_hops(0, 3), 3);
+        assert_eq!(f.w2w_hops(2, 2), 0);
+    }
+
+    #[test]
+    fn lower_w2w_bandwidth_slows_transfers() {
+        let fast = fabric(1.8).w2w_transfer(Bytes::gib(1));
+        let slow = fabric(0.4).w2w_transfer(Bytes::gib(1));
+        assert!(slow.as_secs() > fast.as_secs() * 4.0);
+    }
+
+    #[test]
+    fn zero_hop_cross_wafer_is_free() {
+        assert_eq!(fabric(1.8).cross_wafer_time(Bytes::gib(1), 0), Time::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! Routing on the 2D mesh: deterministic XY routes, exhaustive shortest
+//! (monotone) path enumeration, and fault/load-aware adaptive routing.
+
+use crate::topology::{DirLink, Mesh2D, NodeId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Deterministic dimension-ordered (X-then-Y) route from `a` to `b`,
+/// inclusive of both endpoints.
+pub fn xy_path(mesh: &Mesh2D, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    let (ax, ay) = mesh.pos(a);
+    let (bx, by) = mesh.pos(b);
+    let mut path = vec![a];
+    let (mut x, mut y) = (ax, ay);
+    while x != bx {
+        x = if bx > x { x + 1 } else { x - 1 };
+        path.push(mesh.node(x, y));
+    }
+    while y != by {
+        y = if by > y { y + 1 } else { y - 1 };
+        path.push(mesh.node(x, y));
+    }
+    path
+}
+
+/// Enumerate shortest (monotone staircase) paths between `a` and `b`,
+/// capped at `cap` paths to bound work on long routes.
+pub fn shortest_paths(mesh: &Mesh2D, a: NodeId, b: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let (bx, by) = mesh.pos(b);
+    let mut stack = vec![vec![a]];
+    while let Some(path) = stack.pop() {
+        if out.len() >= cap {
+            break;
+        }
+        let last = *path.last().expect("path is never empty");
+        if last == b {
+            out.push(path);
+            continue;
+        }
+        let (x, y) = mesh.pos(last);
+        // Move in +/-x toward target.
+        if x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            let mut p = path.clone();
+            p.push(mesh.node(nx, y));
+            stack.push(p);
+        }
+        if y != by {
+            let nyy = if by > y { y + 1 } else { y - 1 };
+            let mut p = path;
+            p.push(mesh.node(x, nyy));
+            stack.push(p);
+        }
+    }
+    out
+}
+
+/// The directed links a node path traverses.
+pub fn path_links(path: &[NodeId]) -> Vec<DirLink> {
+    path.windows(2).map(|w| DirLink::new(w[0], w[1])).collect()
+}
+
+/// Dijkstra route minimizing a per-link cost; returns `None` when `b` is
+/// unreachable (all routes cross zero-quality links).
+///
+/// `link_cost` returns `f64::INFINITY` for unusable links. Used by the
+/// adaptive-rerouting robustness layer (§VI-D).
+pub fn adaptive_route<F>(mesh: &Mesh2D, a: NodeId, b: NodeId, link_cost: F) -> Option<Vec<NodeId>>
+where
+    F: Fn(DirLink) -> f64,
+{
+    #[derive(PartialEq)]
+    struct Entry(f64, NodeId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap on cost.
+            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(a, 0.0);
+    heap.push(Entry(0.0, a));
+    while let Some(Entry(d, n)) = heap.pop() {
+        if n == b {
+            break;
+        }
+        if d > *dist.get(&n).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for m in mesh.neighbors(n) {
+            let c = link_cost(DirLink::new(n, m));
+            if !c.is_finite() {
+                continue;
+            }
+            let nd = d + c;
+            if nd < *dist.get(&m).unwrap_or(&f64::INFINITY) {
+                dist.insert(m, nd);
+                prev.insert(m, n);
+                heap.push(Entry(nd, m));
+            }
+        }
+    }
+    if a == b {
+        return Some(vec![a]);
+    }
+    if !dist.contains_key(&b) {
+        return None;
+    }
+    let mut path = vec![b];
+    let mut cur = b;
+    while cur != a {
+        cur = prev[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_path_goes_x_first() {
+        let m = Mesh2D::new(8, 8);
+        let p = xy_path(&m, m.node(0, 0), m.node(2, 2));
+        assert_eq!(
+            p,
+            vec![m.node(0, 0), m.node(1, 0), m.node(2, 0), m.node(2, 1), m.node(2, 2)]
+        );
+    }
+
+    #[test]
+    fn xy_path_handles_negative_directions() {
+        let m = Mesh2D::new(8, 8);
+        let p = xy_path(&m, m.node(3, 3), m.node(1, 1));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], m.node(3, 3));
+        assert_eq!(p[4], m.node(1, 1));
+    }
+
+    #[test]
+    fn shortest_paths_count_is_binomial() {
+        let m = Mesh2D::new(8, 8);
+        // 2 right + 2 down: C(4,2) = 6 monotone paths.
+        let ps = shortest_paths(&m, m.node(0, 0), m.node(2, 2), 100);
+        assert_eq!(ps.len(), 6);
+        for p in &ps {
+            assert_eq!(p.len(), 5);
+        }
+    }
+
+    #[test]
+    fn shortest_paths_respects_cap() {
+        let m = Mesh2D::new(8, 8);
+        let ps = shortest_paths(&m, m.node(0, 0), m.node(5, 5), 7);
+        assert_eq!(ps.len(), 7);
+    }
+
+    #[test]
+    fn path_links_window() {
+        let m = Mesh2D::new(4, 4);
+        let p = xy_path(&m, m.node(0, 0), m.node(1, 1));
+        let links = path_links(&p);
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0], DirLink::new(m.node(0, 0), m.node(1, 0)));
+    }
+
+    #[test]
+    fn adaptive_route_avoids_broken_link() {
+        let m = Mesh2D::new(3, 1);
+        let broken = DirLink::new(m.node(1, 0), m.node(2, 0));
+        // Only route is through the broken link: unreachable.
+        let r = adaptive_route(&m, m.node(0, 0), m.node(2, 0), |l| {
+            if l == broken {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        });
+        assert!(r.is_none());
+
+        // On a 2D mesh a detour exists.
+        let m = Mesh2D::new(3, 2);
+        let r = adaptive_route(&m, m.node(0, 0), m.node(2, 0), |l| {
+            if l == broken {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        })
+        .expect("detour must exist");
+        assert_eq!(*r.first().unwrap(), m.node(0, 0));
+        assert_eq!(*r.last().unwrap(), m.node(2, 0));
+        assert!(!path_links(&r).contains(&broken));
+    }
+
+    #[test]
+    fn adaptive_route_trivial_self() {
+        let m = Mesh2D::new(2, 2);
+        let r = adaptive_route(&m, m.node(0, 0), m.node(0, 0), |_| 1.0).unwrap();
+        assert_eq!(r, vec![m.node(0, 0)]);
+    }
+
+    #[test]
+    fn adaptive_route_prefers_cheap_links() {
+        let m = Mesh2D::new(2, 2);
+        // Make the direct X link expensive; route should go around.
+        let costly = DirLink::new(m.node(0, 0), m.node(1, 0));
+        let r = adaptive_route(&m, m.node(0, 0), m.node(1, 0), |l| {
+            if l == costly {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert_eq!(r.len(), 4, "expected 3-hop detour, got {r:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the mesh fabric: routing and collective-cost
+//! invariants that must hold for *any* topology size or transfer volume.
+
+use proptest::prelude::*;
+use wsc_arch::units::{Bandwidth, Bytes, Time};
+use wsc_mesh::collective::{all_reduce_time, ring_link_utilization, CollectiveAlgo, GroupShape};
+use wsc_mesh::routing::{path_links, shortest_paths, xy_path};
+use wsc_mesh::topology::Mesh2D;
+
+proptest! {
+    #[test]
+    fn xy_path_length_is_manhattan_plus_one(
+        nx in 1usize..12, ny in 1usize..12,
+        ax in 0usize..12, ay in 0usize..12,
+        bx in 0usize..12, by in 0usize..12,
+    ) {
+        let mesh = Mesh2D::new(nx, ny);
+        let a = mesh.node(ax % nx, ay % ny);
+        let b = mesh.node(bx % nx, by % ny);
+        let p = xy_path(&mesh, a, b);
+        prop_assert_eq!(p.len(), mesh.manhattan(a, b) + 1);
+        prop_assert_eq!(p[0], a);
+        prop_assert_eq!(*p.last().unwrap(), b);
+        // Every step is between mesh-adjacent dies.
+        for l in path_links(&p) {
+            prop_assert!(mesh.adjacent(l.from, l.to));
+        }
+    }
+
+    #[test]
+    fn all_shortest_paths_have_equal_length(
+        nx in 2usize..9, ny in 2usize..9,
+        ax in 0usize..9, ay in 0usize..9,
+        bx in 0usize..9, by in 0usize..9,
+    ) {
+        let mesh = Mesh2D::new(nx, ny);
+        let a = mesh.node(ax % nx, ay % ny);
+        let b = mesh.node(bx % nx, by % ny);
+        let expected = mesh.manhattan(a, b) + 1;
+        for p in shortest_paths(&mesh, a, b, 12) {
+            prop_assert_eq!(p.len(), expected);
+        }
+    }
+
+    #[test]
+    fn all_reduce_time_is_monotone_in_volume(
+        w in 1usize..5, h in 1usize..5,
+        mb1 in 1u64..4096, mb2 in 1u64..4096,
+    ) {
+        let shape = GroupShape::new(w, h);
+        let (small, big) = if mb1 <= mb2 { (mb1, mb2) } else { (mb2, mb1) };
+        let bw = Bandwidth::tb_per_s(1.0);
+        let alpha = Time::from_nanos(50.0);
+        for algo in [CollectiveAlgo::RingBi, CollectiveAlgo::Tacos, CollectiveAlgo::Multitree] {
+            let t_small = all_reduce_time(algo, shape, Bytes::mib(small), bw, alpha);
+            let t_big = all_reduce_time(algo, shape, Bytes::mib(big), bw, alpha);
+            prop_assert!(t_small.as_secs() <= t_big.as_secs() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn all_reduce_time_decreases_with_bandwidth(
+        w in 1usize..5, h in 1usize..5, mb in 1u64..2048,
+    ) {
+        let shape = GroupShape::new(w, h);
+        let alpha = Time::from_nanos(50.0);
+        let slow = all_reduce_time(CollectiveAlgo::RingBi, shape, Bytes::mib(mb), Bandwidth::tb_per_s(1.0), alpha);
+        let fast = all_reduce_time(CollectiveAlgo::RingBi, shape, Bytes::mib(mb), Bandwidth::tb_per_s(2.0), alpha);
+        prop_assert!(fast.as_secs() <= slow.as_secs() + 1e-15);
+    }
+
+    #[test]
+    fn ring_utilization_is_a_fraction(w in 1usize..8, h in 1usize..8) {
+        let u = ring_link_utilization(GroupShape::new(w, h), true);
+        prop_assert!((0.0..=1.0).contains(&u));
+        let u_uni = ring_link_utilization(GroupShape::new(w, h), false);
+        prop_assert!(u_uni <= u + 1e-12, "bidirectional uses at least as many links");
+    }
+
+    #[test]
+    fn supported_algorithms_give_finite_times(n in 2usize..17) {
+        let shape = GroupShape::best_rectangle(n, 8, 8)
+            .unwrap_or(GroupShape::new(n.min(8), 1));
+        for algo in [
+            CollectiveAlgo::RingUni,
+            CollectiveAlgo::RingBi,
+            CollectiveAlgo::RingBiOdd,
+            CollectiveAlgo::Tacos,
+            CollectiveAlgo::TwoDimensional,
+            CollectiveAlgo::Multitree,
+        ] {
+            if algo.supports(shape) {
+                let t = all_reduce_time(
+                    algo,
+                    shape,
+                    Bytes::mib(64),
+                    Bandwidth::tb_per_s(1.0),
+                    Time::from_nanos(50.0),
+                );
+                prop_assert!(t.is_finite() && t.as_secs() > 0.0, "{algo:?} on {shape:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The 1F1B pipeline schedule (Fig. 8a) and its timing model.
+//!
+//! For `p` stages and `n` micro-batches, stage `s` (0-based) runs
+//! `w = p − 1 − s` warm-up forwards, then alternates forward/backward in
+//! the steady phase, then drains `w` backwards. Timing is resolved by
+//! fix-point relaxation over the task dependency DAG, so heterogeneous
+//! per-stage times (recomputation! imbalanced layers!) are handled
+//! exactly — this is what exposes the "imbalance bubble" of Fig. 8.
+
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::Time;
+
+/// Per-micro-batch execution times of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Forward pass (compute + TP collectives).
+    pub fwd: Time,
+    /// Backward pass (compute + TP collectives + recomputation).
+    pub bwd: Time,
+    /// Inter-stage activation/gradient transfer to the next stage.
+    pub p2p: Time,
+}
+
+impl StageTiming {
+    /// Steady-state time per micro-batch.
+    pub fn per_microbatch(&self) -> Time {
+        self.fwd + self.bwd
+    }
+}
+
+/// Result of simulating one 1F1B iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTiming {
+    /// End-to-end iteration latency (last backward completes).
+    pub iteration: Time,
+    /// Per-stage busy time (compute only).
+    pub stage_busy: Vec<Time>,
+    /// Per-stage bubble (idle) time.
+    pub stage_bubble: Vec<Time>,
+}
+
+impl PipelineTiming {
+    /// Mean pipeline-bubble fraction across stages.
+    pub fn bubble_fraction(&self) -> f64 {
+        if self.iteration.as_secs() <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.stage_bubble.iter().map(|t| t.as_secs()).sum();
+        total / (self.iteration.as_secs() * self.stage_bubble.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    Fwd(usize),
+    Bwd(usize),
+}
+
+/// The 1F1B task order of stage `s` out of `p` with `n` micro-batches.
+fn stage_order(s: usize, p: usize, n: usize) -> Vec<Task> {
+    let w = (p - 1 - s).min(n);
+    let mut order = Vec::with_capacity(2 * n);
+    for i in 0..w {
+        order.push(Task::Fwd(i));
+    }
+    let mut next_f = w;
+    let mut next_b = 0;
+    while next_f < n || next_b < n {
+        if next_f < n {
+            order.push(Task::Fwd(next_f));
+            next_f += 1;
+        }
+        if next_b < n && next_b < next_f {
+            order.push(Task::Bwd(next_b));
+            next_b += 1;
+        }
+    }
+    order
+}
+
+/// Simulate one 1F1B iteration with per-stage timings.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or `microbatches` is zero.
+pub fn simulate(stages: &[StageTiming], microbatches: usize) -> PipelineTiming {
+    let p = stages.len();
+    let n = microbatches;
+    assert!(p > 0, "pipeline needs at least one stage");
+    assert!(n > 0, "need at least one micro-batch");
+
+    let orders: Vec<Vec<Task>> = (0..p).map(|s| stage_order(s, p, n)).collect();
+    // Completion times of each task.
+    let mut f_done = vec![vec![f64::INFINITY; n]; p];
+    let mut b_done = vec![vec![f64::INFINITY; n]; p];
+
+    // Fix-point relaxation: repeat sweeps until stable. The DAG depth is
+    // bounded by 2(p+n), so convergence is fast in practice.
+    for _ in 0..(2 * (p + n) + 4) {
+        let mut changed = false;
+        for s in 0..p {
+            let mut clock: f64 = 0.0;
+            for &task in &orders[s] {
+                match task {
+                    Task::Fwd(i) => {
+                        let dep = if s == 0 {
+                            0.0
+                        } else {
+                            f_done[s - 1][i] + stages[s - 1].p2p.as_secs()
+                        };
+                        if !dep.is_finite() {
+                            break;
+                        }
+                        let start = clock.max(dep);
+                        let end = start + stages[s].fwd.as_secs();
+                        if (f_done[s][i] - end).abs() > 1e-15 {
+                            f_done[s][i] = end;
+                            changed = true;
+                        }
+                        clock = end;
+                    }
+                    Task::Bwd(i) => {
+                        let dep = if s == p - 1 {
+                            f_done[s][i]
+                        } else {
+                            b_done[s + 1][i] + stages[s].p2p.as_secs()
+                        };
+                        if !dep.is_finite() {
+                            break;
+                        }
+                        let start = clock.max(dep);
+                        let end = start + stages[s].bwd.as_secs();
+                        if (b_done[s][i] - end).abs() > 1e-15 {
+                            b_done[s][i] = end;
+                            changed = true;
+                        }
+                        clock = end;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let iteration = (0..p)
+        .map(|s| b_done[s][n - 1])
+        .fold(0.0f64, f64::max);
+    let stage_busy: Vec<Time> = stages
+        .iter()
+        .map(|st| (st.fwd + st.bwd).scale(n as f64))
+        .collect();
+    let stage_bubble: Vec<Time> = stage_busy
+        .iter()
+        .map(|busy| Time::from_secs((iteration - busy.as_secs()).max(0.0)))
+        .collect();
+    PipelineTiming {
+        iteration: Time::from_secs(iteration),
+        stage_busy,
+        stage_bubble,
+    }
+}
+
+/// Closed-form 1F1B iteration time for *homogeneous* stages — the classic
+/// `(n + p − 1) · (f + b)` bound, used as a cross-check.
+pub fn homogeneous_bound(fwd: Time, bwd: Time, p: usize, n: usize) -> Time {
+    (fwd + bwd).scale((n + p - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(p: usize, f_ms: f64, b_ms: f64) -> Vec<StageTiming> {
+        vec![
+            StageTiming {
+                fwd: Time::from_millis(f_ms),
+                bwd: Time::from_millis(b_ms),
+                p2p: Time::ZERO,
+            };
+            p
+        ]
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        let t = simulate(&uniform(1, 1.0, 2.0), 8);
+        assert!((t.iteration.as_millis() - 8.0 * 3.0).abs() < 1e-9);
+        assert!(t.bubble_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_matches_closed_form() {
+        // With b = 2f and zero p2p, 1F1B hits (n + p - 1)(f + b) exactly.
+        let p = 4;
+        let n = 8;
+        let t = simulate(&uniform(p, 1.0, 2.0), n);
+        let bound = homogeneous_bound(Time::from_millis(1.0), Time::from_millis(2.0), p, n);
+        assert!(
+            (t.iteration.as_secs() - bound.as_secs()).abs() / bound.as_secs() < 1e-9,
+            "sim {} vs bound {}",
+            t.iteration,
+            bound
+        );
+    }
+
+    #[test]
+    fn more_stages_more_bubble() {
+        let n = 8;
+        let b2 = simulate(&uniform(2, 1.0, 2.0), n).bubble_fraction();
+        let b8 = simulate(&uniform(8, 1.0, 2.0), n).bubble_fraction();
+        assert!(b8 > b2, "p=8 bubble {b8} should exceed p=2 bubble {b2}");
+    }
+
+    #[test]
+    fn more_microbatches_amortize_bubble() {
+        let p = 4;
+        let b4 = simulate(&uniform(p, 1.0, 2.0), 4).bubble_fraction();
+        let b32 = simulate(&uniform(p, 1.0, 2.0), 32).bubble_fraction();
+        assert!(b32 < b4);
+    }
+
+    #[test]
+    fn slow_stage_dominates() {
+        let mut stages = uniform(4, 1.0, 2.0);
+        stages[1].bwd = Time::from_millis(6.0); // heavy recompute at stage 1
+        let t = simulate(&stages, 16);
+        // Iteration is at least the slow stage's serial work.
+        assert!(t.iteration.as_millis() >= 16.0 * 7.0);
+        // The slow stage has the least bubble.
+        let min_idx = t
+            .stage_bubble
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_idx, 1);
+    }
+
+    #[test]
+    fn imbalanced_recompute_creates_bubble() {
+        // Fig. 8a: recomputation on early stages stalls the whole pipe.
+        let balanced = {
+            let mut s = uniform(3, 1.0, 2.0);
+            for st in &mut s {
+                st.bwd = Time::from_millis(2.0 + 1.0); // spread recompute
+            }
+            simulate(&s, 5)
+        };
+        let imbalanced = {
+            let mut s = uniform(3, 1.0, 2.0);
+            s[0].bwd = Time::from_millis(2.0 + 3.0); // all recompute at stage 0
+            simulate(&s, 5)
+        };
+        assert!(imbalanced.iteration.as_secs() > balanced.iteration.as_secs());
+    }
+
+    #[test]
+    fn p2p_latency_stretches_warmup() {
+        let no_p2p = simulate(&uniform(4, 1.0, 2.0), 8);
+        let mut stages = uniform(4, 1.0, 2.0);
+        for st in &mut stages {
+            st.p2p = Time::from_millis(0.5);
+        }
+        let with_p2p = simulate(&stages, 8);
+        assert!(with_p2p.iteration.as_secs() > no_p2p.iteration.as_secs());
+    }
+
+    #[test]
+    fn stage_order_counts() {
+        for (p, n) in [(3, 5), (4, 8), (8, 4), (1, 3)] {
+            for s in 0..p {
+                let order = stage_order(s, p, n);
+                let f = order.iter().filter(|t| matches!(t, Task::Fwd(_))).count();
+                let b = order.iter().filter(|t| matches!(t, Task::Bwd(_))).count();
+                assert_eq!(f, n);
+                assert_eq!(b, n);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_never_precedes_forward_in_order() {
+        let order = stage_order(0, 3, 5);
+        let mut seen_f = std::collections::HashSet::new();
+        for t in order {
+            match t {
+                Task::Fwd(i) => {
+                    seen_f.insert(i);
+                }
+                Task::Bwd(i) => assert!(seen_f.contains(&i)),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = simulate(&[], 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Hybrid dataflows and their external-memory-access (EMA) models
+//! (Fig. 14 of the paper).
+//!
+//! For a GEMM producing an `S × H` output with reduction depth `K` on an
+//! `m × n` MAC array, the per-dataflow EMA element counts are:
+//!
+//! * **IS** (input-stationary):  `EMA = S·H·K · (K⁻¹ + m⁻¹ + n⁻¹)`
+//! * **WS** (weight-stationary): `EMA = S·H·K · (n⁻¹ + S⁻¹ + m⁻¹)`
+//! * **OS** (output-stationary): `EMA = S·H·K · (n⁻¹ + m⁻¹ + H⁻¹)`
+//!
+//! RS (row-stationary) targets convolutions; for the conv operators of the
+//! SD/Mamba workloads we model it as OS with an extra reuse factor.
+//!
+//! The dataflow changes *memory traffic only*, never FLOPs — exactly the
+//! trade-off the hybrid intra-die dataflow of §IV-E-1 exploits.
+
+use serde::{Deserialize, Serialize};
+
+/// Intra-die dataflow for mapping a GEMM onto the MAC array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Output-stationary.
+    Os,
+    /// Weight-stationary.
+    Ws,
+    /// Input-stationary.
+    Is,
+    /// Row-stationary (convolutions).
+    Rs,
+}
+
+impl Dataflow {
+    /// The dataflows applicable to plain GEMMs.
+    pub fn gemm_dataflows() -> [Dataflow; 3] {
+        [Dataflow::Os, Dataflow::Ws, Dataflow::Is]
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dataflow::Os => "OS",
+            Dataflow::Ws => "WS",
+            Dataflow::Is => "IS",
+            Dataflow::Rs => "RS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// EMA element count for a GEMM of output `s × h`, reduction `k`, on an
+/// `m × n` MAC array under the given dataflow (Fig. 14 formulas).
+pub fn ema_elements(df: Dataflow, s: f64, h: f64, k: f64, m: f64, n: f64) -> f64 {
+    let shk = s * h * k;
+    match df {
+        Dataflow::Is => shk * (1.0 / k + 1.0 / m + 1.0 / n),
+        Dataflow::Ws => shk * (1.0 / n + 1.0 / s + 1.0 / m),
+        Dataflow::Os => shk * (1.0 / n + 1.0 / m + 1.0 / h),
+        // RS exploits convolutional reuse: OS traffic with 2x row reuse.
+        Dataflow::Rs => shk * (1.0 / n + 1.0 / m + 1.0 / h) * 0.5,
+    }
+}
+
+/// The GEMM dataflow minimizing EMA for this shape (the hybrid selection
+/// rule of §IV-E-1).
+pub fn best_gemm_dataflow(s: f64, h: f64, k: f64, m: f64, n: f64) -> (Dataflow, f64) {
+    Dataflow::gemm_dataflows()
+        .into_iter()
+        .map(|df| (df, ema_elements(df, s, h, k, m, n)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("EMA is finite"))
+        .expect("non-empty dataflow set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: f64 = 16.0;
+    const N: f64 = 32.0;
+
+    #[test]
+    fn tall_skinny_prefers_weight_stationary() {
+        // Huge S (tokens), small K,H: WS amortizes weights across S.
+        let (df, _) = best_gemm_dataflow(1e6, 128.0, 128.0, M, N);
+        assert_eq!(df, Dataflow::Ws);
+    }
+
+    #[test]
+    fn deep_reduction_prefers_input_stationary() {
+        // Huge K: IS's K⁻¹ term vanishes while OS still pays H⁻¹.
+        let (df, _) = best_gemm_dataflow(256.0, 256.0, 1e6, M, N);
+        assert_eq!(df, Dataflow::Is);
+    }
+
+    #[test]
+    fn wide_output_prefers_output_stationary() {
+        // Huge H with small K: OS's H⁻¹ term vanishes while IS pays K⁻¹.
+        let (df, _) = best_gemm_dataflow(256.0, 1e6, 64.0, M, N);
+        assert_eq!(df, Dataflow::Os);
+    }
+
+    #[test]
+    fn ema_is_positive_and_finite() {
+        for df in Dataflow::gemm_dataflows() {
+            let e = ema_elements(df, 4096.0, 4096.0, 4096.0, M, N);
+            assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    #[test]
+    fn best_is_no_worse_than_any() {
+        let (_, best) = best_gemm_dataflow(1000.0, 2000.0, 3000.0, M, N);
+        for df in Dataflow::gemm_dataflows() {
+            assert!(best <= ema_elements(df, 1000.0, 2000.0, 3000.0, M, N) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rs_halves_os_traffic() {
+        let os = ema_elements(Dataflow::Os, 100.0, 100.0, 100.0, M, N);
+        let rs = ema_elements(Dataflow::Rs, 100.0, 100.0, 100.0, M, N);
+        assert!((rs / os - 0.5).abs() < 1e-12);
+    }
+}

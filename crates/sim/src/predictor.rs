@@ -1,0 +1,459 @@
+//! DNN latency/memory predictor (Fig. 10b).
+//!
+//! The paper trains a DNN to predict per-operator execution latency and
+//! memory footprint across batch sizes and hardware configurations,
+//! because (1) cycle-accurate simulation is too slow for DSE loops and
+//! (2) first-order analytical models miss alignment and multi-level-memory
+//! effects. We reproduce the experiment end-to-end: the detailed die model
+//! (with its non-idealities and measurement jitter) generates the
+//! "measured" corpus; a small pure-Rust MLP trains on it; the first-order
+//! [`crate::op_cost::analytic_cost`] model is the comparator.
+
+use crate::op_cost::{analytic_cost, DieModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wsc_workload::ops::{GemmShape, OpInstance, OpKind};
+
+/// One training/evaluation sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Input features (see [`op_features`]).
+    pub features: Vec<f64>,
+    /// Measured latency in seconds.
+    pub latency_s: f64,
+    /// Measured memory footprint in bytes.
+    pub memory_b: f64,
+    /// Analytic-model latency in seconds (comparator).
+    pub analytic_latency_s: f64,
+    /// Analytic-model memory in bytes (comparator).
+    pub analytic_memory_b: f64,
+}
+
+/// Feature vector for an operator on a die: one-hot kind, log-scaled
+/// dimensions, and log-scaled hardware parameters.
+pub fn op_features(dm: &DieModel, op: &OpInstance) -> Vec<f64> {
+    let mut f = vec![0.0; 6];
+    let kind_idx = match op.kind {
+        OpKind::Gemm => 0,
+        OpKind::FlashAttention => 1,
+        OpKind::Norm => 2,
+        OpKind::Activation => 3,
+        OpKind::MoeRouter => 0,
+        OpKind::MoeShuffle => 4,
+        OpKind::SsmScan | OpKind::Conv => 5,
+    };
+    f[kind_idx] = 1.0;
+    let (m, k, n) = op
+        .gemm
+        .map(|g| (g.m as f64, g.k as f64, g.n as f64))
+        .unwrap_or((op.output_bytes.as_f64() / 2.0, 1.0, 1.0));
+    let lanes_m = (dm.die.core_rows * dm.die.core.pe_rows) as f64;
+    let lanes_n = (dm.die.core_cols * dm.die.core.pe_cols) as f64;
+    // Alignment phase features: how far each dim is from a lane multiple.
+    let frac_m = (m / lanes_m).fract();
+    let frac_n = (n / lanes_n).fract();
+    f.extend_from_slice(&[
+        m.max(1.0).ln(),
+        k.max(1.0).ln(),
+        n.max(1.0).ln(),
+        op.fwd_flops.as_f64().max(1.0).ln(),
+        op.output_bytes.as_f64().max(1.0).ln(),
+        op.weight_bytes.as_f64().max(1.0).ln(),
+        frac_m,
+        frac_n,
+        dm.die.peak_flops().as_f64().ln(),
+        dm.dram_bw.as_bytes_per_s().ln(),
+        dm.die.core.sram.as_f64().ln(),
+        dm.op_memory(op).as_f64().max(1.0).ln(),
+        // Analytic prior: predictors routinely include the first-order
+        // estimate as a feature and learn the correction.
+        analytic_cost(&dm.die, dm.dram_bw, op)
+            .time
+            .as_secs()
+            .max(1e-9)
+            .ln(),
+    ]);
+    f
+}
+
+fn random_op(rng: &mut StdRng) -> OpInstance {
+    let kind = match rng.gen_range(0..10) {
+        0..=4 => OpKind::Gemm,
+        5..=6 => OpKind::FlashAttention,
+        7 => OpKind::Norm,
+        8 => OpKind::Activation,
+        _ => OpKind::SsmScan,
+    };
+    let log_u = |rng: &mut StdRng, lo: f64, hi: f64| -> usize {
+        (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp() as usize
+    };
+    match kind {
+        OpKind::Gemm | OpKind::FlashAttention => {
+            let m = log_u(rng, 512.0, 131_072.0);
+            let k = log_u(rng, 128.0, 32_768.0);
+            let n = log_u(rng, 128.0, 32_768.0);
+            let g = GemmShape { m, k, n };
+            let flops = g.flops();
+            OpInstance {
+                name: format!("synth_{kind:?}_{m}x{k}x{n}"),
+                kind,
+                gemm: Some(g),
+                fwd_flops: if kind == OpKind::FlashAttention {
+                    flops.scale(0.5)
+                } else {
+                    flops
+                },
+                bwd_flops: flops.scale(2.0),
+                output_bytes: g.output_bytes(2),
+                weight_bytes: if kind == OpKind::Gemm {
+                    g.weight_bytes(2)
+                } else {
+                    wsc_arch::units::Bytes::ZERO
+                },
+                fwd_comm_bytes: wsc_arch::units::Bytes::ZERO,
+                bwd_comm_bytes: wsc_arch::units::Bytes::ZERO,
+                recomputable: true,
+            }
+        }
+        _ => {
+            let t = log_u(rng, 4_096.0, 4_194_304.0);
+            let h = log_u(rng, 256.0, 16_384.0);
+            let elems = (t * h) as f64;
+            OpInstance {
+                name: format!("synth_{kind:?}_{t}x{h}"),
+                kind,
+                gemm: None,
+                fwd_flops: wsc_arch::units::Flops::new(5.0 * elems),
+                bwd_flops: wsc_arch::units::Flops::new(7.0 * elems),
+                output_bytes: wsc_arch::units::Bytes::new((elems * 2.0) as u64),
+                weight_bytes: wsc_arch::units::Bytes::ZERO,
+                fwd_comm_bytes: wsc_arch::units::Bytes::ZERO,
+                bwd_comm_bytes: wsc_arch::units::Bytes::ZERO,
+                recomputable: true,
+            }
+        }
+    }
+}
+
+/// Generate a measured-operator corpus of `n` samples on die model `dm`.
+pub fn generate_corpus(dm: &DieModel, n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let op = random_op(&mut rng);
+            let measured = dm.measured_cost(&op, seed ^ i as u64);
+            let analytic = analytic_cost(&dm.die, dm.dram_bw, &op);
+            let mem = dm.op_memory(&op);
+            Sample {
+                features: op_features(dm, &op),
+                latency_s: measured.time.as_secs(),
+                memory_b: mem.as_f64() * (1.0 + 0.05 * frac_signal(i as u64 ^ seed)),
+                analytic_latency_s: analytic.time.as_secs(),
+                analytic_memory_b: mem.as_f64() * 0.85,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-signal in [-1, 1] (multi-level-memory effects the
+/// analytic model cannot see but features partially expose).
+fn frac_signal(h: u64) -> f64 {
+    let mut x = h ^ 0x2545_F491_4F6C_DD1D;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    (x % 10_001) as f64 / 5_000.0 - 1.0
+}
+
+/// A small fully-connected network with one tanh hidden layer pair,
+/// trained by full-batch gradient descent with momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Mlp {
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+    w3: Vec<f64>,
+    b3: f64,
+}
+
+impl Mlp {
+    fn new(inputs: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let scale1 = (2.0 / inputs as f64).sqrt();
+        let scale2 = (2.0 / hidden as f64).sqrt();
+        let mat = |r: usize, c: usize, s: f64, rng: &mut StdRng| {
+            (0..r)
+                .map(|_| (0..c).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * s).collect())
+                .collect::<Vec<Vec<f64>>>()
+        };
+        Mlp {
+            w1: mat(hidden, inputs, scale1, rng),
+            b1: vec![0.0; hidden],
+            w2: mat(hidden, hidden, scale2, rng),
+            b2: vec![0.0; hidden],
+            w3: (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2).collect(),
+            b3: 0.0,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, f64) {
+        let h1: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| (w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b).tanh())
+            .collect();
+        let h2: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, b)| (w.iter().zip(&h1).map(|(wi, xi)| wi * xi).sum::<f64>() + b).tanh())
+            .collect();
+        let y = self.w3.iter().zip(&h2).map(|(w, h)| w * h).sum::<f64>() + self.b3;
+        (h1, h2, y)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.forward(x).2
+    }
+
+    /// One full-batch gradient step; returns MSE before the step.
+    fn train_step(&mut self, xs: &[Vec<f64>], ys: &[f64], lr: f64) -> f64 {
+        let n = xs.len() as f64;
+        let hidden = self.b1.len();
+        let inputs = self.w1[0].len();
+        let mut gw1 = vec![vec![0.0; inputs]; hidden];
+        let mut gb1 = vec![0.0; hidden];
+        let mut gw2 = vec![vec![0.0; hidden]; hidden];
+        let mut gb2 = vec![0.0; hidden];
+        let mut gw3 = vec![0.0; hidden];
+        let mut gb3 = 0.0;
+        let mut mse = 0.0;
+        for (x, &t) in xs.iter().zip(ys) {
+            let (h1, h2, y) = self.forward(x);
+            let e = y - t;
+            mse += e * e;
+            let d3 = 2.0 * e / n;
+            gb3 += d3;
+            for j in 0..hidden {
+                gw3[j] += d3 * h2[j];
+            }
+            // Backprop into layer 2.
+            let mut d2 = vec![0.0; hidden];
+            for j in 0..hidden {
+                d2[j] = d3 * self.w3[j] * (1.0 - h2[j] * h2[j]);
+                gb2[j] += d2[j];
+                for i in 0..hidden {
+                    gw2[j][i] += d2[j] * h1[i];
+                }
+            }
+            // Backprop into layer 1.
+            for j in 0..hidden {
+                let mut acc = 0.0;
+                for l in 0..hidden {
+                    acc += d2[l] * self.w2[l][j];
+                }
+                let d1 = acc * (1.0 - h1[j] * h1[j]);
+                gb1[j] += d1;
+                for i in 0..inputs {
+                    gw1[j][i] += d1 * x[i];
+                }
+            }
+        }
+        for j in 0..hidden {
+            for i in 0..inputs {
+                self.w1[j][i] -= lr * gw1[j][i];
+            }
+            self.b1[j] -= lr * gb1[j];
+            for i in 0..hidden {
+                self.w2[j][i] -= lr * gw2[j][i];
+            }
+            self.b2[j] -= lr * gb2[j];
+            self.w3[j] -= lr * gw3[j];
+        }
+        self.b3 -= lr * gb3;
+        mse / n
+    }
+}
+
+/// Feature standardization statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FeatureNorm {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl FeatureNorm {
+    fn fit(xs: &[Vec<f64>]) -> Self {
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for x in xs {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for x in xs {
+            for i in 0..d {
+                std[i] += (x[i] - mean[i]).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        FeatureNorm { mean, std }
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+/// The trained latency+memory predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DnnPredictor {
+    lat: Mlp,
+    mem: Mlp,
+    norm: FeatureNorm,
+    lat_mean: f64,
+    mem_mean: f64,
+}
+
+impl DnnPredictor {
+    /// Train on a corpus for `epochs` full-batch steps.
+    pub fn train(samples: &[Sample], epochs: usize, seed: u64) -> Self {
+        assert!(!samples.is_empty(), "empty training corpus");
+        let xs_raw: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+        let norm = FeatureNorm::fit(&xs_raw);
+        let xs: Vec<Vec<f64>> = xs_raw.iter().map(|x| norm.apply(x)).collect();
+        let lat_mean = samples.iter().map(|s| s.latency_s.ln()).sum::<f64>() / samples.len() as f64;
+        let mem_mean = samples.iter().map(|s| s.memory_b.ln()).sum::<f64>() / samples.len() as f64;
+        let y_lat: Vec<f64> = samples.iter().map(|s| s.latency_s.ln() - lat_mean).collect();
+        let y_mem: Vec<f64> = samples.iter().map(|s| s.memory_b.ln() - mem_mean).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = xs[0].len();
+        let mut lat = Mlp::new(d, 24, &mut rng);
+        let mut mem = Mlp::new(d, 24, &mut rng);
+        let mut lr = 0.12;
+        for e in 0..epochs {
+            lat.train_step(&xs, &y_lat, lr);
+            mem.train_step(&xs, &y_mem, lr);
+            if e % 120 == 119 {
+                lr *= 0.6;
+            }
+        }
+        DnnPredictor {
+            lat,
+            mem,
+            norm,
+            lat_mean,
+            mem_mean,
+        }
+    }
+
+    /// Predicted latency in seconds.
+    pub fn predict_latency(&self, features: &[f64]) -> f64 {
+        (self.lat.predict(&self.norm.apply(features)) + self.lat_mean).exp()
+    }
+
+    /// Predicted memory footprint in bytes.
+    pub fn predict_memory(&self, features: &[f64]) -> f64 {
+        (self.mem.predict(&self.norm.apply(features)) + self.mem_mean).exp()
+    }
+
+    /// Mean absolute percentage error of (latency, memory) on a test set.
+    pub fn mape(&self, samples: &[Sample]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mut el = 0.0;
+        let mut em = 0.0;
+        for s in samples {
+            el += (self.predict_latency(&s.features) - s.latency_s).abs() / s.latency_s;
+            em += (self.predict_memory(&s.features) - s.memory_b).abs() / s.memory_b;
+        }
+        (el / n, em / n)
+    }
+}
+
+/// MAPE of the first-order analytic model on the same corpus.
+pub fn analytic_mape(samples: &[Sample]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mut el = 0.0;
+    let mut em = 0.0;
+    for s in samples {
+        el += (s.analytic_latency_s - s.latency_s).abs() / s.latency_s;
+        em += (s.analytic_memory_b - s.memory_b).abs() / s.memory_b;
+    }
+    (el / n, em / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_arch::units::Bandwidth;
+
+    fn dm() -> DieModel {
+        DieModel::new(presets::big_die(), Bandwidth::tb_per_s(2.0))
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate_corpus(&dm(), 16, 42);
+        let b = generate_corpus(&dm(), 16, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.latency_s, y.latency_s);
+        }
+    }
+
+    #[test]
+    fn features_have_fixed_arity() {
+        let corpus = generate_corpus(&dm(), 8, 1);
+        let d = corpus[0].features.len();
+        assert!(corpus.iter().all(|s| s.features.len() == d));
+        assert_eq!(d, 19);
+    }
+
+    #[test]
+    fn dnn_beats_analytic_model() {
+        // The Fig. 10b experiment: train on 800, test on 200 held out.
+        let model = dm();
+        let train = generate_corpus(&model, 800, 7);
+        let test = generate_corpus(&model, 200, 1234);
+        let p = DnnPredictor::train(&train, 700, 99);
+        let (dnn_lat, dnn_mem) = p.mape(&test);
+        let (an_lat, an_mem) = analytic_mape(&test);
+        assert!(
+            dnn_lat < an_lat,
+            "latency: dnn {dnn_lat:.3} vs analytic {an_lat:.3}"
+        );
+        assert!(
+            dnn_mem < an_mem,
+            "memory: dnn {dnn_mem:.3} vs analytic {an_mem:.3}"
+        );
+        assert!(dnn_lat < 0.15, "dnn latency mape {dnn_lat:.3}");
+        assert!(an_lat > 0.08, "analytic should err, got {an_lat:.3}");
+    }
+
+    #[test]
+    fn predictions_are_positive() {
+        let model = dm();
+        let train = generate_corpus(&model, 200, 3);
+        let p = DnnPredictor::train(&train, 60, 5);
+        for s in &train[..10] {
+            assert!(p.predict_latency(&s.features) > 0.0);
+            assert!(p.predict_memory(&s.features) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training corpus")]
+    fn empty_corpus_panics() {
+        let _ = DnnPredictor::train(&[], 10, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline operator profiling → lookup tables (§IV-F).
+//!
+//! WATOS pre-profiles every operator of a layer on the target die and
+//! stores latency, DRAM traffic and checkpoint footprint. The iterative
+//! explorers (GCMR's dynamic program, the GA) then query these tables in
+//! O(1) instead of re-running the detailed simulator.
+
+use crate::op_cost::DieModel;
+use serde::{Deserialize, Serialize};
+use wsc_arch::units::{Bytes, Time};
+use wsc_workload::ops::{OpInstance, OpKind};
+
+/// Profiled costs of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Operator name.
+    pub name: String,
+    /// Computation class.
+    pub kind: OpKind,
+    /// Forward latency per micro-batch.
+    pub fwd: Time,
+    /// Backward latency per micro-batch.
+    pub bwd: Time,
+    /// Checkpoint (output) bytes per micro-batch.
+    pub ckpt_bytes: Bytes,
+    /// DRAM traffic per forward pass.
+    pub ema: Bytes,
+    /// Weight bytes.
+    pub weight_bytes: Bytes,
+    /// Forward TP-collective volume.
+    pub fwd_comm: Bytes,
+    /// Backward TP-collective volume.
+    pub bwd_comm: Bytes,
+    /// Whether the recomputation scheduler may drop this checkpoint.
+    pub recomputable: bool,
+}
+
+/// Profile of one layer's operator list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Per-operator profiles in execution order.
+    pub ops: Vec<OpProfile>,
+}
+
+impl LayerProfile {
+    /// Total forward compute latency.
+    pub fn fwd_time(&self) -> Time {
+        self.ops.iter().map(|o| o.fwd).sum()
+    }
+
+    /// Total backward compute latency (without recomputation).
+    pub fn bwd_time(&self) -> Time {
+        self.ops.iter().map(|o| o.bwd).sum()
+    }
+
+    /// Full checkpoint footprint per micro-batch.
+    pub fn full_ckpt_bytes(&self) -> Bytes {
+        self.ops.iter().map(|o| o.ckpt_bytes).sum()
+    }
+
+    /// Total weight bytes.
+    pub fn weight_bytes(&self) -> Bytes {
+        self.ops.iter().map(|o| o.weight_bytes).sum()
+    }
+
+    /// Forward TP-collective volume per micro-batch.
+    pub fn fwd_comm(&self) -> Bytes {
+        self.ops.iter().map(|o| o.fwd_comm).sum()
+    }
+
+    /// Backward TP-collective volume per micro-batch.
+    pub fn bwd_comm(&self) -> Bytes {
+        self.ops.iter().map(|o| o.bwd_comm).sum()
+    }
+}
+
+/// Profile one layer on a die.
+pub fn profile_layer(dm: &DieModel, ops: &[OpInstance]) -> LayerProfile {
+    LayerProfile {
+        ops: ops
+            .iter()
+            .map(|op| OpProfile {
+                name: op.name.clone(),
+                kind: op.kind,
+                fwd: dm.op_cost(op).time,
+                bwd: dm.op_cost_bwd(op).time,
+                ckpt_bytes: op.output_bytes,
+                ema: dm.op_cost(op).ema,
+                weight_bytes: op.weight_bytes,
+                fwd_comm: op.fwd_comm_bytes,
+                bwd_comm: op.bwd_comm_bytes,
+                recomputable: op.recomputable,
+            })
+            .collect(),
+    }
+}
+
+/// One recomputation choice: drop this checkpoint, save these bytes, pay
+/// this much recompute latency per micro-batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MenuItem {
+    /// Operator name (unique within a stage via layer prefix).
+    pub op: String,
+    /// Bytes saved per in-flight micro-batch.
+    pub bytes_saved: Bytes,
+    /// Recompute latency added to each backward micro-batch.
+    pub recompute_time: Time,
+}
+
+/// The stage-level recomputation menu: all droppable checkpoints sorted by
+/// recompute-time-per-byte (cheapest savings first). This *is* the `P(m)`
+/// profile Alg. 2 queries.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecomputeMenu {
+    items: Vec<MenuItem>,
+}
+
+impl RecomputeMenu {
+    /// Build the menu for a stage holding `layers` copies of `profile`.
+    pub fn from_layer_profile(profile: &LayerProfile, layers: usize) -> Self {
+        let mut items = Vec::new();
+        for l in 0..layers {
+            for op in profile.ops.iter().filter(|o| o.recomputable) {
+                if op.ckpt_bytes == Bytes::ZERO {
+                    continue;
+                }
+                items.push(MenuItem {
+                    op: format!("L{l}/{}", op.name),
+                    bytes_saved: op.ckpt_bytes,
+                    recompute_time: op.fwd,
+                });
+            }
+        }
+        items.sort_by(|a, b| {
+            let ea = a.recompute_time.as_secs() / a.bytes_saved.as_f64();
+            let eb = b.recompute_time.as_secs() / b.bytes_saved.as_f64();
+            ea.partial_cmp(&eb).expect("finite efficiency")
+        });
+        RecomputeMenu { items }
+    }
+
+    /// Merge several menus (e.g. the dense and MoE layers of one stage)
+    /// into one, re-sorted by efficiency.
+    pub fn merged<I: IntoIterator<Item = RecomputeMenu>>(menus: I) -> Self {
+        let mut items: Vec<MenuItem> = menus.into_iter().flat_map(|m| m.items).collect();
+        items.sort_by(|a, b| {
+            let ea = a.recompute_time.as_secs() / a.bytes_saved.as_f64();
+            let eb = b.recompute_time.as_secs() / b.bytes_saved.as_f64();
+            ea.partial_cmp(&eb).expect("finite efficiency")
+        });
+        RecomputeMenu { items }
+    }
+
+    /// All menu items (sorted cheapest-per-byte first).
+    pub fn items(&self) -> &[MenuItem] {
+        &self.items
+    }
+
+    /// Maximum bytes this stage could free by recomputing everything.
+    pub fn max_savings(&self) -> Bytes {
+        self.items.iter().map(|i| i.bytes_saved).sum()
+    }
+
+    /// `P(m)`: the recompute latency (per micro-batch) needed to free at
+    /// least `needed` bytes, choosing cheapest checkpoints first. Returns
+    /// `None` when even full recomputation cannot free enough.
+    pub fn time_for_savings(&self, needed: Bytes) -> Option<Time> {
+        if needed == Bytes::ZERO {
+            return Some(Time::ZERO);
+        }
+        let mut saved = Bytes::ZERO;
+        let mut t = Time::ZERO;
+        for item in &self.items {
+            saved += item.bytes_saved;
+            t += item.recompute_time;
+            if saved >= needed {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// The chosen checkpoint drops for a savings target (names + total
+    /// recompute latency). Returns `None` when infeasible.
+    pub fn plan_for_savings(&self, needed: Bytes) -> Option<(Vec<String>, Time)> {
+        if needed == Bytes::ZERO {
+            return Some((Vec::new(), Time::ZERO));
+        }
+        let mut saved = Bytes::ZERO;
+        let mut t = Time::ZERO;
+        let mut names = Vec::new();
+        for item in &self.items {
+            saved += item.bytes_saved;
+            t += item.recompute_time;
+            names.push(item.op.clone());
+            if saved >= needed {
+                return Some((names, t));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_arch::units::Bandwidth;
+    use wsc_workload::graph::{layer_ops_at, ShardingCtx};
+    use wsc_workload::parallel::TpSplitStrategy;
+    use wsc_workload::zoo;
+
+    fn profile() -> LayerProfile {
+        let dm = DieModel::new(presets::big_die(), Bandwidth::tb_per_s(2.0));
+        let ctx = ShardingCtx::new(8, 4096, 4, TpSplitStrategy::Megatron);
+        profile_layer(&dm, &layer_ops_at(&zoo::llama2_30b(), 0, &ctx))
+    }
+
+    #[test]
+    fn layer_profile_aggregates() {
+        let p = profile();
+        assert!(p.fwd_time().as_secs() > 0.0);
+        assert!(p.bwd_time().as_secs() > p.fwd_time().as_secs());
+        assert!(p.full_ckpt_bytes() > Bytes::ZERO);
+        assert!(p.fwd_comm() > Bytes::ZERO);
+    }
+
+    #[test]
+    fn menu_is_sorted_by_efficiency() {
+        let menu = RecomputeMenu::from_layer_profile(&profile(), 4);
+        let effs: Vec<f64> = menu
+            .items()
+            .iter()
+            .map(|i| i.recompute_time.as_secs() / i.bytes_saved.as_f64())
+            .collect();
+        assert!(effs.windows(2).all(|w| w[0] <= w[1] + 1e-18));
+    }
+
+    #[test]
+    fn p_of_m_is_monotone() {
+        let menu = RecomputeMenu::from_layer_profile(&profile(), 4);
+        let max = menu.max_savings();
+        let t25 = menu.time_for_savings(max.scale(0.25)).unwrap();
+        let t50 = menu.time_for_savings(max.scale(0.5)).unwrap();
+        let t100 = menu.time_for_savings(max).unwrap();
+        assert!(t25 <= t50 && t50 <= t100);
+        assert!(t100.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_savings_is_none() {
+        let menu = RecomputeMenu::from_layer_profile(&profile(), 2);
+        assert!(menu.time_for_savings(menu.max_savings() + Bytes::gib(1)).is_none());
+        assert_eq!(menu.time_for_savings(Bytes::ZERO), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn plan_names_are_layer_scoped() {
+        let menu = RecomputeMenu::from_layer_profile(&profile(), 2);
+        let (names, t) = menu.plan_for_savings(Bytes::mib(64)).unwrap();
+        assert!(!names.is_empty());
+        assert!(names[0].starts_with('L'));
+        assert!(t.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn cheapest_items_are_vector_ops() {
+        // Norm/activation outputs are cheap to regenerate per byte
+        // compared with attention outputs.
+        let menu = RecomputeMenu::from_layer_profile(&profile(), 1);
+        let first = &menu.items()[0];
+        let last = menu.items().last().unwrap();
+        let e_first = first.recompute_time.as_secs() / first.bytes_saved.as_f64();
+        let e_last = last.recompute_time.as_secs() / last.bytes_saved.as_f64();
+        assert!(e_first < e_last);
+    }
+}

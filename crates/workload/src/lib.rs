@@ -1,0 +1,30 @@
+//! # wsc-workload — LLM workload model
+//!
+//! Everything WATOS knows about the *software* side: model shapes
+//! ([`zoo`]), the operator decomposition of Fig. 10a ([`graph`]),
+//! parallelism specs and TP partition strategies ([`parallel`]), the
+//! `modelP`/checkpoint memory accounting of §IV-A ([`memory`]), and
+//! training-job FLOP accounting ([`training`]).
+//!
+//! ```
+//! use wsc_workload::{graph, parallel::TpSplitStrategy, zoo};
+//!
+//! let model = zoo::llama3_70b();
+//! let ctx = graph::ShardingCtx::new(4, 4096, 4, TpSplitStrategy::Megatron);
+//! let ops = graph::layer_ops_at(&model, 0, &ctx);
+//! assert!(ops.iter().any(|o| o.name == "flash_attn"));
+//! ```
+
+pub mod graph;
+pub mod memory;
+pub mod model;
+pub mod ops;
+pub mod parallel;
+pub mod training;
+pub mod zoo;
+
+pub use crate::graph::{layer_input_bytes, layer_ops_at, summarize, LayerSummary, ShardingCtx};
+pub use crate::model::{LlmModel, ModelFamily};
+pub use crate::ops::{GemmShape, OpInstance, OpKind};
+pub use crate::parallel::{ParallelSpec, TpSplitStrategy};
+pub use crate::training::TrainingJob;

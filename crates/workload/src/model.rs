@@ -1,0 +1,214 @@
+//! LLM model descriptions.
+//!
+//! DSE needs only tensor *shapes* — layer counts, hidden sizes, head
+//! counts, FFN widths, MoE expert structure — never weights. The model zoo
+//! (see [`crate::zoo`]) instantiates the workloads of §V-A and Fig. 19.
+
+use serde::{Deserialize, Serialize};
+
+/// Structural family of a model (drives operator-graph construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Dense decoder-only transformer (Llama, GPT).
+    DenseTransformer,
+    /// Mixture-of-experts transformer (GShard, DeepSeek-V3, Qwen3-Next).
+    MoeTransformer {
+        /// Total experts per MoE layer.
+        experts: usize,
+        /// Experts activated per token.
+        top_k: usize,
+        /// FFN width of one expert.
+        expert_ffn: usize,
+        /// One in `moe_every` layers is MoE (1 = all layers).
+        moe_every: usize,
+    },
+    /// State-space model (Mamba): scan kernels instead of attention.
+    Ssm {
+        /// SSM state dimension.
+        state_dim: usize,
+        /// Local convolution width.
+        conv_width: usize,
+    },
+    /// Diffusion transformer (Stable Diffusion 3.5): patchified images.
+    DiffusionTransformer {
+        /// Latent patch tokens per sample.
+        patch_tokens: usize,
+    },
+    /// Generative recommender (HSTU-style sequential transducer).
+    GenerativeRecommender,
+}
+
+/// A model's architectural shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Structural family.
+    pub family: ModelFamily,
+    /// Transformer (or SSM) layer count.
+    pub layers: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (GQA; equals `heads` for MHA).
+    pub kv_heads: usize,
+    /// Dense FFN width (intermediate dimension).
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Default training sequence length.
+    pub default_seq: usize,
+    /// Whether the FFN is gated (SwiGLU: two up-projections).
+    pub gated_ffn: bool,
+}
+
+impl LlmModel {
+    /// Attention head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// KV projection width (`kv_heads × head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Parameters in one layer's attention block.
+    fn attn_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        let kv = self.kv_dim() as f64;
+        // Q + K + V + O projections.
+        h * h + 2.0 * h * kv + h * h
+    }
+
+    /// Parameters in one layer's dense FFN.
+    fn dense_ffn_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        let f = self.ffn as f64;
+        let up = if self.gated_ffn { 2.0 } else { 1.0 };
+        h * f * up + f * h
+    }
+
+    /// Parameters of one layer (attention/SSM + FFN/MoE + norms).
+    pub fn layer_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        match &self.family {
+            ModelFamily::DenseTransformer
+            | ModelFamily::DiffusionTransformer { .. }
+            | ModelFamily::GenerativeRecommender => {
+                self.attn_params() + self.dense_ffn_params() + 2.0 * h
+            }
+            ModelFamily::MoeTransformer {
+                experts,
+                expert_ffn,
+                moe_every,
+                ..
+            } => {
+                let expert_params = {
+                    let f = *expert_ffn as f64;
+                    let up = if self.gated_ffn { 2.0 } else { 1.0 };
+                    h * f * up + f * h
+                };
+                let moe_frac = 1.0 / *moe_every as f64;
+                let ffn_avg = moe_frac * (*experts as f64 * expert_params + h * *experts as f64)
+                    + (1.0 - moe_frac) * self.dense_ffn_params();
+                self.attn_params() + ffn_avg + 2.0 * h
+            }
+            ModelFamily::Ssm { state_dim, conv_width } => {
+                // in_proj (2x expansion), conv, SSM params, out_proj.
+                let e = 2.0 * h;
+                e * h + e * *conv_width as f64 + e * (*state_dim as f64 * 2.0 + 1.0) + e * h
+            }
+        }
+    }
+
+    /// Total parameter count (layers + embeddings + LM head).
+    pub fn total_params(&self) -> f64 {
+        self.layers as f64 * self.layer_params() + 2.0 * (self.vocab as f64 * self.hidden as f64)
+    }
+
+    /// Total parameters in billions.
+    pub fn params_b(&self) -> f64 {
+        self.total_params() / 1e9
+    }
+
+    /// Parameters *activated* per token in billions (≠ total for MoE).
+    pub fn active_params(&self) -> f64 {
+        match &self.family {
+            ModelFamily::MoeTransformer {
+                experts,
+                top_k,
+                expert_ffn,
+                moe_every,
+            } => {
+                let h = self.hidden as f64;
+                let f = *expert_ffn as f64;
+                let up = if self.gated_ffn { 2.0 } else { 1.0 };
+                let expert_params = h * f * up + f * h;
+                let moe_frac = 1.0 / *moe_every as f64;
+                let active_ffn = moe_frac * (*top_k as f64 * expert_params + h * *experts as f64)
+                    + (1.0 - moe_frac) * self.dense_ffn_params();
+                self.layers as f64 * (self.attn_params() + active_ffn + 2.0 * self.hidden as f64)
+                    + 2.0 * (self.vocab as f64 * self.hidden as f64)
+            }
+            _ => self.total_params(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn head_dims() {
+        let m = zoo::llama3_70b();
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_dim(), 1024);
+    }
+
+    #[test]
+    fn dense_param_counts_are_plausible() {
+        // Within 15% of the nominal sizes.
+        let cases = [
+            (zoo::llama2_30b(), 30.0),
+            (zoo::llama3_70b(), 70.0),
+            (zoo::gpt_175b(), 175.0),
+            (zoo::llama_65b(), 65.0),
+            (zoo::llama3_405b(), 405.0),
+        ];
+        for (m, nominal) in cases {
+            let b = m.params_b();
+            assert!(
+                (b - nominal).abs() / nominal < 0.15,
+                "{}: {b:.1}B vs nominal {nominal}B",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn moe_total_exceeds_active() {
+        let m = zoo::deepseek_v3();
+        assert!(m.params_b() > 500.0 && m.params_b() < 800.0, "{}", m.params_b());
+        let active_b = m.active_params() / 1e9;
+        assert!(active_b < 60.0, "active {active_b:.1}B");
+        assert!(m.total_params() > m.active_params());
+    }
+
+    #[test]
+    fn gshard_is_moe_scale() {
+        let m = zoo::gshard_137b();
+        let b = m.params_b();
+        assert!((b - 137.0).abs() / 137.0 < 0.2, "{b:.1}B");
+    }
+
+    #[test]
+    fn ssm_params_are_small() {
+        let m = zoo::mamba_2_8b();
+        let b = m.params_b();
+        assert!((b - 2.8).abs() / 2.8 < 0.35, "{b:.2}B");
+    }
+}

@@ -1,0 +1,139 @@
+//! Parallelism specifications: DP/TP/PP sizes and TP tensor-partition
+//! strategies (the strategy set `S` of Alg. 1, line 7).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (DP, TP, PP) parallelism configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelSpec {
+    /// Data-parallel replicas.
+    pub dp: usize,
+    /// Tensor-parallel group size.
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+}
+
+impl ParallelSpec {
+    /// Construct a spec; all degrees must be ≥ 1.
+    pub fn new(dp: usize, tp: usize, pp: usize) -> Self {
+        ParallelSpec {
+            dp: dp.max(1),
+            tp: tp.max(1),
+            pp: pp.max(1),
+        }
+    }
+
+    /// Model-parallel (non-DP) configuration.
+    pub fn model_parallel(tp: usize, pp: usize) -> Self {
+        Self::new(1, tp, pp)
+    }
+
+    /// Total devices required.
+    pub fn devices(&self) -> usize {
+        self.dp * self.tp * self.pp
+    }
+
+    /// Dies used by one model replica.
+    pub fn model_parallel_dies(&self) -> usize {
+        self.tp * self.pp
+    }
+}
+
+impl fmt::Display for ParallelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D({})T({})P({})", self.dp, self.tp, self.pp)
+    }
+}
+
+/// TP tensor-partition strategies — how operator tensors split across the
+/// TP group (partitioning along B, S, H or K of Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TpSplitStrategy {
+    /// Megatron-style column+row pairing: 2 activation all-reduces per
+    /// layer per direction; norm activations replicated.
+    Megatron,
+    /// Megatron with sequence parallelism: the same communication volume
+    /// expressed as reduce-scatter + all-gather, but norm/dropout
+    /// activations are sharded along S (smaller checkpoints).
+    SequenceParallel,
+    /// Reduction-dimension (K) partitioning for every GEMM: weights fully
+    /// sharded but an all-reduce follows *every* GEMM (4 per layer).
+    FullReduction,
+}
+
+impl TpSplitStrategy {
+    /// All strategies, in exploration order.
+    pub fn all() -> [TpSplitStrategy; 3] {
+        [
+            TpSplitStrategy::Megatron,
+            TpSplitStrategy::SequenceParallel,
+            TpSplitStrategy::FullReduction,
+        ]
+    }
+
+    /// Sharding factor applied to activations that Megatron replicates
+    /// (norm outputs, residuals): 1.0 = replicated, 1/tp = sharded.
+    pub fn replicated_act_factor(self, tp: usize) -> f64 {
+        match self {
+            TpSplitStrategy::Megatron => 1.0,
+            TpSplitStrategy::SequenceParallel => 1.0 / tp as f64,
+            TpSplitStrategy::FullReduction => 1.0,
+        }
+    }
+
+    /// Number of TP collectives per layer per pass direction.
+    pub fn collectives_per_layer(self) -> usize {
+        match self {
+            TpSplitStrategy::Megatron | TpSplitStrategy::SequenceParallel => 2,
+            TpSplitStrategy::FullReduction => 4,
+        }
+    }
+}
+
+impl fmt::Display for TpSplitStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TpSplitStrategy::Megatron => "megatron",
+            TpSplitStrategy::SequenceParallel => "seq-parallel",
+            TpSplitStrategy::FullReduction => "full-reduction",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_product() {
+        let p = ParallelSpec::new(2, 4, 7);
+        assert_eq!(p.devices(), 56);
+        assert_eq!(p.model_parallel_dies(), 28);
+    }
+
+    #[test]
+    fn degenerate_degrees_clamped() {
+        let p = ParallelSpec::new(0, 0, 0);
+        assert_eq!(p.devices(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ParallelSpec::new(1, 4, 14).to_string(), "D(1)T(4)P(14)");
+    }
+
+    #[test]
+    fn sequence_parallel_shards_replicated_activations() {
+        assert_eq!(TpSplitStrategy::Megatron.replicated_act_factor(4), 1.0);
+        assert!((TpSplitStrategy::SequenceParallel.replicated_act_factor(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_reduction_doubles_collectives() {
+        assert_eq!(TpSplitStrategy::Megatron.collectives_per_layer(), 2);
+        assert_eq!(TpSplitStrategy::FullReduction.collectives_per_layer(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! Architecture DSE: sweep the Table II wafer configurations (plus the
+//! enumerator's own candidates) for a memory-pressured Llama3-70B job and
+//! report which architecture wins — the Fig. 15 workflow as a library
+//! consumer would run it.
+//!
+//! Run with: `cargo run --release --example architecture_dse`
+
+use watos::engine::CoExplorationEngine;
+use watos::scheduler::SchedulerOptions;
+use wsc_arch::enumerate::Enumerator;
+use wsc_arch::presets;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn main() {
+    let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
+    let engine = CoExplorationEngine::new(SchedulerOptions {
+        ga: None, // keep the sweep fast; enable for final runs
+        ..SchedulerOptions::default()
+    });
+
+    // Table II presets first.
+    let mut candidates = presets::table_ii_configs();
+    // Plus a few enumerator-generated candidates around them.
+    candidates.extend(Enumerator::paper_space().enumerate().into_iter().take(6));
+
+    println!("exploring {} wafer candidates for {}\n", candidates.len(), job.model.name);
+    let records = engine.explore_all(&candidates, &job);
+    println!("{:<28} {:>14} {:>16} {:>12}", "architecture", "iteration", "parallelism", "feasible");
+    for r in &records {
+        match &r.best {
+            Some(cfg) => println!(
+                "{:<28} {:>12.3}s {:>16} {:>12}",
+                r.arch,
+                cfg.report.iteration.as_secs(),
+                cfg.parallel.to_string(),
+                "yes"
+            ),
+            None => println!("{:<28} {:>14} {:>16} {:>12}", r.arch, "-", "-", "no"),
+        }
+    }
+
+    if let Some((wafer, cfg)) = engine.best(&candidates, &job) {
+        println!(
+            "\nbest architecture: {} -> {} @ {} ({} useful)",
+            wafer.name,
+            cfg.parallel,
+            cfg.report.iteration,
+            cfg.report.useful_throughput
+        );
+    }
+}

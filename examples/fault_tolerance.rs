@@ -1,0 +1,46 @@
+//! Fault tolerance: schedule a job, then sweep link- and die-fault rates
+//! comparing robust WATOS against a non-robust baseline (the Fig. 22
+//! experiment as an API walk-through).
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use watos::robust::{fault_sweep, FaultKind};
+use watos::scheduler::{schedule_fixed, SchedulerOptions};
+use wsc_arch::presets;
+use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn main() {
+    let wafer = presets::config(3);
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    let opts = SchedulerOptions {
+        ga: None,
+        ..SchedulerOptions::default()
+    };
+    let cfg = schedule_fixed(
+        &wafer,
+        &job,
+        4,
+        14,
+        TpSplitStrategy::SequenceParallel,
+        &opts,
+        None,
+    )
+    .expect("schedulable");
+
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    for (kind, label) in [(FaultKind::Link, "link"), (FaultKind::Die, "die")] {
+        println!("\n== {label} faults (normalized throughput) ==");
+        println!("{:>6} {:>10} {:>10} {:>8}", "rate", "robust", "baseline", "gain");
+        for p in fault_sweep(&wafer, &job, &cfg, kind, &rates, 42) {
+            println!(
+                "{:>6.2} {:>10.3} {:>10.3} {:>7.0}%",
+                p.rate,
+                p.robust,
+                p.baseline,
+                (p.robust / p.baseline.max(1e-9) - 1.0) * 100.0
+            );
+        }
+    }
+}

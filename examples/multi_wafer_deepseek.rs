@@ -1,0 +1,48 @@
+//! Multi-wafer scaling: train DeepSeek-V3-671B — which cannot fit one
+//! wafer's DRAM — on a four-wafer Config-3 node, comparing SOTA (1.8 TB/s)
+//! and commodity (400 GB/s) wafer-to-wafer interconnects (§VI-F).
+//!
+//! Run with: `cargo run --release --example multi_wafer_deepseek`
+
+use watos::multiwafer::explore_multi_wafer;
+use watos::scheduler::{explore, SchedulerOptions};
+use wsc_arch::presets;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn main() {
+    let job = TrainingJob::standard(zoo::deepseek_v3());
+    println!(
+        "model: {} ({:.0}B params, modelP = {:.1} TB)",
+        job.model.name,
+        job.model.params_b(),
+        job.model.total_params() * 16.0 / 1e12
+    );
+
+    // A single wafer is pruned by the Alg. 1 memory check.
+    let single = presets::config(3);
+    let opts = SchedulerOptions {
+        ga: None,
+        ..SchedulerOptions::default()
+    };
+    match explore(&single, &job, &opts) {
+        None => println!("single Config-3 wafer: infeasible (as expected — 3.9 TB of DRAM)"),
+        Some(_) => println!("single wafer unexpectedly feasible"),
+    }
+
+    for (name, node) in [
+        ("WATOS-18 (1.8 TB/s W2W)", presets::multi_wafer_18()),
+        ("WATOS-4  (0.4 TB/s W2W)", presets::multi_wafer_4()),
+    ] {
+        match explore_multi_wafer(&node, &job) {
+            Some(r) => println!(
+                "{name}: {} | iter {} | {} useful | {:.0}% of stage boundaries cross wafers",
+                r.parallel,
+                r.iteration,
+                r.useful_throughput,
+                r.w2w_boundary_fraction * 100.0
+            ),
+            None => println!("{name}: infeasible"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: co-explore training strategy and wafer architecture for
+//! one model, print the chosen configuration and its performance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use watos::scheduler::{explore, SchedulerOptions};
+use wsc_arch::presets;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn main() {
+    // 1. Pick a wafer architecture (Table II, Config 3: 56 dies, 70 GB +
+    //    2 TB/s DRAM per die, 4 TB/s D2D).
+    let wafer = presets::config(3);
+
+    // 2. Describe the training job: model shape + batch geometry.
+    let job = TrainingJob::standard(zoo::llama2_30b());
+
+    // 3. Run the WATOS central scheduler (Alg. 1) with its downstream
+    //    recomputation/memory schedulers and GA refinement.
+    let opts = SchedulerOptions::default();
+    let best = explore(&wafer, &job, &opts).expect("Llama2-30B fits Config 3");
+
+    println!("model       : {}", job.model.name);
+    println!("wafer       : {} ({} dies)", wafer.name, wafer.die_count());
+    println!("parallelism : {}", best.parallel);
+    println!("strategy    : {}", best.strategy);
+    println!("collective  : {:?}", best.collective);
+    println!("iteration   : {}", best.report.iteration);
+    println!(
+        "throughput  : {} useful ({:.1}% of peak)",
+        best.report.useful_throughput,
+        best.report.compute_utilization * 100.0
+    );
+    println!(
+        "memory      : {:.1}% mean DRAM occupancy across stages",
+        best.report.dram_utilization * 100.0
+    );
+    println!(
+        "breakdown   : comp {} | exposed comm {} | bubble {}",
+        best.report.comp_time, best.report.comm_time, best.report.bubble_time
+    );
+}

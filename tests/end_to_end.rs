@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: the full co-exploration pipeline from
+//! hardware template to evaluated schedule.
+
+use watos::scheduler::{explore, schedule_fixed, RecomputeMode, SchedulerOptions};
+use wsc_arch::enumerate::Enumerator;
+use wsc_arch::presets;
+use wsc_arch::AreaModel;
+use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn quick_opts() -> SchedulerOptions {
+    SchedulerOptions {
+        ga: None,
+        strategies: vec![TpSplitStrategy::SequenceParallel],
+        ..SchedulerOptions::default()
+    }
+}
+
+#[test]
+fn full_pipeline_on_every_table_ii_config() {
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    for cfg in presets::table_ii_configs() {
+        let best = explore(&cfg, &job, &quick_opts())
+            .unwrap_or_else(|| panic!("{} should host Llama2-30B", cfg.name));
+        assert!(best.report.feasible, "{}", cfg.name);
+        assert!(best.report.iteration.is_finite());
+        assert!(best.report.compute_utilization > 0.05);
+        // Every stage's memory must fit the die.
+        for (s, m) in best.report.stage_memory.iter().enumerate() {
+            assert!(
+                m.as_f64() <= cfg.dram.capacity.as_f64() * 1.02,
+                "{} stage {s} overflows",
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn config3_is_best_or_near_best_for_main_models() {
+    // The paper's headline DSE insight: Config 3 is the universal optimum.
+    let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
+    let mut results = Vec::new();
+    for cfg in presets::table_ii_configs() {
+        let iter = explore(&cfg, &job, &quick_opts())
+            .map(|c| c.report.iteration.as_secs())
+            .unwrap_or(f64::INFINITY);
+        results.push((cfg.name.clone(), iter));
+    }
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"))
+        .expect("nonempty")
+        .clone();
+    let c3 = results.iter().find(|r| r.0 == "Config 3").expect("present");
+    assert!(
+        c3.1 <= best.1 * 1.05,
+        "Config 3 ({}) should be within 5% of the best ({} at {})",
+        c3.1,
+        best.0,
+        best.1
+    );
+}
+
+#[test]
+fn enumerator_candidates_are_schedulable() {
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    let cands = Enumerator::paper_space().enumerate();
+    let model = AreaModel::default();
+    let mut feasible = 0;
+    for cfg in cands.iter().take(8) {
+        assert!(cfg.validate(&model).is_ok());
+        if explore(cfg, &job, &quick_opts()).is_some() {
+            feasible += 1;
+        }
+    }
+    assert!(feasible >= 4, "only {feasible}/8 candidates schedulable");
+}
+
+#[test]
+fn recompute_ladder_is_consistent() {
+    // More capable recompute scheduling never hurts iteration time.
+    let wafer = presets::config(2); // tight memory
+    let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
+    let run = |mode: RecomputeMode| {
+        let opts = SchedulerOptions {
+            recompute: mode,
+            ..quick_opts()
+        };
+        schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::SequenceParallel, &opts, None)
+            .map(|c| c.report.iteration.as_secs())
+    };
+    let none = run(RecomputeMode::None);
+    let naive = run(RecomputeMode::Naive);
+    let gcmr = run(RecomputeMode::Gcmr);
+    // Under pressure, "no recompute" may be infeasible entirely.
+    let gcmr = gcmr.expect("GCMR must schedule");
+    if let Some(naive) = naive {
+        assert!(gcmr <= naive * 1.001, "gcmr {gcmr} vs naive {naive}");
+    }
+    if let Some(none) = none {
+        // When everything fits, recomputation must not be invoked.
+        assert!(gcmr <= none * 1.001);
+    }
+}
+
+#[test]
+fn deterministic_exploration() {
+    let wafer = presets::config(3);
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    let a = explore(&wafer, &job, &quick_opts()).expect("feasible");
+    let b = explore(&wafer, &job, &quick_opts()).expect("feasible");
+    assert_eq!(a.parallel, b.parallel);
+    assert_eq!(a.report.iteration, b.report.iteration);
+}

@@ -1,0 +1,102 @@
+//! Integration tests pinning the paper's qualitative claims — the shapes
+//! EXPERIMENTS.md reports. Each test names the figure it guards.
+
+use watos::scheduler::{explore, SchedulerOptions};
+use wsc_arch::presets;
+use wsc_baselines::cerebras::weight_streaming;
+use wsc_baselines::dse::{run as run_dse, DseMethod};
+use wsc_baselines::gpu::megatron_gpu;
+use wsc_baselines::megatron::mg_wafer;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+fn opts() -> SchedulerOptions {
+    SchedulerOptions {
+        ga: None,
+        ..SchedulerOptions::default()
+    }
+}
+
+#[test]
+fn fig16_watos_beats_all_baselines() {
+    let wafer = presets::config(3);
+    for model in [zoo::llama2_30b(), zoo::llama3_70b()] {
+        let name = model.name.clone();
+        let job = TrainingJob::with_batch(model, 512, 4, 4096);
+        let wa = explore(&wafer, &job, &opts()).expect("watos").report;
+        let gpu = megatron_gpu(&presets::mg_gpu_node(), &job);
+        let mw = mg_wafer(&wafer, &job).expect("mg-wafer");
+        let cb = weight_streaming(&wafer, &job);
+        assert!(
+            wa.useful_throughput.as_f64() > gpu.useful_throughput.as_f64(),
+            "{name}: WATOS vs MG-GPU"
+        );
+        assert!(
+            wa.useful_throughput.as_f64() > mw.report.useful_throughput.as_f64(),
+            "{name}: WATOS vs MG-wafer"
+        );
+        assert!(
+            wa.useful_throughput.as_f64() > cb.useful_throughput.as_f64(),
+            "{name}: WATOS vs Cerebras"
+        );
+    }
+}
+
+#[test]
+fn fig20_watos_tops_every_dse_method() {
+    let wafer = presets::config(3);
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    let watos = run_dse(DseMethod::Watos, &wafer, &job)
+        .expect("watos")
+        .report
+        .useful_throughput
+        .as_f64();
+    for m in DseMethod::all() {
+        if m == DseMethod::Watos {
+            continue;
+        }
+        if let Some(cfg) = run_dse(m, &wafer, &job) {
+            assert!(
+                watos >= cfg.report.useful_throughput.as_f64() * 0.999,
+                "{} beat WATOS",
+                m.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1_wafer_has_lower_exposed_comm_than_gpu_rack() {
+    // The Fig. 1 motivation: ≈2.6x effective-communication reduction.
+    let rows = wsc_bench::figures::early::fig1_data(zoo::llama3_70b());
+    assert!(!rows.is_empty());
+    let mut ratios = Vec::new();
+    for r in &rows {
+        if r.gpu_comm.is_finite() && r.wafer_comm > 0.0 {
+            ratios.push(r.gpu_comm / r.wafer_comm);
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        mean > 1.8,
+        "mean comm reduction {mean:.2} should be well above 1 (paper: 2.62)"
+    );
+}
+
+#[test]
+fn fig15_config3_wins_the_dse() {
+    let data =
+        wsc_bench::figures::evaluation::fig15_data(zoo::llama3_70b(), true, true);
+    let best = data
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    assert_eq!(best.0, "Config 3", "{data:?}");
+}
+
+#[test]
+fn fig18_every_optimization_helps() {
+    let data = wsc_bench::figures::evaluation::fig18_data(zoo::llama3_70b(), true);
+    assert!(data[1].1 <= data[0].1 * 1.001, "+R regressed: {data:?}");
+    assert!(data[3].1 <= data[0].1, "+GA must beat B: {data:?}");
+}
