@@ -42,7 +42,12 @@ impl AreaModel {
     }
 
     /// Check whether `n` die slots fit on the wafer.
-    pub fn check(&self, die: &ComputeDieConfig, dram: &DramStack, n: usize) -> Result<(), ArchError> {
+    pub fn check(
+        &self,
+        die: &ComputeDieConfig,
+        dram: &DramStack,
+        n: usize,
+    ) -> Result<(), ArchError> {
         let required = self.floorplan_area(die, dram, n);
         if required.as_mm2() > self.usable_area.as_mm2() {
             Err(ArchError::InfeasibleArea {
@@ -69,7 +74,8 @@ impl AreaModel {
         let per_row = (die.width.as_f64() / hbm.width.as_f64()).floor().max(1.0);
         let dram_rows = (dram.chiplet_equivalents() / per_row).ceil();
         let pitch_x = die.width.as_f64() + 2.87; // D2D interface strip
-        let pitch_y = die.height.as_f64() + dram_rows * hbm.height.as_f64() * self.dram_overlap_factor;
+        let pitch_y =
+            die.height.as_f64() + dram_rows * hbm.height.as_f64() * self.dram_overlap_factor;
         let nx = (self.wafer_edge.as_f64() / pitch_x).floor() as usize;
         let ny = (self.wafer_edge.as_f64() / pitch_y).floor() as usize;
         // Clamp to total-area feasibility.

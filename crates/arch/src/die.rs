@@ -100,10 +100,14 @@ impl ComputeDieConfig {
     pub fn validate(&self) -> Result<(), ArchError> {
         self.core.validate()?;
         if self.core_rows == 0 || self.core_cols == 0 {
-            return Err(ArchError::InvalidConfig("core array must be non-empty".into()));
+            return Err(ArchError::InvalidConfig(
+                "core array must be non-empty".into(),
+            ));
         }
         if self.width.as_f64() <= 0.0 || self.height.as_f64() <= 0.0 {
-            return Err(ArchError::InvalidConfig("die dimensions must be positive".into()));
+            return Err(ArchError::InvalidConfig(
+                "die dimensions must be positive".into(),
+            ));
         }
         Ok(())
     }

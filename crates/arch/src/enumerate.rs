@@ -191,9 +191,16 @@ pub struct GranularityPoint {
 pub fn die_granularity_sweep() -> Vec<GranularityPoint> {
     let area_model = AreaModel::default();
     let mut out = Vec::new();
-    let areas = [200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0];
+    let areas = [
+        200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0,
+    ];
     let aspects = [1.0, 1.1, 1.5, 2.0, 2.5];
-    let caps = [Bytes::gib(32), Bytes::gib(48), Bytes::gib(64), Bytes::gib(96)];
+    let caps = [
+        Bytes::gib(32),
+        Bytes::gib(48),
+        Bytes::gib(64),
+        Bytes::gib(96),
+    ];
     for &a in &areas {
         for &r in &aspects {
             let die = synth_die(a, r);
@@ -244,7 +251,11 @@ mod tests {
         let cands = Enumerator::paper_space().enumerate();
         assert!(cands.len() >= 20, "only {} candidates", cands.len());
         for c in &cands {
-            assert!(c.validate(&AreaModel::default()).is_ok(), "{} invalid", c.name);
+            assert!(
+                c.validate(&AreaModel::default()).is_ok(),
+                "{} invalid",
+                c.name
+            );
             assert!(!c.d2d_per_die.is_zero());
         }
     }

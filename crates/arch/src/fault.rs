@@ -42,7 +42,8 @@ impl FaultMap {
 
     /// Record a degraded link; `quality` ∈ [0, 1], 0 = completely broken.
     pub fn set_link_quality(&mut self, a: DiePos, b: DiePos, quality: f64) {
-        self.link_quality.insert(canon(a, b), quality.clamp(0.0, 1.0));
+        self.link_quality
+            .insert(canon(a, b), quality.clamp(0.0, 1.0));
     }
 
     /// Record a degraded die; `health` ∈ [0, 1], 0 = dead.
@@ -89,11 +90,19 @@ impl FaultMap {
         for y in 0..ny {
             for x in 0..nx {
                 if x + 1 < nx && rng.gen::<f64>() < rate {
-                    let q = if rng.gen::<f64>() < 0.2 { 0.0 } else { rng.gen::<f64>() * 0.7 };
+                    let q = if rng.gen::<f64>() < 0.2 {
+                        0.0
+                    } else {
+                        rng.gen::<f64>() * 0.7
+                    };
                     map.set_link_quality((x, y), (x + 1, y), q);
                 }
                 if y + 1 < ny && rng.gen::<f64>() < rate {
-                    let q = if rng.gen::<f64>() < 0.2 { 0.0 } else { rng.gen::<f64>() * 0.7 };
+                    let q = if rng.gen::<f64>() < 0.2 {
+                        0.0
+                    } else {
+                        rng.gen::<f64>() * 0.7
+                    };
                     map.set_link_quality((x, y), (x, y + 1), q);
                 }
             }

@@ -63,7 +63,9 @@ impl WaferConfig {
     /// Validate structure and area feasibility under `model`.
     pub fn validate(&self, model: &AreaModel) -> Result<(), ArchError> {
         if self.nx == 0 || self.ny == 0 {
-            return Err(ArchError::InvalidConfig("wafer must hold at least one die".into()));
+            return Err(ArchError::InvalidConfig(
+                "wafer must hold at least one die".into(),
+            ));
         }
         self.die.validate()?;
         model.check(&self.die, &self.dram, self.die_count())

@@ -63,10 +63,8 @@ pub fn estimate(wafer: &WaferConfig, job: &TrainingJob) -> AnalyticEstimate {
 
 /// Rank Table-II-style configs by the analytic model (lower time first).
 pub fn rank<'a>(configs: &'a [WaferConfig], job: &TrainingJob) -> Vec<(&'a WaferConfig, Time)> {
-    let mut out: Vec<(&WaferConfig, Time)> = configs
-        .iter()
-        .map(|c| (c, estimate(c, job).time))
-        .collect();
+    let mut out: Vec<(&WaferConfig, Time)> =
+        configs.iter().map(|c| (c, estimate(c, job).time)).collect();
     out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     out
 }

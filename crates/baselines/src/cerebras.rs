@@ -43,7 +43,12 @@ pub fn weight_streaming(wafer: &WaferConfig, job: &TrainingJob) -> CerebrasResul
     // grid's columns (nx), the reduction dimension across its rows (ny).
     // Shapes are profiled at the column sharding; the row split divides
     // work without shrinking tile extents further.
-    let ctx = ShardingCtx::new(job.micro_batch, job.seq, wafer.nx, TpSplitStrategy::Megatron);
+    let ctx = ShardingCtx::new(
+        job.micro_batch,
+        job.seq,
+        wafer.nx,
+        TpSplitStrategy::Megatron,
+    );
     let row_split = wafer.ny as f64;
     let shape = GroupShape::new(wafer.nx, wafer.ny);
     let link_bw = wafer.d2d_link_bw();
@@ -102,9 +107,7 @@ pub fn weight_streaming(wafer: &WaferConfig, job: &TrainingJob) -> CerebrasResul
     // weight streaming's strength: it essentially always fits.
     let model_p_per_die = Bytes::new((model_p_total(&job.model).as_f64() / n as f64) as u64);
     let act_per_die = Bytes::new(
-        ((job.micro_batch * job.seq * job.model.hidden * 2) as f64
-            * job.model.layers as f64
-            * 6.0
+        ((job.micro_batch * job.seq * job.model.hidden * 2) as f64 * job.model.layers as f64 * 6.0
             / n as f64) as u64,
     );
     let feasible = model_p_per_die + act_per_die <= wafer.dram.capacity;
@@ -128,7 +131,8 @@ pub fn weight_streaming(wafer: &WaferConfig, job: &TrainingJob) -> CerebrasResul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watos::scheduler::{explore, SchedulerOptions};
+    use watos::scheduler::SchedulerOptions;
+    use watos::Explorer;
     use wsc_arch::presets;
     use wsc_workload::zoo;
 
@@ -151,7 +155,14 @@ mod tests {
             ga: None,
             ..SchedulerOptions::default()
         };
-        let wa = explore(&wafer, &job, &opts).expect("watos feasible");
+        let (_, wa) = Explorer::builder()
+            .job(job.clone())
+            .wafer(wafer.clone())
+            .options(opts)
+            .build()
+            .expect("valid")
+            .run_for_best()
+            .expect("watos feasible");
         let ratio = cb.iteration.as_secs() / wa.report.iteration.as_secs();
         assert!(
             ratio > 1.0,

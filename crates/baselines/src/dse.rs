@@ -16,9 +16,8 @@
 //! | WATOS     | ✓                  | ✓               | ✓             | ✓ (GCMR)         | optimized + GA |
 
 use serde::{Deserialize, Serialize};
-use watos::scheduler::{
-    explore, schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions,
-};
+use watos::scheduler::{schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::CollectiveAlgo;
 use wsc_workload::parallel::TpSplitStrategy;
@@ -96,10 +95,19 @@ pub fn run(method: DseMethod, wafer: &WaferConfig, job: &TrainingJob) -> Option<
             let mut opts = base_options();
             opts.collectives = vec![CollectiveAlgo::RingUni];
             let dies = wafer.die_count();
-            let tp = [16usize, 8, 4, 2, 1]
-                .into_iter()
-                .find(|&t| t <= dies && watos::placement::choose_tile(wafer.nx, wafer.ny, t, dies / t).is_some())?;
-            schedule_fixed(wafer, job, tp, dies / tp, TpSplitStrategy::Megatron, &opts, None)
+            let tp = [16usize, 8, 4, 2, 1].into_iter().find(|&t| {
+                t <= dies
+                    && watos::placement::choose_tile(wafer.nx, wafer.ny, t, dies / t).is_some()
+            })?;
+            schedule_fixed(
+                wafer,
+                job,
+                tp,
+                dies / tp,
+                TpSplitStrategy::Megatron,
+                &opts,
+                None,
+            )
         }
         DseMethod::DfModel => {
             // Parallelism search with a flat-network cost model: pick
@@ -123,21 +131,21 @@ pub fn run(method: DseMethod, wafer: &WaferConfig, job: &TrainingJob) -> Option<
             let mut opts = base_options();
             opts.collectives = vec![CollectiveAlgo::TwoDimensional];
             opts.tp_candidates = Some(vec![4, 8, 16]);
-            explore(wafer, job, &opts)
+            facade_explore(wafer, job, &opts)
         }
         DseMethod::Gemini => {
             // Mesh-aware mapping/architecture co-exploration, but no
             // DRAM-capacity management and no recompute scheduling.
             let mut opts = base_options();
             opts.memory_scheduler = false;
-            explore(wafer, job, &opts)
+            facade_explore(wafer, job, &opts)
         }
         DseMethod::Pd => {
             // Topology-focused: best collectives (synthesized schedules),
             // but memory constraints are not alleviated.
             let mut opts = base_options();
             opts.collectives = vec![CollectiveAlgo::RingBi, CollectiveAlgo::Tacos];
-            explore(wafer, job, &opts)
+            facade_explore(wafer, job, &opts)
         }
         DseMethod::WscLlm => {
             // Wafer-aware co-exploration with memory scheduling, but
@@ -145,7 +153,7 @@ pub fn run(method: DseMethod, wafer: &WaferConfig, job: &TrainingJob) -> Option<
             let mut opts = base_options();
             opts.memory_scheduler = true;
             opts.strategies = vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel];
-            explore(wafer, job, &opts)
+            facade_explore(wafer, job, &opts)
         }
         DseMethod::Watos => {
             // WATOS's TP engine explores the full collective menu.
@@ -154,9 +162,31 @@ pub fn run(method: DseMethod, wafer: &WaferConfig, job: &TrainingJob) -> Option<
                 collectives: vec![CollectiveAlgo::RingBi, CollectiveAlgo::Tacos],
                 ..SchedulerOptions::default()
             };
-            explore(wafer, job, &opts)
+            facade_explore(wafer, job, &opts)
         }
     }
+}
+
+/// Single-candidate exploration through the `Explorer` facade (each DSE
+/// method is a differently-constrained WATOS session).
+fn facade_explore(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    opts: &SchedulerOptions,
+) -> Option<ScheduledConfig> {
+    Explorer::builder()
+        .job(job.clone())
+        .wafer(wafer.clone())
+        .options(opts.clone())
+        // The seed-era `explore` did no area validation; DSE comparisons
+        // run on deliberately synthetic wafers, so keep that behavior.
+        .allow_invalid_architectures()
+        .build()
+        .ok()?
+        .run()
+        .single_wafer
+        .swap_remove(0)
+        .best
 }
 
 /// (tp, pp) selection under a flat-network assumption: volume over a flat
@@ -186,7 +216,7 @@ fn flat_network_pick(
                 / tp as f64;
             let comm = volume / wafer.d2d_per_die.as_bytes_per_s();
             let t = comp + comm;
-            if best.map_or(true, |(bt, _, _)| t < bt) {
+            if best.is_none_or(|(bt, _, _)| t < bt) {
                 best = Some((t, tp, pp));
             }
         }
@@ -196,7 +226,15 @@ fn flat_network_pick(
     schedule_fixed(wafer, job, tp, pp, opts.strategies[0], opts, None).or_else(|| {
         // If the flat choice is infeasible on the real machine, the tool
         // would fall back to halving TP.
-        schedule_fixed(wafer, job, (tp / 2).max(1), pp, opts.strategies[0], opts, None)
+        schedule_fixed(
+            wafer,
+            job,
+            (tp / 2).max(1),
+            pp,
+            opts.strategies[0],
+            opts,
+            None,
+        )
     })
 }
 
@@ -226,7 +264,11 @@ mod tests {
             .iteration
             .as_secs();
         for m in [DseMethod::Timeloop, DseMethod::Hecaton, DseMethod::DfModel] {
-            let other = run(m, &wafer, &job).expect("feasible").report.iteration.as_secs();
+            let other = run(m, &wafer, &job)
+                .expect("feasible")
+                .report
+                .iteration
+                .as_secs();
             assert!(
                 watos_iter <= other * 1.001,
                 "{}: watos {watos_iter} vs {other}",
@@ -239,8 +281,16 @@ mod tests {
     fn timeloop_is_worst_class() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let tl = run(DseMethod::Timeloop, &wafer, &job).unwrap().report.iteration.as_secs();
-        let gm = run(DseMethod::Gemini, &wafer, &job).unwrap().report.iteration.as_secs();
+        let tl = run(DseMethod::Timeloop, &wafer, &job)
+            .unwrap()
+            .report
+            .iteration
+            .as_secs();
+        let gm = run(DseMethod::Gemini, &wafer, &job)
+            .unwrap()
+            .report
+            .iteration
+            .as_secs();
         assert!(tl >= gm, "timeloop {tl} should not beat gemini {gm}");
     }
 }

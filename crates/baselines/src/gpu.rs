@@ -92,7 +92,12 @@ pub fn evaluate_gpu(
         return GpuPerf::infeasible();
     }
     let dm = DieModel::new(gpu_die(gpu), gpu.hbm_bw_per_gpu);
-    let ctx = ShardingCtx::new(job.micro_batch, job.seq, tp, TpSplitStrategy::SequenceParallel);
+    let ctx = ShardingCtx::new(
+        job.micro_batch,
+        job.seq,
+        tp,
+        TpSplitStrategy::SequenceParallel,
+    );
     let n_mb = job.microbatches(dp);
     let cap = gpu.hbm_per_gpu;
 
@@ -128,17 +133,25 @@ pub fn evaluate_gpu(
             fwd += p.fwd_time();
             bwd += p.bwd_time();
             ckpt += p.full_ckpt_bytes();
-            let f_comm = flat_all_reduce_time(tp, p.fwd_comm(), gpu.nvlink_bw_per_gpu, gpu.nvlink_latency);
-            let b_comm = flat_all_reduce_time(tp, p.bwd_comm(), gpu.nvlink_bw_per_gpu, gpu.nvlink_latency);
+            let f_comm =
+                flat_all_reduce_time(tp, p.fwd_comm(), gpu.nvlink_bw_per_gpu, gpu.nvlink_latency);
+            let b_comm =
+                flat_all_reduce_time(tp, p.bwd_comm(), gpu.nvlink_bw_per_gpu, gpu.nvlink_latency);
             fwd += f_comm;
             bwd += b_comm;
             comm += f_comm + b_comm;
         }
         if dense_n > 0 {
-            menus.push(RecomputeMenu::from_layer_profile(dense.as_ref().unwrap(), dense_n));
+            menus.push(RecomputeMenu::from_layer_profile(
+                dense.as_ref().unwrap(),
+                dense_n,
+            ));
         }
         if moe_n > 0 {
-            menus.push(RecomputeMenu::from_layer_profile(moe.as_ref().unwrap(), moe_n));
+            menus.push(RecomputeMenu::from_layer_profile(
+                moe.as_ref().unwrap(),
+                moe_n,
+            ));
         }
         let menu = RecomputeMenu::merged(menus);
         // Memory: modelP + in-flight checkpoints, per-GPU recomputation.
@@ -157,7 +170,7 @@ pub fn evaluate_gpu(
         total_recompute += recomp;
         bwd += recomp;
         // Pipeline p2p: NVLink within a node, InfiniBand across nodes.
-        let crosses_node = tp * (s + 1) % gpu.gpus_per_node == 0 && gpu.nodes() > 1;
+        let crosses_node = (tp * (s + 1)).is_multiple_of(gpu.gpus_per_node) && gpu.nodes() > 1;
         let (bw, lat) = if crosses_node {
             (gpu.inter_node_bw, gpu.inter_node_latency)
         } else {
@@ -191,9 +204,8 @@ pub fn evaluate_gpu(
     }
     let useful = job.flops_per_iter();
     let fwd_share: f64 = timings.iter().map(|t| t.fwd.as_secs()).sum();
-    let recompute_flops = useful.scale(
-        (total_recompute.as_secs() / fwd_share.max(1e-12) * 0.5).min(1.0),
-    );
+    let recompute_flops =
+        useful.scale((total_recompute.as_secs() / fwd_share.max(1e-12) * 0.5).min(1.0));
     GpuPerf {
         iteration,
         comp_time: worst_comp,
@@ -212,7 +224,7 @@ pub fn evaluate_gpu(
 pub fn megatron_parallelism(gpu: &GpuSystemConfig, job: &TrainingJob) -> (usize, usize, usize) {
     let mut tp = 1;
     for cand in [2usize, 4, 8] {
-        if cand <= gpu.gpus_per_node.min(gpu.gpus) && job.model.heads % cand == 0 {
+        if cand <= gpu.gpus_per_node.min(gpu.gpus) && job.model.heads.is_multiple_of(cand) {
             tp = cand;
         }
     }

@@ -14,6 +14,7 @@ pub mod fsdp;
 pub mod gpu;
 pub mod megatron;
 pub mod offload;
+pub mod suite;
 
 pub use crate::analytic::{estimate as analytic_estimate, AnalyticEstimate};
 pub use crate::cerebras::{weight_streaming, CerebrasResult};
@@ -22,3 +23,6 @@ pub use crate::fsdp::{compare as fsdp_compare, FsdpComparison};
 pub use crate::gpu::{evaluate_gpu, gpu_die, megatron_gpu, megatron_parallelism, GpuPerf};
 pub use crate::megatron::{mg_parallelism, mg_wafer, MgWaferResult};
 pub use crate::offload::{compare as offload_compare, OffloadComparison};
+pub use crate::suite::{
+    dse_suite, standard_suite, CerebrasWeightStreaming, MegatronGpu, MegatronWafer, PriorDse,
+};

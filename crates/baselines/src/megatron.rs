@@ -38,7 +38,7 @@ pub struct MgWaferResult {
 pub fn mg_parallelism(job: &TrainingJob, devices: usize, capacity: f64) -> (usize, usize) {
     let mut tp = 1;
     for cand in [2usize, 4, 8] {
-        if cand <= devices && job.model.heads % cand == 0 {
+        if cand <= devices && job.model.heads.is_multiple_of(cand) {
             tp = cand;
         }
     }
@@ -95,8 +95,7 @@ pub fn mg_wafer(wafer: &WaferConfig, job: &TrainingJob) -> Option<MgWaferResult>
             if !plan.feasible {
                 continue;
             }
-            let Some(placement): Option<Placement> = row_major(wafer.nx, wafer.ny, pp, w, h)
-            else {
+            let Some(placement): Option<Placement> = row_major(wafer.nx, wafer.ny, pp, w, h) else {
                 continue;
             };
             let report = evaluate(&EvalInput {
@@ -122,7 +121,7 @@ pub fn mg_wafer(wafer: &WaferConfig, job: &TrainingJob) -> Option<MgWaferResult>
             }
             let better = best
                 .as_ref()
-                .map_or(true, |b| report.iteration.as_secs() < b.report.iteration.as_secs());
+                .is_none_or(|b| report.iteration.as_secs() < b.report.iteration.as_secs());
             if better {
                 best = Some(MgWaferResult {
                     parallel,
@@ -138,7 +137,8 @@ pub fn mg_wafer(wafer: &WaferConfig, job: &TrainingJob) -> Option<MgWaferResult>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use watos::scheduler::{explore, SchedulerOptions};
+    use watos::scheduler::SchedulerOptions;
+    use watos::Explorer;
     use wsc_arch::presets;
     use wsc_workload::zoo;
 
@@ -161,7 +161,14 @@ mod tests {
             ga: None,
             ..SchedulerOptions::default()
         };
-        let wa = explore(&wafer, &job, &opts).expect("watos feasible");
+        let (_, wa) = Explorer::builder()
+            .job(job.clone())
+            .wafer(wafer.clone())
+            .options(opts)
+            .build()
+            .expect("valid")
+            .run_for_best()
+            .expect("watos feasible");
         assert!(
             wa.report.iteration.as_secs() < mg.report.iteration.as_secs(),
             "WATOS {} should beat MG-wafer {}",

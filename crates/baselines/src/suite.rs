@@ -1,0 +1,156 @@
+//! [`BaselineModel`] adapters: plug the paper's comparison systems into
+//! `watos::Explorer::builder().with_baselines(..)` so baseline runs land
+//! in the same [`watos::ExplorationReport`] as the exploration itself.
+
+use crate::cerebras::weight_streaming;
+use crate::dse::{run as run_dse, DseMethod};
+use crate::gpu::megatron_gpu;
+use crate::megatron::mg_wafer;
+use watos::{BaselineModel, BaselineOutcome};
+use wsc_arch::presets::GpuSystemConfig;
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::training::TrainingJob;
+
+/// Megatron-LM on a GPU cluster (Fig. 16 "MG-GPU").
+///
+/// Evaluates the configured GPU system regardless of the wafer the
+/// explorer settled on — the wafer argument only scales nothing here.
+pub struct MegatronGpu {
+    /// The GPU cluster to model.
+    pub system: GpuSystemConfig,
+}
+
+impl MegatronGpu {
+    /// The paper's reference A100-class cluster.
+    pub fn paper_node() -> Self {
+        MegatronGpu {
+            system: wsc_arch::presets::mg_gpu_node(),
+        }
+    }
+}
+
+impl BaselineModel for MegatronGpu {
+    fn name(&self) -> String {
+        "MG-GPU".into()
+    }
+
+    fn evaluate(&self, _wafer: &WaferConfig, job: &TrainingJob) -> Option<BaselineOutcome> {
+        let perf = megatron_gpu(&self.system, job);
+        perf.feasible.then_some(BaselineOutcome {
+            iteration: perf.iteration,
+            useful_throughput: perf.useful_throughput,
+        })
+    }
+}
+
+/// Megatron's GPU strategy transplanted onto the wafer (Fig. 16
+/// "MG-wafer").
+pub struct MegatronWafer;
+
+impl BaselineModel for MegatronWafer {
+    fn name(&self) -> String {
+        "MG-wafer".into()
+    }
+
+    fn evaluate(&self, wafer: &WaferConfig, job: &TrainingJob) -> Option<BaselineOutcome> {
+        mg_wafer(wafer, job).map(|r| BaselineOutcome {
+            iteration: r.report.iteration,
+            useful_throughput: r.report.useful_throughput,
+        })
+    }
+}
+
+/// Cerebras-style weight streaming (Fig. 16 "Cerebras").
+pub struct CerebrasWeightStreaming;
+
+impl BaselineModel for CerebrasWeightStreaming {
+    fn name(&self) -> String {
+        "Cerebras".into()
+    }
+
+    fn evaluate(&self, wafer: &WaferConfig, job: &TrainingJob) -> Option<BaselineOutcome> {
+        let r = weight_streaming(wafer, job);
+        r.feasible.then_some(BaselineOutcome {
+            iteration: r.iteration,
+            useful_throughput: r.useful_throughput,
+        })
+    }
+}
+
+/// One of the prior DSE frameworks of Fig. 20.
+pub struct PriorDse(pub DseMethod);
+
+impl BaselineModel for PriorDse {
+    fn name(&self) -> String {
+        self.0.label().to_string()
+    }
+
+    fn evaluate(&self, wafer: &WaferConfig, job: &TrainingJob) -> Option<BaselineOutcome> {
+        run_dse(self.0, wafer, job).map(|cfg| BaselineOutcome {
+            iteration: cfg.report.iteration,
+            useful_throughput: cfg.report.useful_throughput,
+        })
+    }
+}
+
+/// The Fig. 16 comparison set: MG-GPU, MG-wafer, Cerebras.
+pub fn standard_suite() -> Vec<Box<dyn BaselineModel>> {
+    vec![
+        Box::new(MegatronGpu::paper_node()),
+        Box::new(MegatronWafer),
+        Box::new(CerebrasWeightStreaming),
+    ]
+}
+
+/// Every prior DSE framework of Fig. 20 (excluding WATOS itself).
+pub fn dse_suite() -> Vec<Box<dyn BaselineModel>> {
+    DseMethod::all()
+        .into_iter()
+        .filter(|m| *m != DseMethod::Watos)
+        .map(|m| Box::new(PriorDse(m)) as Box<dyn BaselineModel>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watos::Explorer;
+    use wsc_arch::presets;
+    use wsc_workload::parallel::TpSplitStrategy;
+    use wsc_workload::zoo;
+
+    #[test]
+    fn baselines_land_in_the_report() {
+        let report = Explorer::builder()
+            .job(TrainingJob::standard(zoo::llama2_30b()))
+            .wafer(presets::config(3))
+            .no_ga()
+            .strategies(vec![TpSplitStrategy::Megatron])
+            .with_baselines(standard_suite())
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(report.baselines.len(), 3);
+        let names: Vec<&str> = report.baselines.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["MG-GPU", "MG-wafer", "Cerebras"]);
+        // WATOS wins the Fig. 16 comparison on its best architecture.
+        let watos_tp = report
+            .best()
+            .expect("feasible")
+            .best
+            .as_ref()
+            .expect("schedule")
+            .report
+            .useful_throughput
+            .as_f64();
+        for b in &report.baselines {
+            if let Some(outcome) = &b.outcome {
+                assert!(
+                    watos_tp > outcome.useful_throughput.as_f64(),
+                    "{} beat WATOS",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -6,9 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use watos::ga::GaParams;
-use watos::placement::{optimize, serpentine, PairDemand};
-use watos::scheduler::{explore, schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::placement::{optimize, PairDemand};
+use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
 use watos::stage::build_stage_profiles;
 use wsc_arch::presets;
 use wsc_arch::units::{Bandwidth, Bytes, Time};
@@ -63,13 +62,7 @@ fn bench_kernels(c: &mut Criterion) {
     let wafer = presets::config(3);
     let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
     let ctx = ShardingCtx::new(4, 4096, 4, TpSplitStrategy::Megatron);
-    let stages = build_stage_profiles(
-        &wafer,
-        &job,
-        ParallelSpec::model_parallel(4, 14),
-        &ctx,
-        128,
-    );
+    let stages = build_stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, 14), &ctx, 128);
     let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
     g.bench_function("gcmr_dp_14_stages", |b| {
         b.iter(|| black_box(gcmr(&inputs, wafer.dram.capacity, 11)));
@@ -77,8 +70,16 @@ fn bench_kernels(c: &mut Criterion) {
 
     let mesh = Mesh2D::new(8, 4);
     let pairs = vec![
-        PairDemand { sender: 0, helper: 7, volume: 1.0 },
-        PairDemand { sender: 1, helper: 6, volume: 1.0 },
+        PairDemand {
+            sender: 0,
+            helper: 7,
+            volume: 1.0,
+        },
+        PairDemand {
+            sender: 1,
+            helper: 6,
+            volume: 1.0,
+        },
     ];
     g.bench_function("placement_optimize_8_stages", |b| {
         b.iter(|| black_box(optimize(&mesh, 8, 2, 2, 1.0, &pairs, 42)));
@@ -86,11 +87,7 @@ fn bench_kernels(c: &mut Criterion) {
 
     // The paper quotes 0.274 s per 100 global-optimizer exploration steps.
     g.bench_function("ga_100_steps", |b| {
-        b.iter(|| {
-            black_box(figures::discussion::ga_history(
-                &wafer, &job, 0.5, 100,
-            ))
-        });
+        b.iter(|| black_box(figures::discussion::ga_history(&wafer, &job, 0.5, 100)));
     });
     g.finish();
 }
@@ -117,7 +114,7 @@ fn bench_scheduling(c: &mut Criterion) {
     });
 
     g.bench_function("explore_config3_llama30b", |b| {
-        b.iter(|| black_box(explore(&wafer, &job, &quick_opts())));
+        b.iter(|| black_box(wsc_bench::util::explore_one(&wafer, &job, &quick_opts())));
     });
 
     let mut naive = quick_opts();

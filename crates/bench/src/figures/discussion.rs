@@ -2,11 +2,12 @@
 //! generality, robustness, mesh-switch topology, multi-wafer scaling, GA
 //! trade-off and the die-granularity hardware DSE.
 
+use crate::util::{explore_node, explore_one};
 use crate::util::{f2, f3, normalize_min1, watos_options, TextTable};
 use watos::ga::GaParams;
-use watos::multiwafer::explore_multi_wafer;
-use watos::robust::{fault_sweep, FaultKind};
-use watos::scheduler::{explore, schedule_fixed, SchedulerOptions};
+use watos::robust::FaultKind;
+use watos::scheduler::{schedule_fixed, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::enumerate::die_granularity_sweep;
 use wsc_arch::presets;
 use wsc_baselines::dse::{run as run_dse, DseMethod};
@@ -28,7 +29,13 @@ pub fn fig19(quick: bool) -> String {
     let mut t = TextTable::new(vec!["model", "MG", "MW", "C", "WATOS (norm tput)"]);
     for r in &rows {
         let norm = normalize_min1(&r.throughput);
-        t.row(vec![r.model.clone(), f2(norm[0]), f2(norm[1]), f2(norm[2]), f2(norm[3])]);
+        t.row(vec![
+            r.model.clone(),
+            f2(norm[0]),
+            f2(norm[1]),
+            f2(norm[2]),
+            f2(norm[3]),
+        ]);
     }
     out.push_str(&t.render());
     out
@@ -91,10 +98,18 @@ pub fn fig21(quick: bool) -> String {
         ]);
         let variants: Vec<(&str, Vec<CollectiveAlgo>, bool)> = vec![
             ("1D TP", vec![CollectiveAlgo::RingBi], false),
-            ("2D TP", vec![CollectiveAlgo::TwoDimensional, CollectiveAlgo::RingBi], false),
+            (
+                "2D TP",
+                vec![CollectiveAlgo::TwoDimensional, CollectiveAlgo::RingBi],
+                false,
+            ),
             (
                 "TACOS",
-                vec![CollectiveAlgo::RingBi, CollectiveAlgo::RingBiOdd, CollectiveAlgo::Tacos],
+                vec![
+                    CollectiveAlgo::RingBi,
+                    CollectiveAlgo::RingBiOdd,
+                    CollectiveAlgo::Tacos,
+                ],
                 true,
             ),
         ];
@@ -103,12 +118,16 @@ pub fn fig21(quick: bool) -> String {
             let mut opts = watos_options(true);
             opts.collectives = collectives;
             opts.allow_odd_tp = odd;
-            let best = explore(&wafer, &job, &opts);
+            let best = explore_one(&wafer, &job, &opts);
             results.push((label, best));
         }
         let times: Vec<f64> = results
             .iter()
-            .map(|(_, b)| b.as_ref().map(|c| c.report.iteration.as_secs()).unwrap_or(f64::INFINITY))
+            .map(|(_, b)| {
+                b.as_ref()
+                    .map(|c| c.report.iteration.as_secs())
+                    .unwrap_or(f64::INFINITY)
+            })
             .collect();
         let norm = normalize_min1(&times);
         for (i, (label, best)) in results.iter().enumerate() {
@@ -133,19 +152,34 @@ pub fn fig21(quick: bool) -> String {
 pub fn fig22(quick: bool) -> String {
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::llama2_30b());
-    let opts = watos_options(true);
-    let cfg = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::SequenceParallel, &opts, None)
-        .expect("schedulable");
+    // Pin the paper's configuration point (TP=4, sequence parallel) and
+    // let the facade schedule it, then sweep both fault kinds on it.
+    let mut opts = watos_options(true);
+    opts.tp_candidates = Some(vec![4]);
+    opts.strategies = vec![TpSplitStrategy::SequenceParallel];
+    opts.seed = 42;
     let rates: Vec<f64> = if quick {
         vec![0.0, 0.2, 0.4, 0.6]
     } else {
         vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
     };
+    let report = Explorer::builder()
+        .job(job)
+        .wafer(wafer)
+        .options(opts)
+        .with_faults([FaultKind::Link, FaultKind::Die], rates.iter().copied())
+        .build()
+        .expect("facade configuration is valid")
+        .run();
     let mut out = String::from("Fig. 22: fault tolerance (Config 3, Llama2-30B)\n");
-    for (kind, label) in [(FaultKind::Link, "link"), (FaultKind::Die, "die")] {
-        let pts = fault_sweep(&wafer, &job, &cfg, kind, &rates, 42);
+    for sweep in &report.fault_sweeps {
+        let label = match sweep.kind {
+            FaultKind::Link => "link",
+            FaultKind::Die => "die",
+        };
+        let pts = &sweep.points;
         let mut t = TextTable::new(vec!["fault rate", "WATOS", "baseline"]);
-        for p in &pts {
+        for p in pts {
             t.row(vec![f2(p.rate), f2(p.robust), f2(p.baseline)]);
         }
         let at20 = pts.iter().find(|p| (p.rate - 0.2).abs() < 1e-9);
@@ -206,7 +240,12 @@ pub fn fig23(quick: bool) -> String {
             if pp > job.model.layers || pp == 0 {
                 return f64::INFINITY;
             }
-            let ctx = ShardingCtx::new(job.micro_batch, job.seq, tp, TpSplitStrategy::SequenceParallel);
+            let ctx = ShardingCtx::new(
+                job.micro_batch,
+                job.seq,
+                tp,
+                TpSplitStrategy::SequenceParallel,
+            );
             let n_mb = job.microbatches(1);
             let stages = build_stage_profiles(
                 &group_wafer,
@@ -294,15 +333,24 @@ pub fn fig24a(quick: bool) -> String {
     for model in models {
         let job = TrainingJob::standard(model.clone());
         let g = wsc_baselines::gpu::megatron_gpu(&gpu, &job);
-        let w18 = explore_multi_wafer(&fast, &job);
-        let w4 = explore_multi_wafer(&slow, &job);
+        let w18 = explore_node(&fast, &job);
+        let w4 = explore_node(&slow, &job);
         let tputs = [
             g.useful_throughput.as_f64(),
-            w4.as_ref().map(|r| r.useful_throughput.as_f64()).unwrap_or(0.0),
-            w18.as_ref().map(|r| r.useful_throughput.as_f64()).unwrap_or(0.0),
+            w4.as_ref()
+                .map(|r| r.useful_throughput.as_f64())
+                .unwrap_or(0.0),
+            w18.as_ref()
+                .map(|r| r.useful_throughput.as_f64())
+                .unwrap_or(0.0),
         ];
         let norm = normalize_min1(&tputs);
-        t.row(vec![model.name.clone(), f2(norm[0]), f2(norm[1]), f2(norm[2])]);
+        t.row(vec![
+            model.name.clone(),
+            f2(norm[0]),
+            f2(norm[1]),
+            f2(norm[2]),
+        ]);
     }
     out.push_str(&t.render());
     out
@@ -404,7 +452,11 @@ pub fn fig24b(quick: bool) -> String {
     let mut t = TextTable::new(vec!["omega", "step 10", "mid", "final"]);
     for omega in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let hist = ga_history(&wafer, &job, omega, steps);
-        let pick = |i: usize| hist.get(i.min(hist.len().saturating_sub(1))).copied().unwrap_or(1.0);
+        let pick = |i: usize| {
+            hist.get(i.min(hist.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(1.0)
+        };
         t.row(vec![
             f2(omega),
             f3(pick(10)),
@@ -457,7 +509,7 @@ pub fn fig25(quick: bool) -> String {
                 let comm_bonus = d2d / (d2d + 2.0e12);
                 peak * 0.45 * comm_bonus
             } else {
-                explore(&p.wafer, &job, &opts)
+                explore_one(&p.wafer, &job, &opts)
                     .map(|c| {
                         // Scale the exposed-comm share by the edge factor.
                         let r = &c.report;
@@ -473,16 +525,19 @@ pub fn fig25(quick: bool) -> String {
             evals.push((p.class.to_string(), tput, mem));
         }
         for (class, tput, mem) in evals {
-            by_class.entry(class).or_default().push((tput / max_tput, mem / max_mem));
+            by_class
+                .entry(class)
+                .or_default()
+                .push((tput / max_tput, mem / max_mem));
         }
         let mut classes: Vec<_> = by_class.into_iter().collect();
         classes.sort_by(|a, b| a.0.cmp(&b.0));
         let mut best_class = (String::new(), 0.0f64);
         for (class, pts) in &classes {
-            let best = pts
-                .iter()
-                .map(|(t, m)| (t * m, *t, *m))
-                .fold((0.0f64, 0.0f64, 0.0f64), |acc, v| if v.0 > acc.0 { v } else { acc });
+            let best = pts.iter().map(|(t, m)| (t * m, *t, *m)).fold(
+                (0.0f64, 0.0f64, 0.0f64),
+                |acc, v| if v.0 > acc.0 { v } else { acc },
+            );
             if best.0 > best_class.1 {
                 best_class = (class.clone(), best.0);
             }
@@ -529,7 +584,10 @@ mod tests {
         let diverse = ga_history(&wafer, &job, 0.25, 25);
         let g_final = greedy.last().copied().unwrap_or(1.0);
         let d_final = diverse.last().copied().unwrap_or(1.0);
-        assert!(d_final >= g_final * 0.9, "diverse {d_final} vs greedy {g_final}");
+        assert!(
+            d_final >= g_final * 0.9,
+            "diverse {d_final} vs greedy {g_final}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn table2(_quick: bool) -> String {
             format!("{}", cfg.d2d_per_die),
         ]);
     }
-    format!("Table II: representative hardware configurations\n{}", t.render())
+    format!(
+        "Table II: representative hardware configurations\n{}",
+        t.render()
+    )
 }
 
 /// One platform-comparison row of Fig. 1: (comp, exposed comm) per config.
@@ -85,7 +88,8 @@ pub fn fig1_data(model: wsc_workload::model::LlmModel) -> Vec<Fig1Row> {
         rows.push(Fig1Row {
             config: format!("D({dp})T({tp})P({pp})"),
             gpu_comp: g.comp_time.as_secs(),
-            gpu_comm: g.comm_time.as_secs() + (g.iteration - g.comp_time - g.comm_time).as_secs() * 0.5,
+            gpu_comm: g.comm_time.as_secs()
+                + (g.iteration - g.comp_time - g.comm_time).as_secs() * 0.5,
             wafer_comp: report.comp_time.as_secs(),
             wafer_comm: report.comm_time.as_secs(),
         });
@@ -136,13 +140,12 @@ pub fn fig1(_quick: bool) -> String {
 pub fn fig2(quick: bool) -> String {
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::llama2_30b());
-    let potential = job.flops_per_iter().as_f64()
-        / (wafer.total_flops().as_f64() * 0.55); // achievable-utilization bound
-    // Step 2: Megatron's strategy dropped onto the wafer, untouched.
+    let potential = job.flops_per_iter().as_f64() / (wafer.total_flops().as_f64() * 0.55); // achievable-utilization bound
+                                                                                           // Step 2: Megatron's strategy dropped onto the wafer, untouched.
     let mg = wsc_baselines::megatron::mg_wafer(&wafer, &job).expect("mg-wafer feasible");
     // Step 3/4: strategy-level DSE on the fixed architecture.
     let opts = crate::util::watos_options(quick);
-    let wa = watos::scheduler::explore(&wafer, &job, &opts).expect("watos feasible");
+    let wa = crate::util::explore_one(&wafer, &job, &opts).expect("watos feasible");
     let mut t = TextTable::new(vec!["Step", "Iteration (s)", "Real/Potential"]);
     t.row(vec![
         "potential (compute bound)".to_string(),

@@ -1,10 +1,12 @@
 //! Figures 10, 11, 15–18: predictor accuracy, placement, the architecture
 //! DSE, overall performance, utilization and the ablation.
 
+use crate::util::explore_one;
 use crate::util::{f2, f3, normalize_min1, watos_options, TextTable};
 use watos::ga::GaParams;
 use watos::placement::{global_cost, optimize, row_major, PairDemand};
-use watos::scheduler::{explore, schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::presets;
 use wsc_arch::units::Bandwidth;
 use wsc_baselines::analytic::estimate as analytic_estimate;
@@ -22,7 +24,11 @@ use wsc_workload::zoo;
 /// Fig. 10b: DNN predictor vs analytic model accuracy.
 pub fn fig10b(quick: bool) -> String {
     let dm = DieModel::new(presets::big_die(), Bandwidth::tb_per_s(2.0));
-    let (n_train, n_test, epochs) = if quick { (400, 100, 120) } else { (1600, 400, 400) };
+    let (n_train, n_test, epochs) = if quick {
+        (400, 100, 120)
+    } else {
+        (1600, 400, 400)
+    };
     let train = generate_corpus(&dm, n_train, 7);
     let test = generate_corpus(&dm, n_test, 1234);
     let p = DnnPredictor::train(&train, epochs, 99);
@@ -72,8 +78,16 @@ pub fn fig10c(_quick: bool) -> String {
 pub fn fig11(_quick: bool) -> String {
     let mesh = Mesh2D::new(8, 4);
     let pairs = vec![
-        PairDemand { sender: 0, helper: 7, volume: 1.0 },
-        PairDemand { sender: 1, helper: 6, volume: 1.0 },
+        PairDemand {
+            sender: 0,
+            helper: 7,
+            volume: 1.0,
+        },
+        PairDemand {
+            sender: 1,
+            helper: 6,
+            volume: 1.0,
+        },
     ];
     let naive = row_major(8, 4, 8, 2, 2).expect("fits");
     let opt = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 42).expect("fits");
@@ -91,8 +105,7 @@ pub fn fig11(_quick: bool) -> String {
         f2(hops(&opt, 1, 6)),
         f2(global_cost(&mesh, &opt, 1.0, &pairs)),
     ]);
-    let red = 1.0
-        - global_cost(&mesh, &opt, 1.0, &pairs) / global_cost(&mesh, &naive, 1.0, &pairs);
+    let red = 1.0 - global_cost(&mesh, &opt, 1.0, &pairs) / global_cost(&mesh, &naive, 1.0, &pairs);
     format!(
         "Fig. 11: spatial location-aware placement (paper: ~30% total-hop reduction)\n{}total-cost reduction: {:.0}%\n",
         t.render(),
@@ -117,13 +130,24 @@ pub fn fig15_data(
     } else {
         RecomputeMode::None
     };
-    presets::table_ii_configs()
+    // One facade session over all Table II candidates: the rayon fan-out
+    // explores the four configs concurrently.
+    let report = Explorer::builder()
+        .job(job)
+        .wafers(presets::table_ii_configs())
+        .options(opts)
+        .build()
+        .expect("Table II presets validate")
+        .run();
+    report
+        .single_wafer
         .into_iter()
-        .map(|cfg| {
-            let tput = explore(&cfg, &job, &opts)
+        .map(|rec| {
+            let tput = rec
+                .best
                 .map(|c| c.report.useful_throughput.as_f64())
                 .unwrap_or(0.0);
-            (cfg.name, tput)
+            (rec.arch, tput)
         })
         .collect()
 }
@@ -158,7 +182,10 @@ pub fn fig15(quick: bool) -> String {
     let job = TrainingJob::with_batch(zoo::gpt_175b(), 512, 8, 2048);
     let mut t = TextTable::new(vec!["config", "analytic time (s)"]);
     for cfg in presets::table_ii_configs() {
-        t.row(vec![cfg.name.clone(), f3(analytic_estimate(&cfg, &job).time.as_secs())]);
+        t.row(vec![
+            cfg.name.clone(),
+            f3(analytic_estimate(&cfg, &job).time.as_secs()),
+        ]);
     }
     out.push_str(&format!(
         "\nAnalytic* model (GPT-175B): favors max-DRAM configs, missing the trade-off\n{}",
@@ -195,10 +222,15 @@ pub fn fig16_data(models: Vec<wsc_workload::model::LlmModel>, quick: bool) -> Ve
             let g = megatron_gpu(&gpu, &job);
             let mw = mg_wafer(&wafer, &job);
             let cb = weight_streaming(&wafer, &job);
-            let wa = explore(&wafer, &job, &opts);
+            let wa = explore_one(&wafer, &job, &opts);
             let (mw_tp, mw_t) = mw
                 .as_ref()
-                .map(|r| (r.report.useful_throughput.as_f64(), r.report.iteration.as_secs()))
+                .map(|r| {
+                    (
+                        r.report.useful_throughput.as_f64(),
+                        r.report.iteration.as_secs(),
+                    )
+                })
                 .unwrap_or((0.0, f64::INFINITY));
             let (wa_tp, wa_t, share) = wa
                 .as_ref()
@@ -281,7 +313,10 @@ pub fn fig16(quick: bool) -> String {
     } else {
         zoo::main_eval_models()
     };
-    render_fig16_like("Fig. 16: overall performance comparison (Config 3)", &fig16_data(models, quick))
+    render_fig16_like(
+        "Fig. 16: overall performance comparison (Config 3)",
+        &fig16_data(models, quick),
+    )
 }
 
 /// Fig. 17: resource-utilization comparison, WATOS TP=4 vs MG-wafer TP=8
@@ -290,8 +325,16 @@ pub fn fig17(quick: bool) -> String {
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::gpt_175b());
     let opts = watos_options(quick);
-    let wa = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::SequenceParallel, &opts, None)
-        .expect("watos tp4");
+    let wa = schedule_fixed(
+        &wafer,
+        &job,
+        4,
+        14,
+        TpSplitStrategy::SequenceParallel,
+        &opts,
+        None,
+    )
+    .expect("watos tp4");
     let mw = mg_wafer(&wafer, &job).expect("mg wafer");
     let mut t = TextTable::new(vec![
         "system",
@@ -335,7 +378,13 @@ pub fn fig18_data(model: wsc_workload::model::LlmModel, quick: bool) -> Vec<(Str
     };
     let ladder: Vec<(&str, SchedulerOptions)> = vec![
         ("B", base.clone()),
-        ("+R", SchedulerOptions { recompute: RecomputeMode::Gcmr, ..base.clone() }),
+        (
+            "+R",
+            SchedulerOptions {
+                recompute: RecomputeMode::Gcmr,
+                ..base.clone()
+            },
+        ),
         (
             "+M",
             SchedulerOptions {

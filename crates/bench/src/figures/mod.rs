@@ -46,9 +46,9 @@ mod tests {
     fn registry_covers_every_figure() {
         let names: Vec<&str> = super::registry().iter().map(|(n, _)| *n).collect();
         for required in [
-            "table2", "fig1", "fig2", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7",
-            "fig8", "fig10b", "fig10c", "fig11", "fig15", "fig16", "fig17", "fig18", "fig19",
-            "fig20", "fig21", "fig22", "fig23", "fig24a", "fig24b", "fig25",
+            "table2", "fig1", "fig2", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7", "fig8",
+            "fig10b", "fig10c", "fig11", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig22", "fig23", "fig24a", "fig24b", "fig25",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }

@@ -66,10 +66,7 @@ pub fn fig5a(_quick: bool) -> String {
     let mut out = String::from(
         "Fig. 5a: iteration time vs (TP,PP); MG-optimal is TP=8 — the wafer prefers smaller TP\n",
     );
-    for (model, dies) in [
-        (zoo::llama2_30b(), 32usize),
-        (zoo::llama3_70b(), 64usize),
-    ] {
+    for (model, dies) in [(zoo::llama2_30b(), 32usize), (zoo::llama3_70b(), 64usize)] {
         let name = model.name.clone();
         let data = fig5a_data(model, dies);
         let times: Vec<f64> = data.iter().map(|d| d.1).collect();
@@ -315,7 +312,9 @@ pub fn fig8(_quick: bool) -> String {
     let mem_naive = planned_memory(&inputs, &naive);
     let mem_gcmr = planned_memory(&inputs, &plan.as_recompute_plan());
     let util = |mems: &[Bytes]| -> f64 {
-        mems.iter().map(|m| m.as_f64().min(cap.as_f64())).sum::<f64>()
+        mems.iter()
+            .map(|m| m.as_f64().min(cap.as_f64()))
+            .sum::<f64>()
             / (cap.as_f64() * mems.len() as f64)
     };
     let mut t = TextTable::new(vec![

@@ -1,9 +1,49 @@
-//! Shared helpers for the figure harness: text tables, normalization, and
-//! common scheduler option sets.
+//! Shared helpers for the figure harness: text tables, normalization,
+//! common scheduler option sets, and thin wrappers over the `Explorer`
+//! facade for single-candidate figure runs.
 
-use watos::scheduler::{RecomputeMode, SchedulerOptions};
+use watos::scheduler::{RecomputeMode, ScheduledConfig, SchedulerOptions};
+use watos::{Explorer, MultiWaferReport};
+use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
 use wsc_mesh::collective::CollectiveAlgo;
 use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::training::TrainingJob;
+
+/// Explore one wafer candidate through the `Explorer` facade.
+///
+/// Figure generators sweep one synthetic candidate at a time, so this
+/// skips area validation (the Fig. 25 granularity sweep intentionally
+/// stresses the floorplan model) and unwraps the single record.
+pub fn explore_one(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    opts: &SchedulerOptions,
+) -> Option<ScheduledConfig> {
+    Explorer::builder()
+        .job(job.clone())
+        .wafer(wafer.clone())
+        .options(opts.clone())
+        .allow_invalid_architectures()
+        .build()
+        .expect("single-candidate run always validates")
+        .run()
+        .single_wafer
+        .swap_remove(0)
+        .best
+}
+
+/// Explore one multi-wafer node through the `Explorer` facade.
+pub fn explore_node(node: &MultiWaferConfig, job: &TrainingJob) -> Option<MultiWaferReport> {
+    Explorer::builder()
+        .job(job.clone())
+        .multi_wafer(node.clone())
+        .build()
+        .expect("single-node run always validates")
+        .run()
+        .multi_wafer
+        .swap_remove(0)
+        .best
+}
 
 /// A simple fixed-width text table builder.
 #[derive(Debug, Default)]

@@ -66,11 +66,7 @@ impl DramAllocation {
 /// Helpers are prioritized per sender by placement distance (the Alg. 3
 /// `GlobalCost`-ordered queue `Q`), re-inserted with reduced capacity
 /// after partial grants.
-pub fn allocate(
-    placement: &Placement,
-    overflow: &[Bytes],
-    spare: &[Bytes],
-) -> DramAllocation {
+pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> DramAllocation {
     assert_eq!(overflow.len(), spare.len(), "per-stage arrays must align");
     assert_eq!(
         overflow.len(),
@@ -174,7 +170,10 @@ mod tests {
         let spare = vec![Bytes::ZERO, Bytes::gib(6), Bytes::ZERO, Bytes::ZERO];
         let alloc = allocate(&p, &overflow, &spare);
         // Stage 2 (heavier) claimed the helper; stage 0 starves.
-        assert!(alloc.grants.iter().any(|g| g.sender == 2 && g.bytes == Bytes::gib(6)));
+        assert!(alloc
+            .grants
+            .iter()
+            .any(|g| g.sender == 2 && g.bytes == Bytes::gib(6)));
         assert_eq!(alloc.unserved, vec![(0, Bytes::gib(2))]);
     }
 

@@ -1,8 +1,14 @@
-//! The co-exploration engine (Fig. 9, outer loop): enumerate architecture
-//! candidates, run the central scheduler on each, and report the best
-//! (architecture, training strategy) pair.
+//! The legacy co-exploration engine (Fig. 9, outer loop) — a thin,
+//! deprecated shim over [`crate::Explorer`], kept for one release.
+//!
+//! [`CoExplorationEngine`] enumerated architecture candidates
+//! sequentially and returned bare records; the `Explorer` facade does the
+//! same fan-out in parallel and folds multi-wafer, fault-sweep, and
+//! baseline runs into the same report.
 
-use crate::scheduler::{explore, ScheduledConfig, SchedulerOptions};
+#![allow(deprecated)]
+
+use crate::scheduler::{explore_impl, ScheduledConfig, SchedulerOptions};
 use serde::{Deserialize, Serialize};
 use wsc_arch::wafer::WaferConfig;
 use wsc_workload::training::TrainingJob;
@@ -17,6 +23,7 @@ pub struct ExplorationRecord {
 }
 
 /// The WATOS co-exploration engine.
+#[deprecated(since = "0.1.0", note = "use watos::Explorer::builder() instead")]
 #[derive(Debug, Clone, Default)]
 pub struct CoExplorationEngine {
     /// Scheduler options applied to every candidate.
@@ -33,7 +40,7 @@ impl CoExplorationEngine {
     pub fn explore_arch(&self, wafer: &WaferConfig, job: &TrainingJob) -> ExplorationRecord {
         ExplorationRecord {
             arch: wafer.name.clone(),
-            best: explore(wafer, job, &self.options),
+            best: explore_impl(wafer, job, &self.options),
         }
     }
 
@@ -59,8 +66,8 @@ impl CoExplorationEngine {
     ) -> Option<(&'a WaferConfig, ScheduledConfig)> {
         let mut best: Option<(&WaferConfig, ScheduledConfig)> = None;
         for w in candidates {
-            if let Some(cfg) = explore(w, job, &self.options).filter(|c| c.report.feasible) {
-                let better = best.as_ref().map_or(true, |(_, b)| {
+            if let Some(cfg) = explore_impl(w, job, &self.options).filter(|c| c.report.feasible) {
+                let better = best.as_ref().is_none_or(|(_, b)| {
                     cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
                 });
                 if better {
@@ -107,5 +114,22 @@ mod tests {
         let (w, cfg) = engine.best(&candidates, &job).expect("feasible somewhere");
         assert!(cfg.report.feasible);
         assert!(!w.name.is_empty());
+    }
+
+    #[test]
+    fn engine_shim_matches_explorer_facade() {
+        // The deprecated path and the facade must agree exactly.
+        let engine = quick_engine();
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let candidates = vec![presets::config(3)];
+        let old = engine.explore_all(&candidates, &job);
+        let report = crate::Explorer::builder()
+            .job(job)
+            .wafers(candidates)
+            .options(engine.options.clone())
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(old[0].best, report.single_wafer[0].best);
     }
 }

@@ -136,15 +136,18 @@ fn stage_fault_factors(
     let nodes = rect.nodes(mesh);
     // Die health across the stage's dies.
     let healths: Vec<f64> = nodes.iter().map(|n| fm.die_health(mesh.pos(*n))).collect();
+    // Straggler-bound baseline: the slowest die gates the TP group (dead
+    // dies fall back to a degraded retry mode rather than a full stall).
+    let straggler = healths.iter().cloned().fold(1.0, f64::min).max(0.2);
     let compute = if robust {
         // Core-aware workload scheduling: redistribute around degraded
         // dies; dead dies are excluded (lose their share of capacity).
+        // Falling back to the unmitigated policy is always available, so
+        // robust scheduling can never do worse than the baseline.
         let sum: f64 = healths.iter().sum();
-        (sum / healths.len() as f64).max(1e-3)
+        (sum / healths.len() as f64).max(straggler)
     } else {
-        // Straggler-bound: the slowest die gates the TP group (dead dies
-        // fall back to a degraded retry mode rather than a full stall).
-        healths.iter().cloned().fold(1.0, f64::min).max(0.2)
+        straggler
     };
     // Link quality over the stage's internal links.
     let mut qs = Vec::new();
@@ -160,15 +163,19 @@ fn stage_fault_factors(
     }
     let link = if qs.is_empty() {
         1.0
-    } else if robust {
-        // Link-quality-aware scheduling shifts ring traffic away from bad
-        // links; cost approaches the mean quality.
-        (qs.iter().sum::<f64>() / qs.len() as f64).max(1e-3)
     } else {
+        let mean = qs.iter().sum::<f64>() / qs.len() as f64;
         // No traffic shifting: degraded links are hit at full ring load,
         // compounding the mean-quality loss.
-        let mean = qs.iter().sum::<f64>() / qs.len() as f64;
-        (mean * mean).max(0.05)
+        let unmitigated = (mean * mean).max(0.05);
+        if robust {
+            // Link-quality-aware scheduling shifts ring traffic away from
+            // bad links; cost approaches the mean quality, and falling
+            // back to no shifting bounds it below by the baseline.
+            mean.max(unmitigated)
+        } else {
+            unmitigated
+        }
     };
     (compute, link)
 }
@@ -205,9 +212,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
     // read back once per iteration; per-micro-batch share rides with the
     // pipeline traffic.
     for g in input.grants {
-        let per_mb = Bytes::new(
-            (2.0 * g.bytes.as_f64() / n_mb.max(1) as f64).round() as u64,
-        );
+        let per_mb = Bytes::new((2.0 * g.bytes.as_f64() / n_mb.max(1) as f64).round() as u64);
         if per_mb == Bytes::ZERO {
             continue;
         }
@@ -235,6 +240,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
     for rt in assigner.routed() {
         if rt.task.kind == TaskKind::Pipeline {
             // Identify which stage boundary this is.
+            #[allow(clippy::needless_range_loop)]
             for s in 0..pp - 1 {
                 if rt.task.src == input.placement.stages[s].center_node(&mesh)
                     && rt.task.dst == input.placement.stages[s + 1].center_node(&mesh)
@@ -303,9 +309,8 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
 
     // ---- DP gradient all-reduce (when DP replicas exist). ----
     if dp > 1 {
-        let grad_bytes = Bytes::new(
-            (job.model.total_params() * 2.0 / (input.ctx.tp * pp) as f64) as u64,
-        );
+        let grad_bytes =
+            Bytes::new((job.model.total_params() * 2.0 / (input.ctx.tp * pp) as f64) as u64);
         let dp_shape = GroupShape::new(dp.min(wafer.nx), dp.div_ceil(wafer.nx).max(1));
         iteration += all_reduce_time(
             input.options.collective,
@@ -334,7 +339,9 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
     }
     let mut stage_memory = Vec::with_capacity(pp);
     for (s, sp) in input.stages.iter().enumerate() {
-        let kept = sp.ckpt_per_mb.saturating_sub(input.recompute.saved_per_mb[s]);
+        let kept = sp
+            .ckpt_per_mb
+            .saturating_sub(input.recompute.saved_per_mb[s]);
         let local = sp.model_p + kept * sp.in_flight as u64 - sent[s] + recv[s];
         if local.as_f64() > cap.as_f64() * 1.02 {
             feasible = false;
@@ -353,9 +360,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
         .sum();
     let fwd_flops_total: f64 = input.stages.iter().map(|s| s.fwd_flops.as_f64()).sum();
     let recompute_flops = Flops::new(if fwd_total > 0.0 {
-        fwd_flops_total * (recomp_total / fwd_total)
-            * (input.ctx.tp * dp) as f64
-            * n_mb as f64
+        fwd_flops_total * (recomp_total / fwd_total) * (input.ctx.tp * dp) as f64 * n_mb as f64
     } else {
         0.0
     });
@@ -390,7 +395,8 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
             input.options.collective,
             CollectiveAlgo::RingBi | CollectiveAlgo::RingBiOdd
         ),
-    ) * (comm_time.as_secs() / iteration.as_secs().max(1e-12)).min(1.0).max(0.05);
+    ) * (comm_time.as_secs() / iteration.as_secs().max(1e-12))
+        .clamp(0.05, 1.0);
 
     let throughput = if iteration.is_finite() && iteration.as_secs() > 0.0 {
         (useful_flops + recompute_flops) / iteration
@@ -486,7 +492,11 @@ mod tests {
         let r = eval_config3(4, 14, true, None);
         assert!(r.feasible, "config should fit");
         assert!(r.iteration.is_finite());
-        assert!(r.useful_throughput.as_tflops() > 100.0, "{}", r.useful_throughput);
+        assert!(
+            r.useful_throughput.as_tflops() > 100.0,
+            "{}",
+            r.useful_throughput
+        );
         assert!(r.compute_utilization > 0.05 && r.compute_utilization <= 1.0);
     }
 

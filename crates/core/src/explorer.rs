@@ -1,0 +1,659 @@
+//! The unified WATOS entry point: one configurable [`Explorer`] drives the
+//! whole Fig. 9 loop — architecture candidates × training-strategy search
+//! × operator-level evaluation — plus the satellite experiments that used
+//! to live behind four unrelated call paths (single-wafer `explore`,
+//! `explore_multi_wafer`, `fault_sweep`, and ad-hoc baseline comparisons).
+//!
+//! Construction goes through [`Explorer::builder`], which validates every
+//! input into a typed [`ExplorationError`] instead of the seed API's
+//! silent `Option` returns. [`Explorer::run`] fans candidate
+//! architectures out in parallel with rayon and returns a single
+//! serde-round-trippable [`ExplorationReport`]; for a fixed
+//! [`ExplorerBuilder::seed`], the report is byte-identical JSON no matter
+//! the thread count (candidate order is preserved and every stochastic
+//! component is seeded per candidate).
+
+use crate::multiwafer::{explore_multi_wafer_impl, MultiWaferReport};
+use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
+use crate::scheduler::{explore_impl, RecomputeMode, ScheduledConfig, SchedulerOptions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+use wsc_arch::enumerate::Enumerator;
+use wsc_arch::units::{FlopRate, Time};
+use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
+use wsc_arch::AreaModel;
+use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::training::TrainingJob;
+
+/// Typed failure modes of [`ExplorerBuilder::build`] and the report
+/// accessors.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum ExplorationError {
+    /// No training job was supplied.
+    #[error("no training job was provided; call `.job(..)` on the builder")]
+    MissingJob,
+    /// Neither `.wafer(..)`, `.wafers(..)` nor `.multi_wafer(..)` was
+    /// called.
+    #[error("no wafer or multi-wafer candidates were provided")]
+    NoCandidates,
+    /// A candidate failed the area/structure check.
+    #[error("architecture `{name}` failed validation: {reason}")]
+    InvalidArchitecture {
+        /// Candidate name.
+        name: String,
+        /// Human-readable validation failure.
+        reason: String,
+    },
+    /// A scheduler option list (strategies, collectives, TP candidates)
+    /// was emptied out.
+    #[error("option list `{list}` must not be empty")]
+    EmptyOptionList {
+        /// Which list was empty.
+        list: String,
+    },
+    /// The training job's batch geometry is unusable.
+    #[error("invalid batch geometry: micro-batch {micro} must be in 1..=global batch {global}")]
+    InvalidBatchGeometry {
+        /// Sequences per micro-batch.
+        micro: usize,
+        /// Global batch in sequences.
+        global: usize,
+    },
+    /// A fault sweep was requested without any rates.
+    #[error("fault sweep requested with no rates; pass at least one rate")]
+    EmptyFaultRates,
+    /// A fault rate escaped `[0, 1]`.
+    #[error("fault rate {rate} is outside [0, 1]")]
+    InvalidFaultRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The punishment factor must be a finite non-negative number.
+    #[error("link punishment factor {punish} must be finite and >= 0")]
+    InvalidPunish {
+        /// The offending factor.
+        punish: f64,
+    },
+    /// No candidate produced a feasible schedule.
+    #[error("no feasible configuration found for `{model}` on any candidate")]
+    Infeasible {
+        /// Model name the job trains.
+        model: String,
+    },
+}
+
+/// A pluggable comparison system for [`ExplorerBuilder::with_baselines`].
+///
+/// Implementations live in `wsc-baselines` (which depends on this crate,
+/// so the facade only sees the trait). Each baseline is evaluated against
+/// the best single-wafer candidate of the run.
+pub trait BaselineModel: Send + Sync {
+    /// Display name for the report.
+    fn name(&self) -> String;
+
+    /// Evaluate on `wafer`/`job`; `None` when infeasible for the system.
+    fn evaluate(&self, wafer: &WaferConfig, job: &TrainingJob) -> Option<BaselineOutcome>;
+}
+
+/// What a [`BaselineModel`] reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// End-to-end iteration latency.
+    pub iteration: Time,
+    /// Useful-work throughput.
+    pub useful_throughput: FlopRate,
+}
+
+/// One single-wafer candidate's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchRecord {
+    /// Candidate name.
+    pub arch: String,
+    /// The candidate architecture itself.
+    pub wafer: WaferConfig,
+    /// Best schedule found (`None` = no feasible schedule).
+    pub best: Option<ScheduledConfig>,
+}
+
+/// One multi-wafer candidate's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiWaferRecord {
+    /// Node description (`<wafers>x <wafer name>`).
+    pub name: String,
+    /// The node configuration.
+    pub node: MultiWaferConfig,
+    /// Best multi-wafer schedule found.
+    pub best: Option<MultiWaferReport>,
+}
+
+/// One fault-kind sweep over the run's best configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRecord {
+    /// Injected fault class.
+    pub kind: FaultKind,
+    /// Architecture the sweep ran on.
+    pub arch: String,
+    /// One point per requested rate, in request order.
+    pub points: Vec<FaultPoint>,
+}
+
+/// One baseline system's outcome on the run's best architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// Baseline display name.
+    pub name: String,
+    /// Outcome (`None` = infeasible for that system).
+    pub outcome: Option<BaselineOutcome>,
+}
+
+/// The uniform result of [`Explorer::run`]: every sub-experiment the
+/// explorer was configured for, in one serializable report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationReport {
+    /// The training job explored.
+    pub job: TrainingJob,
+    /// RNG seed the run used (placement, GA, fault injection).
+    pub seed: u64,
+    /// Single-wafer outcomes, in candidate order.
+    pub single_wafer: Vec<ArchRecord>,
+    /// Index into `single_wafer` of the fastest feasible candidate.
+    pub best_index: Option<usize>,
+    /// Multi-wafer outcomes, in candidate order.
+    pub multi_wafer: Vec<MultiWaferRecord>,
+    /// Fault sweeps over the best single-wafer configuration.
+    pub fault_sweeps: Vec<FaultSweepRecord>,
+    /// Baseline comparisons on the best single-wafer architecture.
+    pub baselines: Vec<BaselineRecord>,
+}
+
+impl ExplorationReport {
+    /// The best single-wafer record, as a typed error instead of `None`.
+    pub fn best(&self) -> Result<&ArchRecord, ExplorationError> {
+        self.best_index
+            .and_then(|i| self.single_wafer.get(i))
+            .ok_or_else(|| ExplorationError::Infeasible {
+                model: self.job.model.name.clone(),
+            })
+    }
+
+    /// The best multi-wafer record across nodes, if any succeeded.
+    pub fn best_multi_wafer(&self) -> Option<&MultiWaferRecord> {
+        self.multi_wafer
+            .iter()
+            .filter(|r| r.best.is_some())
+            .min_by(|a, b| {
+                let ia = a.best.as_ref().expect("filtered").iteration.as_secs();
+                let ib = b.best.as_ref().expect("filtered").iteration.as_secs();
+                ia.partial_cmp(&ib).expect("finite iteration times")
+            })
+    }
+
+    /// Compact JSON encoding (deterministic: field order is declaration
+    /// order, map keys are sorted).
+    pub fn to_json(&self) -> String {
+        serde::json::to_text(&self.to_value())
+    }
+
+    /// Decode a report from [`Self::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        Self::from_value(&serde::json::from_text(s)?)
+    }
+}
+
+/// Fault-sweep request attached via [`ExplorerBuilder::with_faults`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepSpec {
+    /// Fault classes to sweep.
+    pub kinds: Vec<FaultKind>,
+    /// Injection rates per kind.
+    pub rates: Vec<f64>,
+}
+
+/// Sources of single-wafer candidates for [`ExplorerBuilder::wafers`].
+pub trait CandidateSource {
+    /// Materialize the candidate list.
+    fn candidates(self) -> Vec<WaferConfig>;
+}
+
+impl CandidateSource for Enumerator {
+    fn candidates(self) -> Vec<WaferConfig> {
+        self.enumerate()
+    }
+}
+
+impl CandidateSource for &Enumerator {
+    fn candidates(self) -> Vec<WaferConfig> {
+        self.enumerate()
+    }
+}
+
+impl CandidateSource for Vec<WaferConfig> {
+    fn candidates(self) -> Vec<WaferConfig> {
+        self
+    }
+}
+
+impl CandidateSource for &[WaferConfig] {
+    fn candidates(self) -> Vec<WaferConfig> {
+        self.to_vec()
+    }
+}
+
+/// Builder for [`Explorer`]; see the crate-level docs for a walkthrough.
+#[derive(Default)]
+pub struct ExplorerBuilder {
+    job: Option<TrainingJob>,
+    wafers: Vec<WaferConfig>,
+    nodes: Vec<MultiWaferConfig>,
+    options: Option<SchedulerOptions>,
+    faults: Option<FaultSweepSpec>,
+    baselines: Vec<Box<dyn BaselineModel>>,
+    sequential: bool,
+    skip_validation: bool,
+}
+
+impl ExplorerBuilder {
+    /// Set the training job (required).
+    pub fn job(mut self, job: TrainingJob) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Add one single-wafer candidate.
+    pub fn wafer(mut self, wafer: WaferConfig) -> Self {
+        self.wafers.push(wafer);
+        self
+    }
+
+    /// Add many single-wafer candidates — a `Vec`, a slice, or an
+    /// [`Enumerator`] whose space is expanded on the spot.
+    pub fn wafers(mut self, source: impl CandidateSource) -> Self {
+        self.wafers.extend(source.candidates());
+        self
+    }
+
+    /// Add a multi-wafer node candidate (§VI-F).
+    pub fn multi_wafer(mut self, node: MultiWaferConfig) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Replace the scheduler options wholesale.
+    pub fn options(mut self, options: SchedulerOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// TP partition strategies to explore.
+    pub fn strategies(mut self, strategies: Vec<TpSplitStrategy>) -> Self {
+        self.opts_mut().strategies = strategies;
+        self
+    }
+
+    /// Recomputation scheduler selection.
+    pub fn recompute(mut self, mode: RecomputeMode) -> Self {
+        self.opts_mut().recompute = mode;
+        self
+    }
+
+    /// Enable GA refinement with the given parameters.
+    pub fn ga(mut self, params: crate::ga::GaParams) -> Self {
+        self.opts_mut().ga = Some(params);
+        self
+    }
+
+    /// Disable GA refinement (fast exploration).
+    pub fn no_ga(mut self) -> Self {
+        self.opts_mut().ga = None;
+        self
+    }
+
+    /// RNG seed for every stochastic component (placement, GA, faults).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts_mut().seed = seed;
+        self
+    }
+
+    /// Sweep fault injection over the run's best configuration.
+    pub fn with_faults(
+        mut self,
+        kinds: impl IntoIterator<Item = FaultKind>,
+        rates: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        self.faults = Some(FaultSweepSpec {
+            kinds: kinds.into_iter().collect(),
+            rates: rates.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Compare against pluggable baseline systems on the run's best
+    /// architecture (implementations live in `wsc-baselines`).
+    pub fn with_baselines(
+        mut self,
+        baselines: impl IntoIterator<Item = Box<dyn BaselineModel>>,
+    ) -> Self {
+        self.baselines.extend(baselines);
+        self
+    }
+
+    /// Force sequential candidate evaluation (default: rayon fan-out).
+    /// Reports are identical either way; this knob exists for debugging
+    /// and the determinism tests.
+    pub fn sequential(mut self) -> Self {
+        self.sequential = true;
+        self
+    }
+
+    /// Skip per-candidate area validation — for synthetic architectures
+    /// that intentionally break the floorplan model.
+    pub fn allow_invalid_architectures(mut self) -> Self {
+        self.skip_validation = true;
+        self
+    }
+
+    fn opts_mut(&mut self) -> &mut SchedulerOptions {
+        self.options.get_or_insert_with(SchedulerOptions::default)
+    }
+
+    /// Validate and freeze the configuration.
+    pub fn build(self) -> Result<Explorer, ExplorationError> {
+        let job = self.job.ok_or(ExplorationError::MissingJob)?;
+        if self.wafers.is_empty() && self.nodes.is_empty() {
+            return Err(ExplorationError::NoCandidates);
+        }
+        if job.micro_batch == 0 || job.global_batch == 0 || job.micro_batch > job.global_batch {
+            return Err(ExplorationError::InvalidBatchGeometry {
+                micro: job.micro_batch,
+                global: job.global_batch,
+            });
+        }
+        let options = self.options.unwrap_or_default();
+        if options.strategies.is_empty() {
+            return Err(ExplorationError::EmptyOptionList {
+                list: "strategies".into(),
+            });
+        }
+        if options.collectives.is_empty() {
+            return Err(ExplorationError::EmptyOptionList {
+                list: "collectives".into(),
+            });
+        }
+        if matches!(&options.tp_candidates, Some(c) if c.is_empty()) {
+            return Err(ExplorationError::EmptyOptionList {
+                list: "tp_candidates".into(),
+            });
+        }
+        if !options.punish.is_finite() || options.punish < 0.0 {
+            return Err(ExplorationError::InvalidPunish {
+                punish: options.punish,
+            });
+        }
+        if let Some(spec) = &self.faults {
+            if spec.kinds.is_empty() {
+                return Err(ExplorationError::EmptyOptionList {
+                    list: "fault kinds".into(),
+                });
+            }
+            if spec.rates.is_empty() {
+                return Err(ExplorationError::EmptyFaultRates);
+            }
+            if let Some(&rate) = spec.rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+                return Err(ExplorationError::InvalidFaultRate { rate });
+            }
+        }
+        if !self.skip_validation {
+            let model = AreaModel::default();
+            for wafer in &self.wafers {
+                wafer
+                    .validate(&model)
+                    .map_err(|e| ExplorationError::InvalidArchitecture {
+                        name: wafer.name.clone(),
+                        reason: e.to_string(),
+                    })?;
+            }
+            for node in &self.nodes {
+                node.wafer
+                    .validate(&model)
+                    .map_err(|e| ExplorationError::InvalidArchitecture {
+                        name: node.wafer.name.clone(),
+                        reason: e.to_string(),
+                    })?;
+            }
+        }
+        Ok(Explorer {
+            job,
+            wafers: self.wafers,
+            nodes: self.nodes,
+            options,
+            faults: self.faults,
+            baselines: self.baselines,
+            sequential: self.sequential,
+        })
+    }
+}
+
+/// The unified co-exploration session (see module docs).
+///
+/// `Debug` is implemented by hand because baseline models are boxed
+/// closures/trait objects.
+pub struct Explorer {
+    job: TrainingJob,
+    wafers: Vec<WaferConfig>,
+    nodes: Vec<MultiWaferConfig>,
+    options: SchedulerOptions,
+    faults: Option<FaultSweepSpec>,
+    baselines: Vec<Box<dyn BaselineModel>>,
+    sequential: bool,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("job", &self.job.model.name)
+            .field("wafers", &self.wafers.len())
+            .field("nodes", &self.nodes.len())
+            .field("options", &self.options)
+            .field("faults", &self.faults)
+            .field("baselines", &self.baselines.len())
+            .field("sequential", &self.sequential)
+            .finish()
+    }
+}
+
+impl Explorer {
+    /// Start configuring a session.
+    pub fn builder() -> ExplorerBuilder {
+        ExplorerBuilder::default()
+    }
+
+    /// The scheduler options the session will run with.
+    pub fn options(&self) -> &SchedulerOptions {
+        &self.options
+    }
+
+    /// Run every configured sub-experiment and collect the report.
+    ///
+    /// Single-wafer candidates fan out across threads; all other phases
+    /// (multi-wafer, fault sweeps, baselines) run on the winner and are
+    /// cheap by comparison. Results are deterministic in the seed and
+    /// independent of thread count.
+    pub fn run(&self) -> ExplorationReport {
+        let single_wafer: Vec<ArchRecord> = if self.sequential {
+            self.wafers.iter().map(|w| self.explore_one(w)).collect()
+        } else {
+            self.wafers
+                .par_iter()
+                .map(|w| self.explore_one(w))
+                .collect()
+        };
+
+        // Fastest feasible candidate; ties keep the earliest index so the
+        // winner does not depend on evaluation order.
+        let mut best_index: Option<usize> = None;
+        for (i, rec) in single_wafer.iter().enumerate() {
+            let Some(cfg) = &rec.best else { continue };
+            if !cfg.report.feasible {
+                continue;
+            }
+            let better = match best_index {
+                None => true,
+                Some(b) => {
+                    let bi = single_wafer[b]
+                        .best
+                        .as_ref()
+                        .expect("best_index only points at feasible records");
+                    cfg.report.iteration.as_secs() < bi.report.iteration.as_secs()
+                }
+            };
+            if better {
+                best_index = Some(i);
+            }
+        }
+
+        let multi_wafer: Vec<MultiWaferRecord> = self
+            .nodes
+            .iter()
+            .map(|node| MultiWaferRecord {
+                name: format!("{}x {}", node.wafers, node.wafer.name),
+                node: node.clone(),
+                best: explore_multi_wafer_impl(node, &self.job),
+            })
+            .collect();
+
+        let mut fault_sweeps = Vec::new();
+        if let (Some(spec), Some(bi)) = (&self.faults, best_index) {
+            let rec = &single_wafer[bi];
+            let cfg = rec.best.as_ref().expect("best_index is feasible");
+            for &kind in &spec.kinds {
+                fault_sweeps.push(FaultSweepRecord {
+                    kind,
+                    arch: rec.arch.clone(),
+                    points: fault_sweep_impl(
+                        &rec.wafer,
+                        &self.job,
+                        cfg,
+                        kind,
+                        &spec.rates,
+                        self.options.seed,
+                    ),
+                });
+            }
+        }
+
+        // Baselines run on the best architecture (or the first candidate
+        // when nothing was feasible, so the comparison is still recorded).
+        let reference = best_index
+            .map(|i| &single_wafer[i].wafer)
+            .or_else(|| self.wafers.first());
+        let baselines: Vec<BaselineRecord> = match reference {
+            Some(wafer) => self
+                .baselines
+                .iter()
+                .map(|b| BaselineRecord {
+                    name: b.name(),
+                    outcome: b.evaluate(wafer, &self.job),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+
+        ExplorationReport {
+            job: self.job.clone(),
+            seed: self.options.seed,
+            single_wafer,
+            best_index,
+            multi_wafer,
+            fault_sweeps,
+            baselines,
+        }
+    }
+
+    /// Run and return only the best single-wafer record, with a typed
+    /// error when nothing was feasible.
+    pub fn run_for_best(&self) -> Result<(WaferConfig, ScheduledConfig), ExplorationError> {
+        let report = self.run();
+        let rec = report.best()?;
+        Ok((
+            rec.wafer.clone(),
+            rec.best
+                .clone()
+                .expect("best() only returns feasible records"),
+        ))
+    }
+
+    fn explore_one(&self, wafer: &WaferConfig) -> ArchRecord {
+        ArchRecord {
+            arch: wafer.name.clone(),
+            wafer: wafer.clone(),
+            best: explore_impl(wafer, &self.job, &self.options),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_workload::zoo;
+
+    fn quick() -> ExplorerBuilder {
+        Explorer::builder()
+            .job(TrainingJob::standard(zoo::llama2_30b()))
+            .no_ga()
+            .strategies(vec![TpSplitStrategy::Megatron])
+    }
+
+    #[test]
+    fn builder_requires_a_job() {
+        let err = Explorer::builder()
+            .wafer(presets::config(3))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ExplorationError::MissingJob);
+    }
+
+    #[test]
+    fn builder_requires_candidates() {
+        let err = quick().build().unwrap_err();
+        assert_eq!(err, ExplorationError::NoCandidates);
+    }
+
+    #[test]
+    fn single_wafer_run_finds_schedule() {
+        let report = quick()
+            .wafer(presets::config(3))
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(report.single_wafer.len(), 1);
+        let best = report.best().expect("feasible");
+        assert!(best.best.as_ref().expect("schedule").report.feasible);
+    }
+
+    #[test]
+    fn multi_wafer_and_faults_ride_along() {
+        let report = quick()
+            .wafer(presets::config(3))
+            .multi_wafer(presets::multi_wafer_18())
+            .with_faults([FaultKind::Link], [0.0, 0.2])
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(report.multi_wafer.len(), 1);
+        assert!(report.multi_wafer[0].best.is_some());
+        assert_eq!(report.fault_sweeps.len(), 1);
+        assert_eq!(report.fault_sweeps[0].points.len(), 2);
+    }
+
+    #[test]
+    fn invalid_fault_rate_is_typed() {
+        let err = quick()
+            .wafer(presets::config(3))
+            .with_faults([FaultKind::Die], [1.5])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ExplorationError::InvalidFaultRate { rate: 1.5 });
+    }
+}

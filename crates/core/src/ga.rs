@@ -44,7 +44,7 @@ impl Default for GaParams {
             population: 16,
             steps: 100,
             omega: 0.5,
-            seed: 0xa11e_1e5,
+            seed: 0x0a11_e1e5,
         }
     }
 }
@@ -140,6 +140,7 @@ fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
     // Extra recomputation on top of the base plan.
     let mut plan = ctx.base.clone();
     let mut overflow: Vec<Bytes> = ctx.overflow.to_vec();
+    #[allow(clippy::needless_range_loop)]
     for s in 0..pp {
         if g.extra[s] <= 0.0 {
             continue;
@@ -151,8 +152,7 @@ fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
             let freed = target.saturating_sub(plan.saved_per_mb[s]);
             plan.recompute_time[s] = ctx.base.recompute_time[s].max(t);
             plan.saved_per_mb[s] = target;
-            overflow[s] =
-                overflow[s].saturating_sub(freed * ctx.stages[s].in_flight as u64);
+            overflow[s] = overflow[s].saturating_sub(freed * ctx.stages[s].in_flight as u64);
         }
     }
     let (grants, complete) = biased_allocate(ctx, &g.placement, &overflow, &g.bias);
@@ -161,9 +161,7 @@ fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
         .stages
         .iter()
         .enumerate()
-        .map(|(s, sp)| {
-            (sp.fwd_compute + sp.bwd_compute + plan.recompute_time[s]).as_secs()
-        })
+        .map(|(s, sp)| (sp.fwd_compute + sp.bwd_compute + plan.recompute_time[s]).as_secs())
         .fold(0.0f64, f64::max);
     let pairs: Vec<PairDemand> = grants
         .iter()
@@ -361,6 +359,7 @@ mod tests {
     use wsc_workload::training::TrainingJob;
     use wsc_workload::zoo;
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         Mesh2D,
         Vec<StageProfile>,
@@ -433,7 +432,10 @@ mod tests {
         assert!(r.fitness.is_finite());
         let first = r.history.first().copied().unwrap();
         let last = r.history.last().copied().unwrap();
-        assert!(last <= first + 1e-12, "history must be non-increasing overall");
+        assert!(
+            last <= first + 1e-12,
+            "history must be non-increasing overall"
+        );
     }
 
     #[test]

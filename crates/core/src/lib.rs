@@ -8,22 +8,45 @@
 //! configuration (§IV-D) — and evaluates everything on an operator-level
 //! simulator (§IV-F).
 //!
+//! ## The `Explorer` facade
+//!
+//! One builder drives the whole Fig. 9 loop: architecture candidates fan
+//! out in parallel, each runs the central scheduler (Alg. 1), and every
+//! configured sub-experiment — multi-wafer nodes, fault sweeps, baseline
+//! comparisons — lands in one serializable [`ExplorationReport`]:
+//!
 //! ```
-//! use watos::scheduler::{explore, SchedulerOptions};
+//! use watos::{Explorer, RecomputeMode};
 //! use wsc_arch::presets;
 //! use wsc_workload::{training::TrainingJob, zoo};
 //!
-//! let wafer = presets::config(3);
-//! let job = TrainingJob::standard(zoo::llama2_30b());
-//! let mut opts = SchedulerOptions::default();
-//! opts.ga = None; // quick run
-//! let best = explore(&wafer, &job, &opts).expect("schedulable");
-//! assert!(best.report.feasible);
+//! let report = Explorer::builder()
+//!     .job(TrainingJob::standard(zoo::llama2_30b()))
+//!     .wafer(presets::config(3))
+//!     .wafer(presets::config(4))
+//!     .recompute(RecomputeMode::Gcmr)
+//!     .no_ga() // quick run; .ga(GaParams::default()) for final quality
+//!     .seed(7)
+//!     .build()
+//!     .expect("a job and at least one candidate were provided")
+//!     .run();
+//!
+//! let best = report.best().expect("Llama2-30B fits both configs");
+//! assert!(best.best.as_ref().unwrap().report.feasible);
+//! // The report round-trips through JSON byte-identically.
+//! let json = report.to_json();
+//! assert_eq!(watos::ExplorationReport::from_json(&json).unwrap(), report);
 //! ```
+//!
+//! The seed-era free functions (`scheduler::explore`,
+//! `multiwafer::explore_multi_wafer`, `robust::fault_sweep`) and
+//! `engine::CoExplorationEngine` remain as deprecated shims for one
+//! release.
 
 pub mod dram_alloc;
 pub mod engine;
 pub mod evaluator;
+pub mod explorer;
 pub mod ga;
 pub mod multiwafer;
 pub mod placement;
@@ -32,12 +55,21 @@ pub mod scheduler;
 pub mod stage;
 
 pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
+#[allow(deprecated)]
 pub use crate::engine::{CoExplorationEngine, ExplorationRecord};
 pub use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
+pub use crate::explorer::{
+    ArchRecord, BaselineModel, BaselineOutcome, BaselineRecord, CandidateSource, ExplorationError,
+    ExplorationReport, Explorer, ExplorerBuilder, FaultSweepRecord, FaultSweepSpec,
+    MultiWaferRecord,
+};
 pub use crate::ga::{GaParams, GaResult};
+#[allow(deprecated)]
 pub use crate::multiwafer::{evaluate_multi_wafer, explore_multi_wafer, MultiWaferReport};
 pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect};
+#[allow(deprecated)]
 pub use crate::robust::{fault_sweep, FaultKind, FaultPoint};
+#[allow(deprecated)]
 pub use crate::scheduler::{
     evaluate_scheduled, explore, schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions,
 };

@@ -60,9 +60,7 @@ pub fn evaluate_multi_wafer(
         .clamp(1, (job.global_batch / job.micro_batch).max(1));
     let parallel = ParallelSpec::new(dp, tp, pp);
     // Aggregate-memory prune.
-    if model_p_total(&job.model).as_f64()
-        > node.total_dram().as_f64()
-    {
+    if model_p_total(&job.model).as_f64() > node.total_dram().as_f64() {
         return None;
     }
     let strategy = TpSplitStrategy::SequenceParallel;
@@ -147,7 +145,23 @@ pub fn evaluate_multi_wafer(
 }
 
 /// Search (tp, pp) on a multi-wafer node, keeping the fastest schedule.
+///
+/// Deprecated entry point — add the node to [`crate::Explorer`] with
+/// `.multi_wafer(..)` and read the unified report instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use watos::Explorer::builder().multi_wafer(..) instead"
+)]
 pub fn explore_multi_wafer(node: &MultiWaferConfig, job: &TrainingJob) -> Option<MultiWaferReport> {
+    explore_multi_wafer_impl(node, job)
+}
+
+/// Implementation of the multi-wafer search (shared by the deprecated
+/// [`explore_multi_wafer`] shim and [`crate::Explorer`]).
+pub(crate) fn explore_multi_wafer_impl(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+) -> Option<MultiWaferReport> {
     let mut best: Option<MultiWaferReport> = None;
     let dies = node.total_dies();
     for tp in [1usize, 2, 4, 8, 16] {
@@ -159,7 +173,7 @@ pub fn explore_multi_wafer(node: &MultiWaferConfig, job: &TrainingJob) -> Option
             if let Some(r) = evaluate_multi_wafer(node, job, tp, pp) {
                 if best
                     .as_ref()
-                    .map_or(true, |b| r.iteration.as_secs() < b.iteration.as_secs())
+                    .is_none_or(|b| r.iteration.as_secs() < b.iteration.as_secs())
                 {
                     best = Some(r);
                 }
@@ -180,7 +194,7 @@ mod tests {
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::deepseek_v3());
         // Single wafer: pruned (see scheduler tests); 4 wafers: feasible.
-        let r = explore_multi_wafer(&node, &job).expect("fits 4 wafers");
+        let r = explore_multi_wafer_impl(&node, &job).expect("fits 4 wafers");
         assert!(r.feasible);
         assert!(r.iteration.is_finite());
     }
@@ -189,10 +203,13 @@ mod tests {
     fn llama405b_spans_two_wafers_worth_of_memory() {
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let r = explore_multi_wafer(&node, &job).expect("schedulable");
+        let r = explore_multi_wafer_impl(&node, &job).expect("schedulable");
         assert!(r.feasible);
         assert!(r.w2w_boundary_fraction > 0.0, "must cross wafer seams");
-        assert!(r.w2w_boundary_fraction < 0.5, "most boundaries stay on-wafer");
+        assert!(
+            r.w2w_boundary_fraction < 0.5,
+            "most boundaries stay on-wafer"
+        );
     }
 
     #[test]
@@ -200,8 +217,8 @@ mod tests {
         let fast = presets::multi_wafer_18();
         let slow = presets::multi_wafer_4();
         let job = TrainingJob::standard(zoo::gpt_175b());
-        let rf = explore_multi_wafer(&fast, &job).expect("fast");
-        let rs = explore_multi_wafer(&slow, &job).expect("slow");
+        let rf = explore_multi_wafer_impl(&fast, &job).expect("fast");
+        let rs = explore_multi_wafer_impl(&slow, &job).expect("slow");
         assert!(rs.iteration.as_secs() >= rf.iteration.as_secs() * 0.999);
     }
 

@@ -109,7 +109,7 @@ pub fn tile_slots(nx: usize, ny: usize, tile_w: usize, tile_h: usize) -> Vec<Rec
 pub fn choose_tile(nx: usize, ny: usize, tp: usize, pp: usize) -> Option<(usize, usize)> {
     let mut best: Option<(usize, usize, i64, usize)> = None; // (w, h, squareness, slots)
     for w in 1..=tp.min(nx) {
-        if tp % w != 0 {
+        if !tp.is_multiple_of(w) {
             continue;
         }
         let h = tp / w;
@@ -136,7 +136,13 @@ pub fn choose_tile(nx: usize, ny: usize, tp: usize, pp: usize) -> Option<(usize,
 /// (what the paper calls the naive serpentine arrangement and applies to
 /// MG-wafer): stage `i` goes to slot `i` in row-major order, wrapping at
 /// row ends. Returns `None` when the mesh cannot hold `pp` stage tiles.
-pub fn row_major(nx: usize, ny: usize, pp: usize, tile_w: usize, tile_h: usize) -> Option<Placement> {
+pub fn row_major(
+    nx: usize,
+    ny: usize,
+    pp: usize,
+    tile_w: usize,
+    tile_h: usize,
+) -> Option<Placement> {
     let slots = tile_slots(nx, ny, tile_w, tile_h);
     if slots.len() < pp {
         return None;
@@ -149,7 +155,13 @@ pub fn row_major(nx: usize, ny: usize, pp: usize, tile_w: usize, tile_h: usize) 
 /// Boustrophedon placement: row-major with alternating row direction, so
 /// consecutive stages stay mesh-adjacent even across row wraps. Used as
 /// the seed for [`optimize`].
-pub fn serpentine(nx: usize, ny: usize, pp: usize, tile_w: usize, tile_h: usize) -> Option<Placement> {
+pub fn serpentine(
+    nx: usize,
+    ny: usize,
+    pp: usize,
+    tile_w: usize,
+    tile_h: usize,
+) -> Option<Placement> {
     let slots = tile_slots(nx, ny, tile_w, tile_h);
     if slots.len() < pp {
         return None;
@@ -276,8 +288,15 @@ pub fn optimize(
         if slots.len() > pp && rng.gen_bool(0.3) {
             // Move a stage to a free slot.
             let used: HashSet<Rect> = cand.stages.iter().copied().collect();
-            let free: Vec<Rect> = slots.iter().copied().filter(|s| !used.contains(s)).collect();
-            if let Some(&slot) = free.get(rng.gen_range(0..free.len().max(1)).min(free.len().saturating_sub(1))) {
+            let free: Vec<Rect> = slots
+                .iter()
+                .copied()
+                .filter(|s| !used.contains(s))
+                .collect();
+            if let Some(&slot) = free.get(
+                rng.gen_range(0..free.len().max(1))
+                    .min(free.len().saturating_sub(1)),
+            ) {
                 let idx = rng.gen_range(0..pp);
                 cand.stages[idx] = slot;
             }
@@ -306,8 +325,16 @@ mod tests {
         // Fig. 11: 8-stage pipeline, Mem_pairs (S1,S8) and (S2,S7) — here
         // 0-indexed as (0,7), (1,6).
         vec![
-            PairDemand { sender: 0, helper: 7, volume: 1.0 },
-            PairDemand { sender: 1, helper: 6, volume: 1.0 },
+            PairDemand {
+                sender: 0,
+                helper: 7,
+                volume: 1.0,
+            },
+            PairDemand {
+                sender: 1,
+                helper: 6,
+                volume: 1.0,
+            },
         ]
     }
 
@@ -343,7 +370,11 @@ mod tests {
             "optimized {opt_cost} should beat naive {naive_cost}"
         );
         // Fig. 11 reports ~30% total-hop reduction; require at least 15%.
-        assert!(opt_cost < naive_cost * 0.85, "only {}%", 100.0 * opt_cost / naive_cost);
+        assert!(
+            opt_cost < naive_cost * 0.85,
+            "only {}%",
+            100.0 * opt_cost / naive_cost
+        );
     }
 
     #[test]
@@ -372,7 +403,11 @@ mod tests {
         // A line of 4 stages of 2x1 tiles: balance path (0 -> 3) must ride
         // the pipeline path: conflicts are inevitable.
         let p = serpentine(8, 1, 4, 2, 1).unwrap();
-        let pair = PairDemand { sender: 0, helper: 3, volume: 1.0 };
+        let pair = PairDemand {
+            sender: 0,
+            helper: 3,
+            volume: 1.0,
+        };
         assert!(conflict_factor(&mesh, &p, &pair) > 0);
     }
 
@@ -380,7 +415,11 @@ mod tests {
     fn global_cost_punishes_conflicts() {
         let mesh = Mesh2D::new(8, 1);
         let p = serpentine(8, 1, 4, 2, 1).unwrap();
-        let pair_conflicted = vec![PairDemand { sender: 0, helper: 3, volume: 1.0 }];
+        let pair_conflicted = vec![PairDemand {
+            sender: 0,
+            helper: 3,
+            volume: 1.0,
+        }];
         let with = global_cost(&mesh, &p, 0.0, &pair_conflicted);
         let raw_dist = p.stages[0].dist(&p.stages[3]);
         assert!(with > raw_dist, "conflict punishment must inflate cost");
@@ -388,7 +427,12 @@ mod tests {
 
     #[test]
     fn rect_geometry() {
-        let r = Rect { x: 2, y: 1, w: 2, h: 2 };
+        let r = Rect {
+            x: 2,
+            y: 1,
+            w: 2,
+            h: 2,
+        };
         assert_eq!(r.center(), (2.5, 1.5));
         let mesh = Mesh2D::new(8, 4);
         assert_eq!(r.nodes(&mesh).len(), 4);

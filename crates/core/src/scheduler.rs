@@ -138,7 +138,7 @@ fn pick_collective(
             wafer.d2d_link_bw(),
             wafer.d2d_link_latency,
         );
-        if best.as_ref().map_or(true, |(_, bt)| t.as_secs() < *bt) {
+        if best.as_ref().is_none_or(|(_, bt)| t.as_secs() < *bt) {
             best = Some((algo, t.as_secs()));
         }
     }
@@ -325,7 +325,21 @@ pub fn schedule_fixed(
 
 /// The full Alg. 1 exploration: iterate TP, PP and strategies, keep the
 /// configuration with the shortest iteration time.
+///
+/// Deprecated entry point — [`crate::Explorer`] drives this search (in
+/// parallel across candidates) and folds the result into one report.
+#[deprecated(since = "0.1.0", note = "use watos::Explorer::builder() instead")]
 pub fn explore(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    opts: &SchedulerOptions,
+) -> Option<ScheduledConfig> {
+    explore_impl(wafer, job, opts)
+}
+
+/// Implementation of the Alg. 1 single-wafer search (shared by the
+/// deprecated [`explore`] shim and [`crate::Explorer`]).
+pub(crate) fn explore_impl(
     wafer: &WaferConfig,
     job: &TrainingJob,
     opts: &SchedulerOptions,
@@ -344,9 +358,7 @@ pub fn explore(
                 continue;
             };
             let slots = (wafer.nx / tw) * (wafer.ny / th);
-            if tp * pp * ((slots / pp).max(1)).min(job.global_batch / job.micro_batch)
-                < dies / 2
-            {
+            if tp * pp * ((slots / pp).max(1)).min(job.global_batch / job.micro_batch) < dies / 2 {
                 continue;
             }
             for &strategy in &opts.strategies {
@@ -355,7 +367,7 @@ pub fn explore(
                 let mut inner = opts.clone();
                 inner.ga = None;
                 if let Some(cfg) = schedule_fixed(wafer, job, tp, pp, strategy, &inner, None) {
-                    let better = best.as_ref().map_or(true, |b| {
+                    let better = best.as_ref().is_none_or(|b| {
                         cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
                     });
                     if better {
@@ -454,7 +466,7 @@ mod tests {
         // 3.92 TB wafer: every candidate must be pruned.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::deepseek_v3());
-        assert!(explore(&wafer, &job, &quick_opts()).is_none());
+        assert!(explore_impl(&wafer, &job, &quick_opts()).is_none());
     }
 
     #[test]
@@ -462,7 +474,7 @@ mod tests {
         // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let best = explore(&wafer, &job, &quick_opts()).expect("feasible");
+        let best = explore_impl(&wafer, &job, &quick_opts()).expect("feasible");
         assert!(
             best.parallel.tp <= 4,
             "expected small TP, got {}",
@@ -497,7 +509,15 @@ mod tests {
         let mut without = quick_opts();
         without.memory_scheduler = false;
         let a = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &with, None);
-        let b = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &without, None);
+        let b = schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            14,
+            TpSplitStrategy::Megatron,
+            &without,
+            None,
+        );
         if let (Some(a), Some(b)) = (a, b) {
             assert!(a.report.iteration.as_secs() <= b.report.iteration.as_secs() * 1.05);
         }
@@ -511,10 +531,26 @@ mod tests {
         gcmr_opts.recompute = RecomputeMode::Gcmr;
         let mut naive_opts = quick_opts();
         naive_opts.recompute = RecomputeMode::Naive;
-        let g = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &gcmr_opts, None)
-            .expect("gcmr feasible");
-        let n = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &naive_opts, None)
-            .expect("naive feasible");
+        let g = schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            14,
+            TpSplitStrategy::Megatron,
+            &gcmr_opts,
+            None,
+        )
+        .expect("gcmr feasible");
+        let n = schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            14,
+            TpSplitStrategy::Megatron,
+            &naive_opts,
+            None,
+        )
+        .expect("naive feasible");
         assert!(
             g.report.iteration.as_secs() <= n.report.iteration.as_secs() * 1.001,
             "gcmr {} vs naive {}",

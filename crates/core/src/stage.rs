@@ -219,10 +219,7 @@ mod tests {
             assert!(s.bwd_compute > s.fwd_compute);
         }
         // 60 layers over 4 stages = 15 each; times should be equal.
-        assert!(
-            (stages[0].fwd_compute.as_secs() - stages[3].fwd_compute.as_secs()).abs()
-                < 1e-12
-        );
+        assert!((stages[0].fwd_compute.as_secs() - stages[3].fwd_compute.as_secs()).abs() < 1e-12);
     }
 
     #[test]

@@ -21,7 +21,12 @@ pub fn transfer_time(alpha: Time, bytes: Bytes, bw: Bandwidth) -> Time {
 /// Time for a multi-hop point-to-point transfer: per-hop latency is paid
 /// once per hop (wormhole pipelining amortizes payload across hops, so the
 /// bandwidth term is paid once at the bottleneck link).
-pub fn multi_hop_time(hop_alpha: Time, hops: usize, bytes: Bytes, bottleneck_bw: Bandwidth) -> Time {
+pub fn multi_hop_time(
+    hop_alpha: Time,
+    hops: usize,
+    bytes: Bytes,
+    bottleneck_bw: Bandwidth,
+) -> Time {
     if hops == 0 {
         return Time::ZERO;
     }
@@ -34,7 +39,11 @@ mod tests {
 
     #[test]
     fn zero_bytes_costs_alpha() {
-        let t = transfer_time(Time::from_micros(1.0), Bytes::ZERO, Bandwidth::tb_per_s(1.0));
+        let t = transfer_time(
+            Time::from_micros(1.0),
+            Bytes::ZERO,
+            Bandwidth::tb_per_s(1.0),
+        );
         assert!((t.as_micros() - 1.0).abs() < 1e-9);
     }
 
@@ -51,14 +60,29 @@ mod tests {
 
     #[test]
     fn multi_hop_pays_alpha_per_hop() {
-        let one = multi_hop_time(Time::from_nanos(50.0), 1, Bytes::ZERO, Bandwidth::tb_per_s(1.0));
-        let six = multi_hop_time(Time::from_nanos(50.0), 6, Bytes::ZERO, Bandwidth::tb_per_s(1.0));
+        let one = multi_hop_time(
+            Time::from_nanos(50.0),
+            1,
+            Bytes::ZERO,
+            Bandwidth::tb_per_s(1.0),
+        );
+        let six = multi_hop_time(
+            Time::from_nanos(50.0),
+            6,
+            Bytes::ZERO,
+            Bandwidth::tb_per_s(1.0),
+        );
         assert!((six.as_secs() / one.as_secs() - 6.0).abs() < 1e-9);
     }
 
     #[test]
     fn zero_hops_is_free() {
-        let t = multi_hop_time(Time::from_nanos(50.0), 0, Bytes::gib(1), Bandwidth::tb_per_s(1.0));
+        let t = multi_hop_time(
+            Time::from_nanos(50.0),
+            0,
+            Bytes::gib(1),
+            Bandwidth::tb_per_s(1.0),
+        );
         assert_eq!(t, Time::ZERO);
     }
 

@@ -26,7 +26,10 @@ pub struct GroupShape {
 impl GroupShape {
     /// Construct a group shape.
     pub fn new(w: usize, h: usize) -> Self {
-        GroupShape { w: w.max(1), h: h.max(1) }
+        GroupShape {
+            w: w.max(1),
+            h: h.max(1),
+        }
     }
 
     /// Group size.
@@ -52,7 +55,7 @@ impl GroupShape {
     pub fn best_rectangle(n: usize, max_w: usize, max_h: usize) -> Option<GroupShape> {
         let mut best: Option<GroupShape> = None;
         for w in 1..=n.min(max_w) {
-            if n % w != 0 {
+            if !n.is_multiple_of(w) {
                 continue;
             }
             let h = n / w;
@@ -105,7 +108,9 @@ impl CollectiveAlgo {
             return true;
         }
         match self {
-            CollectiveAlgo::RingUni | CollectiveAlgo::RingBi => n % 2 == 0 || shape.is_line(),
+            CollectiveAlgo::RingUni | CollectiveAlgo::RingBi => {
+                n.is_multiple_of(2) || shape.is_line()
+            }
             CollectiveAlgo::RingBiOdd => true,
             CollectiveAlgo::Tacos => true,
             CollectiveAlgo::TwoDimensional => shape.w >= 2 && shape.h >= 2,
@@ -209,8 +214,13 @@ pub fn all_reduce_time(
             let row = GroupShape::new(shape.w, 1);
             let col = GroupShape::new(1, shape.h);
             let row_t = all_reduce_time(CollectiveAlgo::RingBi, row, bytes, link_bw, alpha);
-            let col_t =
-                all_reduce_time(CollectiveAlgo::RingBi, col, bytes.scale(1.0 / shape.w as f64), link_bw, alpha);
+            let col_t = all_reduce_time(
+                CollectiveAlgo::RingBi,
+                col,
+                bytes.scale(1.0 / shape.w as f64),
+                link_bw,
+                alpha,
+            );
             (row_t + col_t).scale(1.15)
         }
         CollectiveAlgo::Multitree => {
@@ -270,9 +280,18 @@ mod tests {
 
     #[test]
     fn best_rectangle_prefers_square() {
-        assert_eq!(GroupShape::best_rectangle(4, 8, 8), Some(GroupShape::new(2, 2)));
-        assert_eq!(GroupShape::best_rectangle(8, 8, 8), Some(GroupShape::new(2, 4)));
-        assert_eq!(GroupShape::best_rectangle(16, 8, 8), Some(GroupShape::new(4, 4)));
+        assert_eq!(
+            GroupShape::best_rectangle(4, 8, 8),
+            Some(GroupShape::new(2, 2))
+        );
+        assert_eq!(
+            GroupShape::best_rectangle(8, 8, 8),
+            Some(GroupShape::new(2, 4))
+        );
+        assert_eq!(
+            GroupShape::best_rectangle(16, 8, 8),
+            Some(GroupShape::new(4, 4))
+        );
         // 7 only factors as 1x7 or 7x1.
         let s = GroupShape::best_rectangle(7, 8, 8).unwrap();
         assert!(s.is_line());
@@ -281,7 +300,10 @@ mod tests {
     #[test]
     fn best_rectangle_respects_mesh_bounds() {
         assert_eq!(GroupShape::best_rectangle(32, 4, 4), None);
-        assert_eq!(GroupShape::best_rectangle(16, 4, 4), Some(GroupShape::new(4, 4)));
+        assert_eq!(
+            GroupShape::best_rectangle(16, 4, 4),
+            Some(GroupShape::new(4, 4))
+        );
     }
 
     #[test]
@@ -298,24 +320,60 @@ mod tests {
     #[test]
     fn line_embedding_matches_rectangle_bandwidth() {
         // The path algorithm makes line embeddings bandwidth-equivalent.
-        let rect = all_reduce_time(CollectiveAlgo::RingBi, GroupShape::new(2, 4), Bytes::gib(1), BW, A);
-        let line = all_reduce_time(CollectiveAlgo::RingBi, GroupShape::new(1, 8), Bytes::gib(1), BW, A);
+        let rect = all_reduce_time(
+            CollectiveAlgo::RingBi,
+            GroupShape::new(2, 4),
+            Bytes::gib(1),
+            BW,
+            A,
+        );
+        let line = all_reduce_time(
+            CollectiveAlgo::RingBi,
+            GroupShape::new(1, 8),
+            Bytes::gib(1),
+            BW,
+            A,
+        );
         assert!((line.as_secs() - rect.as_secs()).abs() < 1e-12);
     }
 
     #[test]
     fn bidirectional_halves_ring_time() {
-        let uni = all_reduce_time(CollectiveAlgo::RingUni, GroupShape::new(2, 2), Bytes::gib(1), BW, A);
-        let bi = all_reduce_time(CollectiveAlgo::RingBi, GroupShape::new(2, 2), Bytes::gib(1), BW, A);
+        let uni = all_reduce_time(
+            CollectiveAlgo::RingUni,
+            GroupShape::new(2, 2),
+            Bytes::gib(1),
+            BW,
+            A,
+        );
+        let bi = all_reduce_time(
+            CollectiveAlgo::RingBi,
+            GroupShape::new(2, 2),
+            Bytes::gib(1),
+            BW,
+            A,
+        );
         assert!((uni.as_secs() / bi.as_secs() - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn all_reduce_volume_follows_eq1() {
         // n=2: volume factor 2*(1)/2 = 1.0 => 1 s at 1 TB.
-        let t = all_reduce_time(CollectiveAlgo::RingUni, GroupShape::new(2, 1), Bytes::new(1_000_000_000_000), BW, A);
+        let t = all_reduce_time(
+            CollectiveAlgo::RingUni,
+            GroupShape::new(2, 1),
+            Bytes::new(1_000_000_000_000),
+            BW,
+            A,
+        );
         assert!((t.as_secs() - 1.0).abs() < 1e-9, "{t}");
-        let t = all_reduce_time(CollectiveAlgo::RingUni, GroupShape::new(2, 2), Bytes::new(1_000_000_000_000), BW, A);
+        let t = all_reduce_time(
+            CollectiveAlgo::RingUni,
+            GroupShape::new(2, 2),
+            Bytes::new(1_000_000_000_000),
+            BW,
+            A,
+        );
         // n=4: 2*(3)/4 = 1.5 s
         assert!((t.as_secs() - 1.5).abs() < 1e-9, "{t}");
     }
@@ -351,7 +409,10 @@ mod tests {
         let shape = GroupShape::new(4, 4);
         let ring = all_reduce_time(CollectiveAlgo::RingBi, shape, Bytes::gib(1), BW, alpha());
         let tacos = all_reduce_time(CollectiveAlgo::Tacos, shape, Bytes::gib(1), BW, alpha());
-        assert!(tacos.as_secs() < ring.as_secs(), "tacos {tacos} vs ring {ring}");
+        assert!(
+            tacos.as_secs() < ring.as_secs(),
+            "tacos {tacos} vs ring {ring}"
+        );
     }
 
     #[test]
@@ -359,7 +420,13 @@ mod tests {
         // Fig. 21 insight 2: 2D TP has higher volume + tail latency.
         let shape = GroupShape::new(4, 4);
         let one_d = all_reduce_time(CollectiveAlgo::RingBi, shape, Bytes::gib(1), BW, alpha());
-        let two_d = all_reduce_time(CollectiveAlgo::TwoDimensional, shape, Bytes::gib(1), BW, alpha());
+        let two_d = all_reduce_time(
+            CollectiveAlgo::TwoDimensional,
+            shape,
+            Bytes::gib(1),
+            BW,
+            alpha(),
+        );
         assert!(two_d.as_secs() > one_d.as_secs());
     }
 
@@ -375,7 +442,12 @@ mod tests {
 
     #[test]
     fn flat_fabric_matches_ring_formula() {
-        let t = flat_all_reduce_time(8, Bytes::new(8_000_000_000), Bandwidth::tb_per_s(1.8), Time::ZERO);
+        let t = flat_all_reduce_time(
+            8,
+            Bytes::new(8_000_000_000),
+            Bandwidth::tb_per_s(1.8),
+            Time::ZERO,
+        );
         // volume = 2*7/8*8e9 = 14e9 bytes over 1.8e12 B/s
         assert!((t.as_secs() - 14e9 / 1.8e12).abs() < 1e-9);
     }

@@ -99,7 +99,11 @@ impl TrafficAssigner {
                 return f64::INFINITY;
             }
             let existing = *self.link_bytes.get(&l).unwrap_or(&0.0);
-            let occupied = if existing > 0.0 { 1.0 + self.punish } else { 1.0 };
+            let occupied = if existing > 0.0 {
+                1.0 + self.punish
+            } else {
+                1.0
+            };
             cost += (existing + bytes) * occupied / q;
         }
         cost
@@ -113,7 +117,7 @@ impl TrafficAssigner {
         let mut best: Option<(f64, Vec<NodeId>)> = None;
         for p in candidates {
             let c = self.path_cost(&p, bytes);
-            if best.as_ref().map_or(true, |(bc, _)| c < *bc) {
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
                 best = Some((c, p));
             }
         }
@@ -139,7 +143,7 @@ impl TrafficAssigner {
     /// Assign a batch of tasks in descending size order (§IV-E-2:
     /// "allocate these communication tasks to links in order of size").
     pub fn assign_all(&mut self, mut tasks: Vec<CommTask>) {
-        tasks.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        tasks.sort_by_key(|t| std::cmp::Reverse(t.bytes));
         for t in tasks {
             self.assign(t);
         }
@@ -235,7 +239,9 @@ mod tests {
     fn single_task_takes_a_shortest_path() {
         let m = Mesh2D::new(4, 4);
         let mut a = TrafficAssigner::new(m, 1.0);
-        let rt = a.assign(task(&m, (0, 0), (3, 3), 64, TaskKind::Pipeline)).clone();
+        let rt = a
+            .assign(task(&m, (0, 0), (3, 3), 64, TaskKind::Pipeline))
+            .clone();
         assert_eq!(rt.hops(), 6);
     }
 
@@ -243,7 +249,9 @@ mod tests {
     fn second_task_avoids_occupied_links() {
         let m = Mesh2D::new(3, 3);
         let mut a = TrafficAssigner::new(m, 10.0);
-        let first = a.assign(task(&m, (0, 0), (2, 0), 64, TaskKind::Pipeline)).clone();
+        let first = a
+            .assign(task(&m, (0, 0), (2, 0), 64, TaskKind::Pipeline))
+            .clone();
         // Same endpoints: only one shortest path (the same row), so
         // contention is unavoidable on a 1-row route; use different rows.
         let second = a
@@ -286,7 +294,9 @@ mod tests {
         faults.set_link_quality((0, 0), (1, 0), 0.0);
         faults.set_link_quality((1, 0), (2, 0), 0.0);
         let mut a = TrafficAssigner::new(m, 1.0).with_faults(faults);
-        let rt = a.assign(task(&m, (0, 0), (2, 0), 64, TaskKind::Pipeline)).clone();
+        let rt = a
+            .assign(task(&m, (0, 0), (2, 0), 64, TaskKind::Pipeline))
+            .clone();
         // Must detour through row 1: 4 hops.
         assert_eq!(rt.hops(), 4);
     }
@@ -306,7 +316,9 @@ mod tests {
     fn task_time_includes_share_of_bottleneck() {
         let m = Mesh2D::new(2, 1);
         let mut a = TrafficAssigner::new(m, 0.0);
-        let rt1 = a.assign(task(&m, (0, 0), (1, 0), 100, TaskKind::Pipeline)).clone();
+        let rt1 = a
+            .assign(task(&m, (0, 0), (1, 0), 100, TaskKind::Pipeline))
+            .clone();
         a.assign(task(&m, (0, 0), (1, 0), 100, TaskKind::Pipeline));
         let t = a.task_time(&rt1, Bandwidth::gb_per_s(1.0), Time::ZERO);
         // Fair share: task sees half bandwidth.

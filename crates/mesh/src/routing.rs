@@ -80,7 +80,10 @@ where
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Min-heap on cost.
-            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
 
@@ -135,7 +138,13 @@ mod tests {
         let p = xy_path(&m, m.node(0, 0), m.node(2, 2));
         assert_eq!(
             p,
-            vec![m.node(0, 0), m.node(1, 0), m.node(2, 0), m.node(2, 1), m.node(2, 2)]
+            vec![
+                m.node(0, 0),
+                m.node(1, 0),
+                m.node(2, 0),
+                m.node(2, 1),
+                m.node(2, 2)
+            ]
         );
     }
 

@@ -86,7 +86,12 @@ impl Mesh2D {
     ///
     /// Panics when the position is out of bounds.
     pub fn node(&self, x: usize, y: usize) -> NodeId {
-        assert!(x < self.nx && y < self.ny, "({x},{y}) outside {}x{}", self.nx, self.ny);
+        assert!(
+            x < self.nx && y < self.ny,
+            "({x},{y}) outside {}x{}",
+            self.nx,
+            self.ny
+        );
         NodeId(y * self.nx + x)
     }
 

@@ -325,7 +325,9 @@ mod tests {
         let cap = Bytes::gib(70);
         let plan = gcmr(&ins, cap, 16);
         for &s in &plan.senders {
-            let local = plan.mem_alloc[s].as_f64().min(ins[s].full_memory().as_f64());
+            let local = plan.mem_alloc[s]
+                .as_f64()
+                .min(ins[s].full_memory().as_f64());
             let overflow = (local - cap.as_f64()).max(0.0);
             let hosted: f64 = plan
                 .mem_pairs

@@ -144,9 +144,7 @@ pub fn simulate(stages: &[StageTiming], microbatches: usize) -> PipelineTiming {
         }
     }
 
-    let iteration = (0..p)
-        .map(|s| b_done[s][n - 1])
-        .fold(0.0f64, f64::max);
+    let iteration = (0..p).map(|s| b_done[s][n - 1]).fold(0.0f64, f64::max);
     let stage_busy: Vec<Time> = stages
         .iter()
         .map(|st| (st.fwd + st.bwd).scale(n as f64))

@@ -74,9 +74,8 @@ pub fn naive_recompute(stages: &[StageRecomputeInput], capacity: Bytes) -> Recom
             continue;
         }
         // Savings accrue once per in-flight micro-batch.
-        let needed_per_mb = Bytes::new(
-            (overflow.as_f64() / input.in_flight.max(1) as f64).ceil() as u64,
-        );
+        let needed_per_mb =
+            Bytes::new((overflow.as_f64() / input.in_flight.max(1) as f64).ceil() as u64);
         match input.menu.time_for_savings(needed_per_mb) {
             Some(t) => {
                 plan.saved_per_mb[s] = needed_per_mb;
@@ -160,10 +159,7 @@ mod tests {
         let cap = Bytes::gib(70);
         let plan = naive_recompute(&ins, cap);
         for (s, m) in planned_memory(&ins, &plan).iter().enumerate() {
-            assert!(
-                m.as_f64() <= cap.as_f64() * 1.001,
-                "stage {s}: {m} > {cap}"
-            );
+            assert!(m.as_f64() <= cap.as_f64() * 1.001, "stage {s}: {m} > {cap}");
         }
     }
 

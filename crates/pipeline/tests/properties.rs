@@ -79,7 +79,7 @@ proptest! {
         let base = stages(p, &f, &b);
         let mut slower = base.clone();
         let idx = slow_stage % p;
-        slower[idx].bwd = slower[idx].bwd + Time::from_micros(extra_us as f64);
+        slower[idx].bwd += Time::from_micros(extra_us as f64);
         let t0 = simulate(&base, n);
         let t1 = simulate(&slower, n);
         prop_assert!(t1.iteration.as_secs() >= t0.iteration.as_secs() - 1e-12);

@@ -87,11 +87,10 @@ impl DieModel {
     /// the dataflow's reuse assumption degrades.
     fn spill_factor(&self, k: f64) -> f64 {
         let (_, _) = self.lane_extents();
-        let tile_bytes =
-            k * (self.die.core.pe_rows + self.die.core.pe_cols) as f64 * 2.0;
+        let tile_bytes = k * (self.die.core.pe_rows + self.die.core.pe_cols) as f64 * 2.0;
         let sram = self.die.core.sram.as_f64();
         if tile_bytes > sram {
-            1.0 + 0.5 * ((tile_bytes / sram).log2().max(0.0)).min(2.0)
+            1.0 + 0.5 * (tile_bytes / sram).log2().clamp(0.0, 2.0)
         } else {
             1.0
         }
@@ -134,8 +133,7 @@ impl DieModel {
                 let g = op.gemm.expect("attention carries a shape");
                 // Fused kernel: EMA is only QKV in + out (no S^2 traffic);
                 // inner softmax costs ~15% of MAC throughput.
-                let mut c =
-                    self.gemm_cost(g.m as f64, g.k as f64, g.n as f64, op.fwd_flops, 0.85);
+                let mut c = self.gemm_cost(g.m as f64, g.k as f64, g.n as f64, op.fwd_flops, 0.85);
                 c.ema = op.output_bytes.scale(4.0);
                 let memory = c.ema / self.dram_bw;
                 c.time = c.time.max(memory + launch_overhead());
@@ -347,7 +345,10 @@ mod tests {
             n += 1;
         }
         let mape = rel_sum / n as f64;
-        assert!(mape > 0.05, "analytic should be noticeably off, mape {mape}");
+        assert!(
+            mape > 0.05,
+            "analytic should be noticeably off, mape {mape}"
+        );
     }
 
     #[test]

@@ -192,7 +192,9 @@ impl Mlp {
             b1: vec![0.0; hidden],
             w2: mat(hidden, hidden, scale2, rng),
             b2: vec![0.0; hidden],
-            w3: (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2).collect(),
+            w3: (0..hidden)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+                .collect(),
             b3: 0.0,
         }
     }
@@ -219,6 +221,7 @@ impl Mlp {
     }
 
     /// One full-batch gradient step; returns MSE before the step.
+    #[allow(clippy::needless_range_loop)]
     fn train_step(&mut self, xs: &[Vec<f64>], ys: &[f64], lr: f64) -> f64 {
         let n = xs.len() as f64;
         let hidden = self.b1.len();
@@ -333,7 +336,10 @@ impl DnnPredictor {
         let xs: Vec<Vec<f64>> = xs_raw.iter().map(|x| norm.apply(x)).collect();
         let lat_mean = samples.iter().map(|s| s.latency_s.ln()).sum::<f64>() / samples.len() as f64;
         let mem_mean = samples.iter().map(|s| s.memory_b.ln()).sum::<f64>() / samples.len() as f64;
-        let y_lat: Vec<f64> = samples.iter().map(|s| s.latency_s.ln() - lat_mean).collect();
+        let y_lat: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency_s.ln() - lat_mean)
+            .collect();
         let y_mem: Vec<f64> = samples.iter().map(|s| s.memory_b.ln() - mem_mean).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         let d = xs[0].len();

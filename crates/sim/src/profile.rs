@@ -250,7 +250,9 @@ mod tests {
     #[test]
     fn infeasible_savings_is_none() {
         let menu = RecomputeMenu::from_layer_profile(&profile(), 2);
-        assert!(menu.time_for_savings(menu.max_savings() + Bytes::gib(1)).is_none());
+        assert!(menu
+            .time_for_savings(menu.max_savings() + Bytes::gib(1))
+            .is_none());
         assert_eq!(menu.time_for_savings(Bytes::ZERO), Some(Time::ZERO));
     }
 

@@ -149,7 +149,15 @@ fn attention_ops(model: &LlmModel, ctx: &ShardingCtx, ops: &mut Vec<OpInstance>)
     });
 
     // Row-parallel output projection: forward all-reduce.
-    ops.push(gemm_op("attn_out", t, h.div_ceil(tp), h, ar, Bytes::ZERO, rep));
+    ops.push(gemm_op(
+        "attn_out",
+        t,
+        h.div_ceil(tp),
+        h,
+        ar,
+        Bytes::ZERO,
+        rep,
+    ));
 }
 
 fn dense_ffn_ops(model: &LlmModel, ctx: &ShardingCtx, ops: &mut Vec<OpInstance>) {
@@ -167,7 +175,15 @@ fn dense_ffn_ops(model: &LlmModel, ctx: &ShardingCtx, ops: &mut Vec<OpInstance>)
     ops.push(norm_op("norm2", tf, hf, rep));
     match ctx.strategy {
         TpSplitStrategy::Megatron | TpSplitStrategy::SequenceParallel => {
-            ops.push(gemm_op("ffn_up", t, h, f_up.div_ceil(tp), Bytes::ZERO, ar, 1.0));
+            ops.push(gemm_op(
+                "ffn_up",
+                t,
+                h,
+                f_up.div_ceil(tp),
+                Bytes::ZERO,
+                ar,
+                1.0,
+            ));
         }
         TpSplitStrategy::FullReduction => {
             ops.push(gemm_op(
@@ -195,7 +211,15 @@ fn dense_ffn_ops(model: &LlmModel, ctx: &ShardingCtx, ops: &mut Vec<OpInstance>)
         bwd_comm_bytes: Bytes::ZERO,
         recomputable: true,
     });
-    ops.push(gemm_op("ffn_down", t, f.div_ceil(tp), h, ar, Bytes::ZERO, rep));
+    ops.push(gemm_op(
+        "ffn_down",
+        t,
+        f.div_ceil(tp),
+        h,
+        ar,
+        Bytes::ZERO,
+        rep,
+    ));
 }
 
 fn moe_ffn_ops(
@@ -221,7 +245,11 @@ fn moe_ffn_ops(
     ops.push(OpInstance {
         name: "moe_router".into(),
         kind: OpKind::MoeRouter,
-        gemm: Some(GemmShape { m: t, k: h, n: experts }),
+        gemm: Some(GemmShape {
+            m: t,
+            k: h,
+            n: experts,
+        }),
         fwd_flops: Flops::new(2.0 * tf * hf * experts as f64),
         bwd_flops: Flops::new(4.0 * tf * hf * experts as f64),
         output_bytes: bytes(tf * top_k as f64 * 8.0),
@@ -248,9 +276,12 @@ fn moe_ffn_ops(
 
     // Expert FFN over routed tokens (experts sharded across the group).
     let routed = (t * top_k).div_ceil(tp);
-    let fe_up = if model.gated_ffn { 2 * expert_ffn } else { expert_ffn };
-    let expert_weights =
-        (experts as f64 / tpf) * (hf * fe_up as f64 + expert_ffn as f64 * hf) * a;
+    let fe_up = if model.gated_ffn {
+        2 * expert_ffn
+    } else {
+        expert_ffn
+    };
+    let expert_weights = (experts as f64 / tpf) * (hf * fe_up as f64 + expert_ffn as f64 * hf) * a;
     let mut up = gemm_op("expert_up", routed, h, fe_up, Bytes::ZERO, Bytes::ZERO, 1.0);
     up.weight_bytes = bytes(expert_weights * (fe_up as f64 / (fe_up + expert_ffn) as f64));
     ops.push(up);
@@ -267,7 +298,15 @@ fn moe_ffn_ops(
         bwd_comm_bytes: Bytes::ZERO,
         recomputable: true,
     });
-    let mut down = gemm_op("expert_down", routed, expert_ffn, h, Bytes::ZERO, Bytes::ZERO, 1.0);
+    let mut down = gemm_op(
+        "expert_down",
+        routed,
+        expert_ffn,
+        h,
+        Bytes::ZERO,
+        Bytes::ZERO,
+        1.0,
+    );
     down.weight_bytes = bytes(expert_weights * (expert_ffn as f64 / (fe_up + expert_ffn) as f64));
     ops.push(down);
 
@@ -304,9 +343,16 @@ fn ssm_layer_ops(
     let rep = ctx.strategy.replicated_act_factor(tp);
     let ar = bytes(tf * hf * a);
 
-    let mut ops = Vec::new();
-    ops.push(norm_op("norm", tf, hf, rep));
-    ops.push(gemm_op("in_proj", t, h, (2 * e).div_ceil(tp), Bytes::ZERO, ar, 1.0));
+    let mut ops = vec![norm_op("norm", tf, hf, rep)];
+    ops.push(gemm_op(
+        "in_proj",
+        t,
+        h,
+        (2 * e).div_ceil(tp),
+        Bytes::ZERO,
+        ar,
+        1.0,
+    ));
     ops.push(OpInstance {
         name: "conv1d".into(),
         kind: OpKind::Conv,
@@ -331,7 +377,15 @@ fn ssm_layer_ops(
         bwd_comm_bytes: Bytes::ZERO,
         recomputable: true,
     });
-    ops.push(gemm_op("out_proj", t, e.div_ceil(tp), h, ar, Bytes::ZERO, rep));
+    ops.push(gemm_op(
+        "out_proj",
+        t,
+        e.div_ceil(tp),
+        h,
+        ar,
+        Bytes::ZERO,
+        rep,
+    ));
     ops
 }
 
@@ -442,7 +496,10 @@ mod tests {
     fn dense_layer_has_two_fwd_collectives() {
         let m = zoo::llama3_70b();
         let ops = layer_ops_at(&m, 0, &ctx(4));
-        let n = ops.iter().filter(|o| o.fwd_comm_bytes > Bytes::ZERO).count();
+        let n = ops
+            .iter()
+            .filter(|o| o.fwd_comm_bytes > Bytes::ZERO)
+            .count();
         assert_eq!(n, 2, "Megatron: attn_out + ffn_down all-reduce");
     }
 
@@ -451,7 +508,10 @@ mod tests {
         let m = zoo::llama3_70b();
         let c = ShardingCtx::new(16, 4096, 4, TpSplitStrategy::FullReduction);
         let ops = layer_ops_at(&m, 0, &c);
-        let n = ops.iter().filter(|o| o.fwd_comm_bytes > Bytes::ZERO).count();
+        let n = ops
+            .iter()
+            .filter(|o| o.fwd_comm_bytes > Bytes::ZERO)
+            .count();
         assert_eq!(n, 4);
     }
 

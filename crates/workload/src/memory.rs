@@ -6,7 +6,7 @@
 //!
 //! Mixed-precision Adam (§V-A): FP16 weights (2 B) + FP16 gradients (2 B)
 //! + FP32 master weights and two moments (12 B) = **16 bytes per
-//! parameter**, sharded across TP; layers sharded across PP stages.
+//!   parameter**, sharded across TP; layers sharded across PP stages.
 
 use crate::graph::{self, ShardingCtx};
 use crate::model::LlmModel;

@@ -115,7 +115,10 @@ impl LlmModel {
                     + (1.0 - moe_frac) * self.dense_ffn_params();
                 self.attn_params() + ffn_avg + 2.0 * h
             }
-            ModelFamily::Ssm { state_dim, conv_width } => {
+            ModelFamily::Ssm {
+                state_dim,
+                conv_width,
+            } => {
                 // in_proj (2x expansion), conv, SSM params, out_proj.
                 let e = 2.0 * h;
                 e * h + e * *conv_width as f64 + e * (*state_dim as f64 * 2.0 + 1.0) + e * h
@@ -159,7 +162,6 @@ impl LlmModel {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::zoo;
 
     #[test]
@@ -192,7 +194,11 @@ mod tests {
     #[test]
     fn moe_total_exceeds_active() {
         let m = zoo::deepseek_v3();
-        assert!(m.params_b() > 500.0 && m.params_b() < 800.0, "{}", m.params_b());
+        assert!(
+            m.params_b() > 500.0 && m.params_b() < 800.0,
+            "{}",
+            m.params_b()
+        );
         let active_b = m.active_params() / 1e9;
         assert!(active_b < 60.0, "active {active_b:.1}B");
         assert!(m.total_params() > m.active_params());

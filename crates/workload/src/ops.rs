@@ -32,7 +32,10 @@ pub enum OpKind {
 impl OpKind {
     /// True when the PE (MAC) array executes the bulk of the FLOPs.
     pub fn is_matrix(self) -> bool {
-        matches!(self, OpKind::Gemm | OpKind::FlashAttention | OpKind::MoeRouter)
+        matches!(
+            self,
+            OpKind::Gemm | OpKind::FlashAttention | OpKind::MoeRouter
+        )
     }
 }
 
@@ -116,7 +119,11 @@ mod tests {
 
     #[test]
     fn gemm_byte_accessors() {
-        let g = GemmShape { m: 10, k: 20, n: 30 };
+        let g = GemmShape {
+            m: 10,
+            k: 20,
+            n: 30,
+        };
         assert_eq!(g.input_bytes(2).as_u64(), 400);
         assert_eq!(g.weight_bytes(2).as_u64(), 1200);
         assert_eq!(g.output_bytes(2).as_u64(), 600);

@@ -36,7 +36,12 @@ impl TrainingJob {
 
     /// A job with explicit batch geometry (used by the memory-pressure
     /// experiments that exercise recomputation).
-    pub fn with_batch(model: LlmModel, global_batch: usize, micro_batch: usize, seq: usize) -> Self {
+    pub fn with_batch(
+        model: LlmModel,
+        global_batch: usize,
+        micro_batch: usize,
+        seq: usize,
+    ) -> Self {
         TrainingJob {
             model,
             global_batch,

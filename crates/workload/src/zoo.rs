@@ -269,7 +269,10 @@ mod tests {
     fn qwen_active_params_are_a3b_class() {
         let m = qwen3_next_80b();
         let active_b = m.active_params() / 1e9;
-        assert!(active_b < 8.0, "active {active_b:.1}B should be small (A3B)");
+        assert!(
+            active_b < 8.0,
+            "active {active_b:.1}B should be small (A3B)"
+        );
         let total = m.params_b();
         assert!((total - 80.0).abs() / 80.0 < 0.35, "total {total:.1}B");
     }

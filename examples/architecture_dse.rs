@@ -1,33 +1,48 @@
 //! Architecture DSE: sweep the Table II wafer configurations (plus the
 //! enumerator's own candidates) for a memory-pressured Llama3-70B job and
 //! report which architecture wins — the Fig. 15 workflow as a library
-//! consumer would run it.
+//! consumer would run it. One `Explorer` session fans all candidates out
+//! across threads and compares the winner against the paper's baseline
+//! systems.
 //!
 //! Run with: `cargo run --release --example architecture_dse`
 
-use watos::engine::CoExplorationEngine;
-use watos::scheduler::SchedulerOptions;
+use watos::Explorer;
 use wsc_arch::enumerate::Enumerator;
 use wsc_arch::presets;
+use wsc_baselines::standard_suite;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
 fn main() {
     let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
-    let engine = CoExplorationEngine::new(SchedulerOptions {
-        ga: None, // keep the sweep fast; enable for final runs
-        ..SchedulerOptions::default()
-    });
 
-    // Table II presets first.
-    let mut candidates = presets::table_ii_configs();
-    // Plus a few enumerator-generated candidates around them.
-    candidates.extend(Enumerator::paper_space().enumerate().into_iter().take(6));
+    // Table II presets first, plus a few enumerator-generated candidates
+    // around them. The builder accepts both — single wafers and whole
+    // enumerators.
+    let mut enumerated = Enumerator::paper_space().enumerate();
+    enumerated.truncate(6);
 
-    println!("exploring {} wafer candidates for {}\n", candidates.len(), job.model.name);
-    let records = engine.explore_all(&candidates, &job);
-    println!("{:<28} {:>14} {:>16} {:>12}", "architecture", "iteration", "parallelism", "feasible");
-    for r in &records {
+    let report = Explorer::builder()
+        .job(job.clone())
+        .wafers(presets::table_ii_configs())
+        .wafers(enumerated)
+        .no_ga() // keep the sweep fast; .ga(..) for final runs
+        .with_baselines(standard_suite())
+        .build()
+        .expect("presets and enumerated candidates validate")
+        .run();
+
+    println!(
+        "explored {} wafer candidates for {}\n",
+        report.single_wafer.len(),
+        job.model.name
+    );
+    println!(
+        "{:<28} {:>14} {:>16} {:>12}",
+        "architecture", "iteration", "parallelism", "feasible"
+    );
+    for r in &report.single_wafer {
         match &r.best {
             Some(cfg) => println!(
                 "{:<28} {:>12.3}s {:>16} {:>12}",
@@ -40,13 +55,18 @@ fn main() {
         }
     }
 
-    if let Some((wafer, cfg)) = engine.best(&candidates, &job) {
+    if let Ok(rec) = report.best() {
+        let cfg = rec.best.as_ref().expect("feasible");
         println!(
             "\nbest architecture: {} -> {} @ {} ({} useful)",
-            wafer.name,
-            cfg.parallel,
-            cfg.report.iteration,
-            cfg.report.useful_throughput
+            rec.arch, cfg.parallel, cfg.report.iteration, cfg.report.useful_throughput
         );
+        println!("\nbaselines on {}:", rec.arch);
+        for b in &report.baselines {
+            match &b.outcome {
+                Some(o) => println!("  {:<10} {} @ {}", b.name, o.useful_throughput, o.iteration),
+                None => println!("  {:<10} infeasible", b.name),
+            }
+        }
     }
 }

@@ -1,39 +1,44 @@
-//! Fault tolerance: schedule a job, then sweep link- and die-fault rates
-//! comparing robust WATOS against a non-robust baseline (the Fig. 22
-//! experiment as an API walk-through).
+//! Fault tolerance: explore a job and sweep link- and die-fault rates on
+//! the winning configuration, comparing robust WATOS against a
+//! non-robust baseline (the Fig. 22 experiment as one `Explorer` run).
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use watos::robust::{fault_sweep, FaultKind};
-use watos::scheduler::{schedule_fixed, SchedulerOptions};
+use watos::{Explorer, FaultKind};
 use wsc_arch::presets;
-use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
 fn main() {
-    let wafer = presets::config(3);
-    let job = TrainingJob::standard(zoo::llama2_30b());
-    let opts = SchedulerOptions {
-        ga: None,
-        ..SchedulerOptions::default()
-    };
-    let cfg = schedule_fixed(
-        &wafer,
-        &job,
-        4,
-        14,
-        TpSplitStrategy::SequenceParallel,
-        &opts,
-        None,
-    )
-    .expect("schedulable");
-
     let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
-    for (kind, label) in [(FaultKind::Link, "link"), (FaultKind::Die, "die")] {
+    let report = Explorer::builder()
+        .job(TrainingJob::standard(zoo::llama2_30b()))
+        .wafer(presets::config(3))
+        .no_ga()
+        .seed(42)
+        .with_faults([FaultKind::Link, FaultKind::Die], rates)
+        .build()
+        .expect("valid configuration")
+        .run();
+
+    let rec = report.best().expect("schedulable");
+    println!(
+        "swept faults on {} ({})",
+        rec.arch,
+        rec.best.as_ref().expect("feasible").parallel
+    );
+
+    for sweep in &report.fault_sweeps {
+        let label = match sweep.kind {
+            FaultKind::Link => "link",
+            FaultKind::Die => "die",
+        };
         println!("\n== {label} faults (normalized throughput) ==");
-        println!("{:>6} {:>10} {:>10} {:>8}", "rate", "robust", "baseline", "gain");
-        for p in fault_sweep(&wafer, &job, &cfg, kind, &rates, 42) {
+        println!(
+            "{:>6} {:>10} {:>10} {:>8}",
+            "rate", "robust", "baseline", "gain"
+        );
+        for p in &sweep.points {
             println!(
                 "{:>6.2} {:>10.3} {:>10.3} {:>7.0}%",
                 p.rate,

@@ -1,11 +1,12 @@
 //! Multi-wafer scaling: train DeepSeek-V3-671B — which cannot fit one
 //! wafer's DRAM — on a four-wafer Config-3 node, comparing SOTA (1.8 TB/s)
 //! and commodity (400 GB/s) wafer-to-wafer interconnects (§VI-F).
+//! A single `Explorer` session covers the infeasible single wafer and
+//! both multi-wafer nodes.
 //!
 //! Run with: `cargo run --release --example multi_wafer_deepseek`
 
-use watos::multiwafer::explore_multi_wafer;
-use watos::scheduler::{explore, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::presets;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -19,30 +20,36 @@ fn main() {
         job.model.total_params() * 16.0 / 1e12
     );
 
+    let report = Explorer::builder()
+        .job(job)
+        .wafer(presets::config(3))
+        .multi_wafer(presets::multi_wafer_18())
+        .multi_wafer(presets::multi_wafer_4())
+        .no_ga()
+        .build()
+        .expect("valid configuration")
+        .run();
+
     // A single wafer is pruned by the Alg. 1 memory check.
-    let single = presets::config(3);
-    let opts = SchedulerOptions {
-        ga: None,
-        ..SchedulerOptions::default()
-    };
-    match explore(&single, &job, &opts) {
+    match &report.single_wafer[0].best {
         None => println!("single Config-3 wafer: infeasible (as expected — 3.9 TB of DRAM)"),
         Some(_) => println!("single wafer unexpectedly feasible"),
     }
 
-    for (name, node) in [
-        ("WATOS-18 (1.8 TB/s W2W)", presets::multi_wafer_18()),
-        ("WATOS-4  (0.4 TB/s W2W)", presets::multi_wafer_4()),
-    ] {
-        match explore_multi_wafer(&node, &job) {
+    for (node, label) in report
+        .multi_wafer
+        .iter()
+        .zip(["WATOS-18 (1.8 TB/s W2W)", "WATOS-4  (0.4 TB/s W2W)"])
+    {
+        match &node.best {
             Some(r) => println!(
-                "{name}: {} | iter {} | {} useful | {:.0}% of stage boundaries cross wafers",
+                "{label}: {} | iter {} | {} useful | {:.0}% of stage boundaries cross wafers",
                 r.parallel,
                 r.iteration,
                 r.useful_throughput,
                 r.w2w_boundary_fraction * 100.0
             ),
-            None => println!("{name}: infeasible"),
+            None => println!("{label}: infeasible"),
         }
     }
 }

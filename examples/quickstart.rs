@@ -1,9 +1,10 @@
 //! Quickstart: co-explore training strategy and wafer architecture for
-//! one model, print the chosen configuration and its performance.
+//! one model through the `Explorer` facade, print the chosen
+//! configuration and its performance.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use watos::scheduler::{explore, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::presets;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -16,13 +17,21 @@ fn main() {
     // 2. Describe the training job: model shape + batch geometry.
     let job = TrainingJob::standard(zoo::llama2_30b());
 
-    // 3. Run the WATOS central scheduler (Alg. 1) with its downstream
-    //    recomputation/memory schedulers and GA refinement.
-    let opts = SchedulerOptions::default();
-    let best = explore(&wafer, &job, &opts).expect("Llama2-30B fits Config 3");
+    // 3. One facade session runs the WATOS central scheduler (Alg. 1)
+    //    with its downstream recomputation/memory schedulers and GA
+    //    refinement; defaults match the paper's configuration.
+    let report = Explorer::builder()
+        .job(job.clone())
+        .wafer(wafer.clone())
+        .build()
+        .expect("a job and a candidate were provided")
+        .run();
+
+    let record = report.best().expect("Llama2-30B fits Config 3");
+    let best = record.best.as_ref().expect("feasible");
 
     println!("model       : {}", job.model.name);
-    println!("wafer       : {} ({} dies)", wafer.name, wafer.die_count());
+    println!("wafer       : {} ({} dies)", record.arch, wafer.die_count());
     println!("parallelism : {}", best.parallel);
     println!("strategy    : {}", best.strategy);
     println!("collective  : {:?}", best.collective);
@@ -39,5 +48,12 @@ fn main() {
     println!(
         "breakdown   : comp {} | exposed comm {} | bubble {}",
         best.report.comp_time, best.report.comm_time, best.report.bubble_time
+    );
+
+    // 4. The whole report round-trips through JSON for downstream tools.
+    let json = report.to_json();
+    println!(
+        "report JSON : {} bytes (deterministic for a fixed seed)",
+        json.len()
     );
 }

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full co-exploration pipeline from
-//! hardware template to evaluated schedule.
+//! hardware template to evaluated schedule, driven through the `Explorer`
+//! facade.
 
-use watos::scheduler::{explore, schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::Explorer;
 use wsc_arch::enumerate::Enumerator;
 use wsc_arch::presets;
 use wsc_arch::AreaModel;
@@ -17,21 +19,37 @@ fn quick_opts() -> SchedulerOptions {
     }
 }
 
+fn quick_run(
+    job: TrainingJob,
+    wafers: Vec<wsc_arch::wafer::WaferConfig>,
+) -> watos::ExplorationReport {
+    Explorer::builder()
+        .job(job)
+        .wafers(wafers)
+        .options(quick_opts())
+        .build()
+        .expect("valid facade configuration")
+        .run()
+}
+
 #[test]
 fn full_pipeline_on_every_table_ii_config() {
     let job = TrainingJob::standard(zoo::llama2_30b());
-    for cfg in presets::table_ii_configs() {
-        let best = explore(&cfg, &job, &quick_opts())
-            .unwrap_or_else(|| panic!("{} should host Llama2-30B", cfg.name));
-        assert!(best.report.feasible, "{}", cfg.name);
+    let report = quick_run(job, presets::table_ii_configs());
+    for rec in &report.single_wafer {
+        let best = rec
+            .best
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} should host Llama2-30B", rec.arch));
+        assert!(best.report.feasible, "{}", rec.arch);
         assert!(best.report.iteration.is_finite());
         assert!(best.report.compute_utilization > 0.05);
         // Every stage's memory must fit the die.
         for (s, m) in best.report.stage_memory.iter().enumerate() {
             assert!(
-                m.as_f64() <= cfg.dram.capacity.as_f64() * 1.02,
+                m.as_f64() <= rec.wafer.dram.capacity.as_f64() * 1.02,
                 "{} stage {s} overflows",
-                cfg.name
+                rec.arch
             );
         }
     }
@@ -41,13 +59,19 @@ fn full_pipeline_on_every_table_ii_config() {
 fn config3_is_best_or_near_best_for_main_models() {
     // The paper's headline DSE insight: Config 3 is the universal optimum.
     let job = TrainingJob::with_batch(zoo::llama3_70b(), 512, 4, 4096);
-    let mut results = Vec::new();
-    for cfg in presets::table_ii_configs() {
-        let iter = explore(&cfg, &job, &quick_opts())
-            .map(|c| c.report.iteration.as_secs())
-            .unwrap_or(f64::INFINITY);
-        results.push((cfg.name.clone(), iter));
-    }
+    let report = quick_run(job, presets::table_ii_configs());
+    let results: Vec<(String, f64)> = report
+        .single_wafer
+        .iter()
+        .map(|rec| {
+            let iter = rec
+                .best
+                .as_ref()
+                .map(|c| c.report.iteration.as_secs())
+                .unwrap_or(f64::INFINITY);
+            (rec.arch.clone(), iter)
+        })
+        .collect();
     let best = results
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"))
@@ -61,20 +85,29 @@ fn config3_is_best_or_near_best_for_main_models() {
         best.0,
         best.1
     );
+    // The report's own best index agrees with the manual scan.
+    assert_eq!(
+        report.best().expect("some config fits").arch,
+        best.0,
+        "best_index should point at the fastest feasible record"
+    );
 }
 
 #[test]
 fn enumerator_candidates_are_schedulable() {
     let job = TrainingJob::standard(zoo::llama2_30b());
-    let cands = Enumerator::paper_space().enumerate();
+    let mut cands = Enumerator::paper_space().enumerate();
+    cands.truncate(8);
     let model = AreaModel::default();
-    let mut feasible = 0;
-    for cfg in cands.iter().take(8) {
+    for cfg in &cands {
         assert!(cfg.validate(&model).is_ok());
-        if explore(cfg, &job, &quick_opts()).is_some() {
-            feasible += 1;
-        }
     }
+    let report = quick_run(job, cands);
+    let feasible = report
+        .single_wafer
+        .iter()
+        .filter(|r| r.best.is_some())
+        .count();
     assert!(feasible >= 4, "only {feasible}/8 candidates schedulable");
 }
 
@@ -88,8 +121,16 @@ fn recompute_ladder_is_consistent() {
             recompute: mode,
             ..quick_opts()
         };
-        schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::SequenceParallel, &opts, None)
-            .map(|c| c.report.iteration.as_secs())
+        schedule_fixed(
+            &wafer,
+            &job,
+            4,
+            14,
+            TpSplitStrategy::SequenceParallel,
+            &opts,
+            None,
+        )
+        .map(|c| c.report.iteration.as_secs())
     };
     let none = run(RecomputeMode::None);
     let naive = run(RecomputeMode::Naive);
@@ -107,10 +148,10 @@ fn recompute_ladder_is_consistent() {
 
 #[test]
 fn deterministic_exploration() {
-    let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::llama2_30b());
-    let a = explore(&wafer, &job, &quick_opts()).expect("feasible");
-    let b = explore(&wafer, &job, &quick_opts()).expect("feasible");
-    assert_eq!(a.parallel, b.parallel);
-    assert_eq!(a.report.iteration, b.report.iteration);
+    let a = quick_run(job.clone(), vec![presets::config(3)]);
+    let b = quick_run(job, vec![presets::config(3)]);
+    // Not just the same winner — the whole report, byte for byte.
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
 }

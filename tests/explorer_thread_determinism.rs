@@ -1,0 +1,36 @@
+//! Thread-count determinism, isolated in its own test binary: this test
+//! mutates `RAYON_NUM_THREADS`, and `setenv` racing `getenv` from other
+//! concurrently-running tests would be undefined behavior on glibc. As
+//! the only test in the binary, nothing reads the environment while it
+//! writes (worker threads are joined before each `set_var`).
+
+use watos::{Explorer, FaultKind};
+use wsc_arch::presets;
+use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+#[test]
+fn report_is_identical_across_thread_counts() {
+    // The vendored rayon honors RAYON_NUM_THREADS at call time; the
+    // report must not depend on it.
+    let mut jsons = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let report = Explorer::builder()
+            .job(TrainingJob::standard(zoo::llama2_30b()))
+            .no_ga()
+            .strategies(vec![TpSplitStrategy::Megatron])
+            .wafer(presets::config(3))
+            .wafer(presets::config(4))
+            .with_faults([FaultKind::Link], [0.0, 0.2])
+            .seed(7)
+            .build()
+            .expect("valid")
+            .run();
+        jsons.push(report.to_json());
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(jsons[0], jsons[1]);
+    assert_eq!(jsons[1], jsons[2]);
+}

@@ -1,12 +1,11 @@
 //! Integration tests pinning the paper's qualitative claims — the shapes
 //! EXPERIMENTS.md reports. Each test names the figure it guards.
 
-use watos::scheduler::{explore, SchedulerOptions};
+use watos::scheduler::SchedulerOptions;
+use watos::Explorer;
 use wsc_arch::presets;
-use wsc_baselines::cerebras::weight_streaming;
 use wsc_baselines::dse::{run as run_dse, DseMethod};
-use wsc_baselines::gpu::megatron_gpu;
-use wsc_baselines::megatron::mg_wafer;
+use wsc_baselines::standard_suite;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
@@ -23,22 +22,33 @@ fn fig16_watos_beats_all_baselines() {
     for model in [zoo::llama2_30b(), zoo::llama3_70b()] {
         let name = model.name.clone();
         let job = TrainingJob::with_batch(model, 512, 4, 4096);
-        let wa = explore(&wafer, &job, &opts()).expect("watos").report;
-        let gpu = megatron_gpu(&presets::mg_gpu_node(), &job);
-        let mw = mg_wafer(&wafer, &job).expect("mg-wafer");
-        let cb = weight_streaming(&wafer, &job);
-        assert!(
-            wa.useful_throughput.as_f64() > gpu.useful_throughput.as_f64(),
-            "{name}: WATOS vs MG-GPU"
-        );
-        assert!(
-            wa.useful_throughput.as_f64() > mw.report.useful_throughput.as_f64(),
-            "{name}: WATOS vs MG-wafer"
-        );
-        assert!(
-            wa.useful_throughput.as_f64() > cb.useful_throughput.as_f64(),
-            "{name}: WATOS vs Cerebras"
-        );
+        let report = Explorer::builder()
+            .job(job)
+            .wafer(wafer.clone())
+            .options(opts())
+            .with_baselines(standard_suite())
+            .build()
+            .expect("valid")
+            .run();
+        let wa = &report
+            .best()
+            .expect("watos")
+            .best
+            .as_ref()
+            .expect("feasible")
+            .report;
+        assert_eq!(report.baselines.len(), 3, "{name}: all baselines recorded");
+        for baseline in &report.baselines {
+            let outcome = baseline
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name}: {} infeasible", baseline.name));
+            assert!(
+                wa.useful_throughput.as_f64() > outcome.useful_throughput.as_f64(),
+                "{name}: WATOS vs {}",
+                baseline.name
+            );
+        }
     }
 }
 
@@ -85,8 +95,7 @@ fn fig1_wafer_has_lower_exposed_comm_than_gpu_rack() {
 
 #[test]
 fn fig15_config3_wins_the_dse() {
-    let data =
-        wsc_bench::figures::evaluation::fig15_data(zoo::llama3_70b(), true, true);
+    let data = wsc_bench::figures::evaluation::fig15_data(zoo::llama3_70b(), true, true);
     let best = data
         .iter()
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

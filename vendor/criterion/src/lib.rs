@@ -1,0 +1,114 @@
+//! Offline stand-in for `criterion`'s call surface as used by this
+//! workspace: `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple — each benchmark runs a warmup pass
+//! plus `sample_size` timed samples and prints the per-iteration mean —
+//! enough to compare hot paths locally without the real dependency.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` for call-site compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { samples: 20 }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, 20, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.samples, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed_ns: 0.0,
+    };
+    // Warmup pass, then timed samples.
+    f(&mut b);
+    b.iters = 0;
+    b.elapsed_ns = 0.0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mean = if b.iters > 0 {
+        b.elapsed_ns / b.iters as f64
+    } else {
+        0.0
+    };
+    println!("  {name}: {:.3} µs/iter ({} iters)", mean / 1e3, b.iters);
+}
+
+/// Passed to each benchmark closure; accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std_black_box(f());
+        self.elapsed_ns += t0.elapsed().as_nanos() as f64;
+        self.iters += 1;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

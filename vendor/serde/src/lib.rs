@@ -1,0 +1,330 @@
+//! Offline stand-in for `serde`, vendored so the workspace builds without
+//! network access.
+//!
+//! The data model is deliberately simpler than upstream serde: both traits
+//! go through an owned [`Value`] tree instead of a visitor pair. The derive
+//! macros ([`macro@Serialize`] / [`macro@Deserialize`]) generate the same
+//! externally-tagged representation serde would for the shapes this
+//! workspace uses (named structs, newtype/tuple structs, unit and
+//! struct-variant enums). JSON text I/O lives in the sibling `serde_json`
+//! facade.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+mod value;
+
+pub use value::Value;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Deserialization/serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse a value tree back into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field by name in an object body (derive support).
+pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // JSON has no non-finite numbers; encode them as tagged strings so
+        // round-trips stay lossless.
+        if self.is_finite() {
+            Value::F64(*self)
+        } else if self.is_nan() {
+            Value::String("nan".into())
+        } else if *self > 0.0 {
+            Value::String("inf".into())
+        } else {
+            Value::String("-inf".into())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::String(s) => match s.as_str() {
+                "nan" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                _ => Err(Error::custom(format!("expected number, got {s:?}"))),
+            },
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected {expected}-tuple, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+// Maps serialize as a key-sorted array of `[key, value]` pairs. Sorting by
+// the key's JSON text keeps output deterministic no matter the hash seed,
+// which the workspace relies on for byte-identical reports.
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (json::to_text(&kv), kv, v.to_value())
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(_, k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected [k, v] pair, got {other:?}"
+                    ))),
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected array of pairs, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

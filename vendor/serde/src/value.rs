@@ -1,0 +1,35 @@
+//! The owned value tree both traits go through.
+
+/// A JSON-shaped value.
+///
+/// Objects keep insertion order (fields serialize in declaration order),
+/// which makes serialized output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Finite float (non-finite floats encode as tagged strings).
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object; `None` for other shapes or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}

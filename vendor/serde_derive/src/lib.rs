@@ -1,0 +1,194 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Input items are parsed directly from the token stream (no syn/quote in
+//! an offline build), covering the shapes this workspace uses: structs
+//! with named fields, tuple structs, and enums whose variants are unit,
+//! tuple, or struct-like. Generics are not supported.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Shape};
+
+/// Derive the vendored `serde::Serialize` (value-tree) implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct_fields(fields),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, vfields) in variants {
+                let arm = match vfields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                            ))
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{vname}\"), \
+                                ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            entries = entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize` (value-tree) implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_into(name, "__v", fields),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    _ => {
+                        let inner = deserialize_into(&format!("{name}::{vname}"), "__tv", vfields);
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::Error::custom(::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __tv) = &__fields[0];\n\
+                     match __tag.as_str() {{\n\
+                       {tagged_arms}\
+                       __other => Err(::serde::Error::custom(::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => Err(::serde::Error::custom(::std::format!(\"expected {name}, got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Serialize expression for an inherent struct's fields (accessed off
+/// `self`).
+fn serialize_struct_fields(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(arity) => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+/// Deserialize expression constructing `ctor` from the value expr `src`.
+fn deserialize_into(ctor: &str, src: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = {src}; Ok({ctor}) }}"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match {src} {{\n\
+                   ::serde::Value::Object(__obj) => Ok({ctor} {{ {inits} }}),\n\
+                   __other => Err(::serde::Error::custom(::std::format!(\"expected object, got {{__other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({ctor}(::serde::Deserialize::from_value({src})?))")
+        }
+        Fields::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match {src} {{\n\
+                   ::serde::Value::Array(__items) if __items.len() == {arity} =>\n\
+                     Ok({ctor}({inits})),\n\
+                   __other => Err(::serde::Error::custom(::std::format!(\"expected {arity}-element array, got {{__other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}

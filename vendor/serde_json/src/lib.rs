@@ -1,0 +1,52 @@
+//! JSON text encoding for the vendored serde stand-in.
+
+pub use serde::{Error, Value};
+
+/// Serialize a value as compact JSON text.
+///
+/// Output is deterministic: object fields appear in declaration order and
+/// map entries are key-sorted.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_text(&value.to_value()))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::from_text(s)?)
+}
+
+/// Parse JSON text into a dynamically-typed [`Value`].
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    serde::json::from_text(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Vec<Option<f64>> = vec![Some(1.5), None, Some(-2.0), Some(f64::INFINITY)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1.5,null,-2.0,\"inf\"]");
+        let back: Vec<Option<f64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_output_is_key_sorted() {
+        let mut m = std::collections::HashMap::new();
+        m.insert((2usize, 1usize), 1.0f64);
+        m.insert((1usize, 9usize), 2.0f64);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "[[[1,9],2.0],[[2,1],1.0]]");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}ü".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! Re-exports the [`macro@Error`] derive, which generates `Display` from
+//! per-variant `#[error("...")]` attributes (inline `{field}` captures
+//! only) plus a `std::error::Error` impl.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,154 @@
+//! `#[derive(Error)]` for the vendored thiserror stand-in.
+//!
+//! Supported shape: a non-generic enum whose variants are unit or
+//! named-field, each carrying an `#[error("...")]` attribute whose format
+//! string uses only inline captures (`{field}`). The derive generates a
+//! `Display` impl matching each variant and an empty `std::error::Error`
+//! impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Error, attributes(error))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i, &mut None);
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "enum" => {}
+        other => panic!("thiserror stand-in: only enums are supported, got {other}"),
+    }
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("thiserror stand-in: expected enum name, got {other}"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("thiserror stand-in: expected enum body, got {other}"),
+    };
+
+    let mut arms = String::new();
+    let vtokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut j = 0;
+    while j < vtokens.len() {
+        let mut fmt: Option<String> = None;
+        skip_attrs_and_vis(&vtokens, &mut j, &mut fmt);
+        if j >= vtokens.len() {
+            break;
+        }
+        let vname = match &vtokens[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("thiserror stand-in: expected variant name, got {other}"),
+        };
+        j += 1;
+        let fmt = fmt.unwrap_or_else(|| {
+            panic!("thiserror stand-in: variant `{vname}` is missing #[error(\"...\")]")
+        });
+        match vtokens.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = field_names(g.stream());
+                j += 1;
+                arms.push_str(&format!(
+                    "#[allow(unused_variables)] {name}::{vname} {{ {binds} }} => ::std::write!(__f, {fmt}),\n",
+                    binds = fields.join(", ")
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "thiserror stand-in: tuple variant `{vname}` is unsupported; use named fields"
+                );
+            }
+            _ => {
+                arms.push_str(&format!("{name}::{vname} => ::std::write!(__f, {fmt}),\n"));
+            }
+        }
+        while j < vtokens.len() && !is_punct(&vtokens[j], ',') {
+            j += 1;
+        }
+        j += 1;
+    }
+
+    format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+           fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{}}"
+    )
+    .parse()
+    .expect("thiserror stand-in: generated impl must parse")
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip attributes and visibility; capture the literal inside
+/// `#[error(...)]` (verbatim, including quotes) into `fmt` when present.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, fmt: &mut Option<String>) {
+    loop {
+        match tokens.get(*i) {
+            Some(t) if is_punct(t, '#') => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "error" {
+                            *fmt = Some(args.stream().to_string());
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field variant body.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i, &mut None);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("thiserror stand-in: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(t) if is_punct(t, ':')),
+            "thiserror stand-in: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => angle += 1,
+                t if is_punct(t, '>') => angle -= 1,
+                t if is_punct(t, ',') && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(name);
+    }
+    out
+}
