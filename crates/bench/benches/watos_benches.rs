@@ -92,6 +92,63 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The Alg. 1 search engine: pruned+parallel vs exhaustive, on the
+/// small/medium/large model presets, plus the bare evaluator.
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    // Same preset table as the bench_search JSON harness.
+    for preset in wsc_bench::util::search_presets() {
+        let name = preset.name;
+        let job = TrainingJob::standard(preset.model);
+        let pruned = SchedulerOptions {
+            ga: None,
+            strategies: preset.strategies.clone(),
+            ..SchedulerOptions::default()
+        };
+        let exhaustive = SchedulerOptions {
+            prune: false,
+            sequential: true,
+            ..pruned.clone()
+        };
+        g.bench_function(&format!("explore_{name}_pruned_parallel"), |b| {
+            b.iter(|| black_box(wsc_bench::util::explore_one(&preset.wafer, &job, &pruned)));
+        });
+        g.bench_function(&format!("explore_{name}_exhaustive_sequential"), |b| {
+            b.iter(|| {
+                black_box(wsc_bench::util::explore_one(
+                    &preset.wafer,
+                    &job,
+                    &exhaustive,
+                ))
+            });
+        });
+    }
+
+    // The bare evaluator on a fixed schedule (the Alg. 1 loop-body tail).
+    let wafer = presets::config(3);
+    let job = TrainingJob::standard(zoo::llama2_30b());
+    let opts = quick_opts();
+    let cfg = schedule_fixed(
+        &wafer,
+        &job,
+        4,
+        14,
+        TpSplitStrategy::SequenceParallel,
+        &opts,
+        None,
+    )
+    .expect("schedulable");
+    g.bench_function("evaluate_scheduled_tp4_pp14", |b| {
+        b.iter(|| {
+            black_box(watos::scheduler::evaluate_scheduled(
+                &wafer, &job, &cfg, None, true,
+            ))
+        });
+    });
+    g.finish();
+}
+
 /// The evaluator and scheduler paths behind Figs. 15–18.
 fn bench_scheduling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduling");
@@ -180,6 +237,7 @@ fn bench_figures(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernels,
+    bench_search,
     bench_scheduling,
     bench_sim,
     bench_figures

@@ -1,0 +1,183 @@
+//! Measured-benchmark harness for the co-exploration search engine.
+//!
+//! Runs the Alg. 1 single-wafer sweep twice per preset — once with the
+//! production configuration (analytic pruning + parallel waves) and once
+//! as the exhaustive sequential baseline (`sequential` + no-prune) — in
+//! the same process, checks the winners agree, and writes the wall times
+//! plus `SearchStats` to `BENCH_search.json` so the perf trajectory is
+//! tracked from PR to PR.
+//!
+//! ```text
+//! cargo run -p wsc-bench --release --bin bench_search -- \
+//!     [--preset small|medium|large|all] [--output BENCH_search.json] \
+//!     [--require-pruning] [--min-speedup X]
+//! ```
+//!
+//! `--require-pruning` exits non-zero unless every preset pruned at
+//! least one configuration (the CI smoke contract); `--min-speedup`
+//! exits non-zero when the measured speedup falls below `X`.
+
+use std::time::Instant;
+use watos::{ExplorationReport, Explorer, SearchStats};
+use wsc_bench::util::{search_presets, SearchPreset};
+use wsc_workload::training::TrainingJob;
+
+use serde::Serialize;
+
+/// One preset's measurements.
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    preset: String,
+    model: String,
+    wafer: String,
+    pruned_parallel_secs: f64,
+    sequential_noprune_secs: f64,
+    speedup: f64,
+    stats: SearchStats,
+    exhaustive_stats: SearchStats,
+    best_parallel: Option<String>,
+    best_iteration_secs: Option<f64>,
+}
+
+/// The whole `BENCH_search.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    threads: usize,
+    presets: Vec<BenchEntry>,
+}
+
+fn presets_for(which: &str) -> Vec<SearchPreset> {
+    let all = search_presets();
+    if which == "all" {
+        return all;
+    }
+    let filtered: Vec<SearchPreset> = all.into_iter().filter(|p| p.name == which).collect();
+    if filtered.is_empty() {
+        eprintln!("unknown preset `{which}` (small|medium|large|all)");
+        std::process::exit(2);
+    }
+    filtered
+}
+
+fn run_once(
+    preset: &SearchPreset,
+    job: &TrainingJob,
+    exhaustive: bool,
+) -> (ExplorationReport, f64) {
+    let mut b = Explorer::builder()
+        .job(job.clone())
+        .wafer(preset.wafer.clone())
+        .strategies(preset.strategies.clone())
+        .no_ga();
+    if exhaustive {
+        b = b.sequential().no_prune();
+    }
+    let explorer = b.build().expect("valid benchmark configuration");
+    let t0 = Instant::now();
+    let report = explorer.run();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut preset_arg = "all".to_string();
+    let mut output = "BENCH_search.json".to_string();
+    let mut require_pruning = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preset" => preset_arg = args.next().expect("--preset needs a value"),
+            "--output" => output = args.next().expect("--output needs a value"),
+            "--require-pruning" => require_pruning = true,
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .expect("--min-speedup needs a value")
+                        .parse()
+                        .expect("--min-speedup must be a number"),
+                )
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries = Vec::new();
+    let mut failed = false;
+    for preset in presets_for(&preset_arg) {
+        let job = TrainingJob::standard(preset.model.clone());
+        let (pruned_report, pruned_secs) = run_once(&preset, &job, false);
+        let (exhaustive_report, exhaustive_secs) = run_once(&preset, &job, true);
+
+        // Sanity: the pruned search must find the exhaustive winner.
+        let winner = |r: &ExplorationReport| {
+            r.best()
+                .ok()
+                .and_then(|rec| rec.best.as_ref().map(|b| (b.parallel, b.report.iteration)))
+        };
+        let (pw, ew) = (winner(&pruned_report), winner(&exhaustive_report));
+        if pw != ew {
+            eprintln!(
+                "[{}] PRUNING BUG: pruned winner {pw:?} != exhaustive winner {ew:?}",
+                preset.name
+            );
+            failed = true;
+        }
+
+        let stats = pruned_report.search_stats();
+        let exhaustive_stats = exhaustive_report.search_stats();
+        let speedup = exhaustive_secs / pruned_secs.max(1e-12);
+        println!(
+            "[{:6}] {:12} pruned+parallel {:8.3}s  sequential+no-prune {:8.3}s  speedup {:5.2}x  \
+             visited {} pruned {} evaluated {}",
+            preset.name,
+            preset.model.name,
+            pruned_secs,
+            exhaustive_secs,
+            speedup,
+            stats.visited,
+            stats.pruned,
+            stats.evaluated,
+        );
+        if require_pruning && stats.pruned == 0 {
+            eprintln!("[{}] expected pruned > 0, got {:?}", preset.name, stats);
+            failed = true;
+        }
+        if let Some(min) = min_speedup {
+            if speedup < min {
+                eprintln!(
+                    "[{}] speedup {speedup:.2}x below required {min}x",
+                    preset.name
+                );
+                failed = true;
+            }
+        }
+        entries.push(BenchEntry {
+            preset: preset.name.to_string(),
+            model: preset.model.name.clone(),
+            wafer: preset.wafer.name.clone(),
+            pruned_parallel_secs: pruned_secs,
+            sequential_noprune_secs: exhaustive_secs,
+            speedup,
+            stats,
+            exhaustive_stats,
+            best_parallel: pw.map(|(p, _)| p.to_string()),
+            best_iteration_secs: pw.map(|(_, t)| t.as_secs()),
+        });
+    }
+
+    let report = BenchReport {
+        benchmark: "explore_impl: pruned+parallel vs sequential exhaustive".to_string(),
+        threads: rayon::current_num_threads(),
+        presets: entries,
+    };
+    let json = serde::json::to_text(&report.to_value());
+    std::fs::write(&output, json + "\n").expect("write benchmark report");
+    println!("wrote {output}");
+    if failed {
+        std::process::exit(1);
+    }
+}

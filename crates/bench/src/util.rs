@@ -4,10 +4,51 @@
 
 use watos::scheduler::{RecomputeMode, ScheduledConfig, SchedulerOptions};
 use watos::{Explorer, MultiWaferReport};
+use wsc_arch::presets;
 use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
 use wsc_mesh::collective::CollectiveAlgo;
+use wsc_workload::model::LlmModel;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+/// One search-engine benchmark preset — the single source of truth
+/// shared by the criterion `search` group and the `bench_search` JSON
+/// harness, so both always measure the same workload per name.
+pub struct SearchPreset {
+    /// Preset name (`small` / `medium` / `large`).
+    pub name: &'static str,
+    /// Candidate wafer.
+    pub wafer: WaferConfig,
+    /// Training model.
+    pub model: LlmModel,
+    /// TP partition strategies to sweep.
+    pub strategies: Vec<TpSplitStrategy>,
+}
+
+/// The small/medium/large search-benchmark presets, in size order.
+pub fn search_presets() -> Vec<SearchPreset> {
+    vec![
+        SearchPreset {
+            name: "small",
+            wafer: presets::config(3),
+            model: zoo::llama2_30b(),
+            strategies: vec![TpSplitStrategy::SequenceParallel],
+        },
+        SearchPreset {
+            name: "medium",
+            wafer: presets::config(3),
+            model: zoo::llama3_70b(),
+            strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
+        },
+        SearchPreset {
+            name: "large",
+            wafer: presets::config(3),
+            model: zoo::gpt_175b(),
+            strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
+        },
+    ]
+}
 
 /// Explore one wafer candidate through the `Explorer` facade.
 ///

@@ -1,0 +1,214 @@
+//! Memoization for the co-exploration hot loop.
+//!
+//! One Alg. 1 search visits hundreds of `(tp, pp, strategy)` points, and
+//! the fault/robust/GA re-evaluations revisit the winner many more times.
+//! Before this cache every visit re-profiled layers on the die simulator,
+//! re-aggregated stage profiles, and re-priced identical collectives. A
+//! [`ProfileCache`] is scoped to one `(wafer, job)` pair and shares:
+//!
+//! * [`LayerData`] per `(tp, strategy)` — the die-simulator calls, reused
+//!   across every `pp` the search sweeps;
+//! * stage-profile vectors per `(tp, pp, strategy, microbatches)` —
+//!   reused by the bound pruner, the evaluator, the GA refinement, and
+//!   fault sweeps;
+//! * `all_reduce_time` results per `(algo, shape, bytes, bw, alpha)` —
+//!   the collective lookups the evaluator repeats for every balanced
+//!   stage.
+//!
+//! All entries are pure functions of their keys, so concurrent lookups
+//! from the parallel search are deterministic: a racing miss computes the
+//! same value, and the first insert wins. Maps are behind `RwLock`s —
+//! the steady state is read-only hits, so waves never serialize on the
+//! cache.
+
+use crate::stage::{build_layer_data, build_stage_profiles_with, LayerData, StageProfile};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use wsc_arch::units::{Bandwidth, Bytes, Time};
+use wsc_arch::wafer::WaferConfig;
+use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
+use wsc_workload::graph::ShardingCtx;
+use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::training::TrainingJob;
+
+type LayerKey = (usize, TpSplitStrategy);
+type StageKey = (usize, usize, TpSplitStrategy, usize);
+type CollectiveKey = (CollectiveAlgo, usize, usize, u64, u64, u64);
+
+/// Shared memo for one `(wafer, job)` exploration (see module docs).
+///
+/// Keys deliberately omit the wafer and job: one cache must never be
+/// reused across architectures or training jobs.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    layers: RwLock<HashMap<LayerKey, Arc<LayerData>>>,
+    stages: RwLock<HashMap<StageKey, Arc<Vec<StageProfile>>>>,
+    collectives: RwLock<HashMap<CollectiveKey, Time>>,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProfileCache::default()
+    }
+
+    /// The per-layer-kind simulation results for `(ctx.tp, ctx.strategy)`.
+    pub fn layer_data(
+        &self,
+        wafer: &WaferConfig,
+        job: &TrainingJob,
+        ctx: &ShardingCtx,
+    ) -> Arc<LayerData> {
+        let key = (ctx.tp, ctx.strategy);
+        if let Some(hit) = self.layers.read().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Build outside the lock: racing misses compute identical values.
+        let built = Arc::new(build_layer_data(wafer, job, ctx));
+        Arc::clone(
+            self.layers
+                .write()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Stage profiles for `(parallel.tp, parallel.pp, ctx.strategy,
+    /// microbatches)`, assembled from cached [`LayerData`].
+    pub fn stage_profiles(
+        &self,
+        wafer: &WaferConfig,
+        job: &TrainingJob,
+        parallel: ParallelSpec,
+        ctx: &ShardingCtx,
+        microbatches: usize,
+    ) -> Arc<Vec<StageProfile>> {
+        let key = (parallel.tp, parallel.pp, ctx.strategy, microbatches);
+        if let Some(hit) = self.stages.read().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let layers = self.layer_data(wafer, job, ctx);
+        let built = Arc::new(build_stage_profiles_with(
+            &layers,
+            job,
+            parallel,
+            ctx,
+            microbatches,
+        ));
+        Arc::clone(
+            self.stages
+                .write()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Memoized [`all_reduce_time`].
+    pub fn all_reduce(
+        &self,
+        algo: CollectiveAlgo,
+        shape: GroupShape,
+        bytes: Bytes,
+        link_bw: Bandwidth,
+        alpha: Time,
+    ) -> Time {
+        let key = (
+            algo,
+            shape.w,
+            shape.h,
+            bytes.as_u64(),
+            link_bw.as_bytes_per_s().to_bits(),
+            alpha.as_secs().to_bits(),
+        );
+        if let Some(hit) = self.collectives.read().expect("cache lock").get(&key) {
+            return *hit;
+        }
+        let t = all_reduce_time(algo, shape, bytes, link_bw, alpha);
+        *self
+            .collectives
+            .write()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert(t)
+    }
+
+    /// Number of cached stage-profile vectors (for tests/introspection).
+    pub fn stage_entries(&self) -> usize {
+        self.stages.read().expect("cache lock").len()
+    }
+
+    /// Number of cached layer-data entries (for tests/introspection).
+    pub fn layer_entries(&self) -> usize {
+        self.layers.read().expect("cache lock").len()
+    }
+}
+
+/// [`all_reduce_time`] through an optional cache (the evaluator runs both
+/// cached — inside a search — and standalone).
+pub fn cached_all_reduce(
+    cache: Option<&ProfileCache>,
+    algo: CollectiveAlgo,
+    shape: GroupShape,
+    bytes: Bytes,
+    link_bw: Bandwidth,
+    alpha: Time,
+) -> Time {
+    match cache {
+        Some(c) => c.all_reduce(algo, shape, bytes, link_bw, alpha),
+        None => all_reduce_time(algo, shape, bytes, link_bw, alpha),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_arch::presets;
+    use wsc_workload::zoo;
+
+    #[test]
+    fn stage_profiles_match_uncached_build() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let parallel = ParallelSpec::model_parallel(4, 14);
+        let cache = ProfileCache::new();
+        let cached = cache.stage_profiles(&wafer, &job, parallel, &ctx, 16);
+        let direct = crate::stage::build_stage_profiles(&wafer, &job, parallel, &ctx, 16);
+        assert_eq!(*cached, direct);
+        // Second lookup hits the same Arc.
+        let again = cache.stage_profiles(&wafer, &job, parallel, &ctx, 16);
+        assert!(Arc::ptr_eq(&cached, &again));
+        assert_eq!(cache.stage_entries(), 1);
+        assert_eq!(cache.layer_entries(), 1);
+    }
+
+    #[test]
+    fn layer_data_shared_across_pp() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let cache = ProfileCache::new();
+        for pp in [2, 4, 7, 14] {
+            cache.stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, pp), &ctx, 8);
+        }
+        assert_eq!(cache.stage_entries(), 4);
+        assert_eq!(cache.layer_entries(), 1, "one simulator pass for all pp");
+    }
+
+    #[test]
+    fn collective_memo_is_transparent() {
+        let cache = ProfileCache::new();
+        let shape = GroupShape::new(2, 2);
+        let bw = Bandwidth::tb_per_s(1.0);
+        let alpha = Time::from_nanos(50.0);
+        let direct = all_reduce_time(CollectiveAlgo::RingBi, shape, Bytes::mib(64), bw, alpha);
+        for _ in 0..3 {
+            assert_eq!(
+                cache.all_reduce(CollectiveAlgo::RingBi, shape, Bytes::mib(64), bw, alpha),
+                direct
+            );
+        }
+    }
+}

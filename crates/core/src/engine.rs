@@ -40,7 +40,7 @@ impl CoExplorationEngine {
     pub fn explore_arch(&self, wafer: &WaferConfig, job: &TrainingJob) -> ExplorationRecord {
         ExplorationRecord {
             arch: wafer.name.clone(),
-            best: explore_impl(wafer, job, &self.options),
+            best: explore_impl(wafer, job, &self.options).best,
         }
     }
 
@@ -66,7 +66,10 @@ impl CoExplorationEngine {
     ) -> Option<(&'a WaferConfig, ScheduledConfig)> {
         let mut best: Option<(&WaferConfig, ScheduledConfig)> = None;
         for w in candidates {
-            if let Some(cfg) = explore_impl(w, job, &self.options).filter(|c| c.report.feasible) {
+            if let Some(cfg) = explore_impl(w, job, &self.options)
+                .best
+                .filter(|c| c.report.feasible)
+            {
                 let better = best.as_ref().is_none_or(|(_, b)| {
                     cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
                 });

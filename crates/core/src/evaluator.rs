@@ -7,6 +7,7 @@
 //! assigner, end-to-end timing from the exact 1F1B simulator, plus DP
 //! gradient synchronization and the optimizer step.
 
+use crate::cache::{cached_all_reduce, ProfileCache};
 use crate::dram_alloc::DramGrant;
 use crate::placement::Placement;
 use crate::stage::{boundary_bytes, StageProfile};
@@ -14,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::{Bytes, FlopRate, Flops, Time};
 use wsc_arch::wafer::WaferConfig;
-use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
+use wsc_mesh::collective::{CollectiveAlgo, GroupShape};
 use wsc_mesh::contention::{CommTask, TaskKind, TrafficAssigner};
 use wsc_mesh::topology::Mesh2D;
 use wsc_pipeline::onefb::{simulate, StageTiming};
@@ -120,6 +121,81 @@ pub struct EvalInput<'a> {
     pub faults: Option<&'a FaultMap>,
     /// Evaluator knobs.
     pub options: EvalOptions,
+    /// Shared memo for collective-time lookups (None = compute directly).
+    pub cache: Option<&'a ProfileCache>,
+}
+
+/// Forward/backward TP-collective times of one stage profile at the
+/// given effective link bandwidth. This is *the* formula — shared by the
+/// evaluator (fault-scaled bandwidth) and the scheduler's lower-bound
+/// pruner (healthy bandwidth), so the bound can never drift from what
+/// the evaluator actually charges.
+pub(crate) fn stage_comm_times(
+    cache: Option<&ProfileCache>,
+    collective: CollectiveAlgo,
+    shape: GroupShape,
+    sp: &StageProfile,
+    eff_link: wsc_arch::units::Bandwidth,
+    alpha: Time,
+) -> (Time, Time) {
+    let fwd_coll = sp.fwd_collectives.max(1);
+    let bwd_coll = sp.bwd_collectives.max(1);
+    let fwd = cached_all_reduce(
+        cache,
+        collective,
+        shape,
+        sp.fwd_comm_bytes / fwd_coll as u64,
+        eff_link,
+        alpha,
+    )
+    .scale(fwd_coll as f64);
+    let bwd = cached_all_reduce(
+        cache,
+        collective,
+        shape,
+        sp.bwd_comm_bytes / bwd_coll as u64,
+        eff_link,
+        alpha,
+    )
+    .scale(bwd_coll as f64);
+    (fwd, bwd)
+}
+
+/// DP gradient all-reduce time per iteration (zero when `dp == 1`) —
+/// shared by the evaluator and the lower-bound pruner.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dp_allreduce_time(
+    cache: Option<&ProfileCache>,
+    collective: CollectiveAlgo,
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    tp: usize,
+    pp: usize,
+    dp: usize,
+    alpha: Time,
+) -> Time {
+    if dp <= 1 {
+        return Time::ZERO;
+    }
+    let grad_bytes = Bytes::new((job.model.total_params() * 2.0 / (tp * pp) as f64) as u64);
+    let dp_shape = GroupShape::new(dp.min(wafer.nx), dp.div_ceil(wafer.nx).max(1));
+    cached_all_reduce(
+        cache,
+        collective,
+        dp_shape,
+        grad_bytes,
+        wafer.d2d_link_bw(),
+        alpha,
+    )
+}
+
+/// Optimizer step: stream `modelP` through DRAM once; the slowest stage
+/// gates the step. Shared by the evaluator and the lower-bound pruner.
+pub(crate) fn optimizer_stream_time(stages: &[StageProfile], wafer: &WaferConfig) -> Time {
+    stages
+        .iter()
+        .map(|s| (s.model_p.scale(2.0)) / wafer.dram.bandwidth)
+        .fold(Time::ZERO, Time::max)
 }
 
 /// Per-stage fault factors: (compute health, link quality) under the
@@ -206,6 +282,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
             dst: input.placement.stages[s + 1].center_node(&mesh),
             bytes: boundary,
             kind: TaskKind::Pipeline,
+            tag: s,
         });
     }
     // Activation-balance traffic: each grant's bytes are written out and
@@ -221,6 +298,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
             dst: input.placement.stages[g.helper].center_node(&mesh),
             bytes: per_mb,
             kind: TaskKind::ActivationBalance,
+            tag: g.sender,
         });
     }
     let mut assigner = TrafficAssigner::new(mesh, input.options.punish);
@@ -234,21 +312,15 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
             assigner = assigner.with_faults(FaultMap::none());
         }
     }
-    assigner.assign_all(tasks.clone());
-    // Per-stage p2p time (the pipeline task leaving stage s).
+    assigner.assign_all(tasks);
+    // Per-stage p2p time: each pipeline task carries its stage-boundary
+    // index in `tag`, so attribution is O(pp) instead of the old O(pp²)
+    // center-node rematching.
     let mut p2p = vec![Time::ZERO; pp];
     for rt in assigner.routed() {
         if rt.task.kind == TaskKind::Pipeline {
-            // Identify which stage boundary this is.
-            #[allow(clippy::needless_range_loop)]
-            for s in 0..pp - 1 {
-                if rt.task.src == input.placement.stages[s].center_node(&mesh)
-                    && rt.task.dst == input.placement.stages[s + 1].center_node(&mesh)
-                {
-                    let t = assigner.task_time(rt, link_bw, alpha);
-                    p2p[s] = p2p[s].max(t);
-                }
-            }
+            let t = assigner.task_time(rt, link_bw, alpha);
+            p2p[rt.task.tag] = p2p[rt.task.tag].max(t);
         }
     }
 
@@ -269,24 +341,14 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
         );
         let eff_link = link_bw.scale(linkq);
         // Collectives: volume split over the per-op collectives (α each).
-        let fwd_coll = sp.fwd_collectives.max(1);
-        let bwd_coll = sp.bwd_collectives.max(1);
-        let fwd_comm = all_reduce_time(
+        let (fwd_comm, bwd_comm) = stage_comm_times(
+            input.cache,
             input.options.collective,
             shape,
-            sp.fwd_comm_bytes / fwd_coll as u64,
+            sp,
             eff_link,
             alpha,
-        )
-        .scale(fwd_coll as f64);
-        let bwd_comm = all_reduce_time(
-            input.options.collective,
-            shape,
-            sp.bwd_comm_bytes / bwd_coll as u64,
-            eff_link,
-            alpha,
-        )
-        .scale(bwd_coll as f64);
+        );
         let fwd = sp.fwd_compute.scale(1.0 / health) + fwd_comm;
         let bwd = sp.bwd_compute.scale(1.0 / health)
             + bwd_comm
@@ -308,26 +370,19 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
     let mut iteration = timing.iteration;
 
     // ---- DP gradient all-reduce (when DP replicas exist). ----
-    if dp > 1 {
-        let grad_bytes =
-            Bytes::new((job.model.total_params() * 2.0 / (input.ctx.tp * pp) as f64) as u64);
-        let dp_shape = GroupShape::new(dp.min(wafer.nx), dp.div_ceil(wafer.nx).max(1));
-        iteration += all_reduce_time(
-            input.options.collective,
-            dp_shape,
-            grad_bytes,
-            link_bw,
-            alpha,
-        );
-    }
+    iteration += dp_allreduce_time(
+        input.cache,
+        input.options.collective,
+        wafer,
+        job,
+        input.ctx.tp,
+        pp,
+        dp,
+        alpha,
+    );
 
     // ---- Optimizer step: stream modelP through DRAM once. ----
-    let opt_time = input
-        .stages
-        .iter()
-        .map(|s| (s.model_p.scale(2.0)) / wafer.dram.bandwidth)
-        .fold(Time::ZERO, Time::max);
-    iteration += opt_time;
+    iteration += optimizer_stream_time(input.stages, wafer);
 
     // ---- Memory accounting. ----
     let cap = wafer.dram.capacity;
@@ -483,6 +538,7 @@ mod tests {
                 robust,
                 ..EvalOptions::default()
             },
+            cache: None,
         };
         evaluate(&input)
     }
@@ -571,6 +627,7 @@ mod tests {
             grants: &[],
             faults: None,
             options: EvalOptions::default(),
+            cache: None,
         };
         assert!(!evaluate(&input).feasible);
     }

@@ -15,7 +15,9 @@
 
 use crate::multiwafer::{explore_multi_wafer_impl, MultiWaferReport};
 use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
-use crate::scheduler::{explore_impl, RecomputeMode, ScheduledConfig, SchedulerOptions};
+use crate::scheduler::{
+    explore_impl, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use thiserror::Error;
@@ -114,6 +116,9 @@ pub struct ArchRecord {
     pub wafer: WaferConfig,
     /// Best schedule found (`None` = no feasible schedule).
     pub best: Option<ScheduledConfig>,
+    /// Search instrumentation: visited/pruned/evaluated counts of this
+    /// candidate's Alg. 1 sweep.
+    pub stats: SearchStats,
 }
 
 /// One multi-wafer candidate's outcome.
@@ -186,6 +191,18 @@ impl ExplorationReport {
                 let ia = a.best.as_ref().expect("filtered").iteration.as_secs();
                 let ib = b.best.as_ref().expect("filtered").iteration.as_secs();
                 ia.partial_cmp(&ib).expect("finite iteration times")
+            })
+    }
+
+    /// Aggregate search instrumentation across all single-wafer
+    /// candidates.
+    pub fn search_stats(&self) -> SearchStats {
+        self.single_wafer
+            .iter()
+            .fold(SearchStats::default(), |acc, r| SearchStats {
+                visited: acc.visited + r.stats.visited,
+                pruned: acc.pruned + r.stats.pruned,
+                evaluated: acc.evaluated + r.stats.evaluated,
             })
     }
 
@@ -338,11 +355,22 @@ impl ExplorerBuilder {
         self
     }
 
-    /// Force sequential candidate evaluation (default: rayon fan-out).
-    /// Reports are identical either way; this knob exists for debugging
-    /// and the determinism tests.
+    /// Force sequential evaluation everywhere — both the candidate
+    /// fan-out and the inner `TP × PP × strategy` work-list (default:
+    /// rayon fan-outs at both levels). Reports are identical either way;
+    /// this knob exists for debugging, benchmarking and the determinism
+    /// tests.
     pub fn sequential(mut self) -> Self {
         self.sequential = true;
+        self.opts_mut().sequential = true;
+        self
+    }
+
+    /// Disable the analytic lower-bound pruner, forcing the exhaustive
+    /// sweep. The report is identical (up to [`SearchStats`] counters);
+    /// this knob exists for benchmarking and the equivalence tests.
+    pub fn no_prune(mut self) -> Self {
+        self.opts_mut().prune = false;
         self
     }
 
@@ -584,10 +612,12 @@ impl Explorer {
     }
 
     fn explore_one(&self, wafer: &WaferConfig) -> ArchRecord {
+        let outcome = explore_impl(wafer, &self.job, &self.options);
         ArchRecord {
             arch: wafer.name.clone(),
             wafer: wafer.clone(),
-            best: explore_impl(wafer, &self.job, &self.options),
+            best: outcome.best,
+            stats: outcome.stats,
         }
     }
 }

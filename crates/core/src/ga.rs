@@ -20,6 +20,7 @@ use crate::placement::{global_cost, tile_slots, PairDemand, Placement, Rect};
 use crate::stage::StageProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wsc_arch::units::{Bytes, Time};
 use wsc_mesh::topology::Mesh2D;
@@ -252,7 +253,25 @@ fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
     }
 }
 
+/// SplitMix64-style combine of the master seed with a (generation, slot)
+/// coordinate: every genome draws from its own RNG stream, so offspring
+/// construction and fitness decoding parallelize without any shared RNG
+/// state — results are identical for every thread count.
+fn stream_seed(seed: u64, generation: u64, slot: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(generation.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(slot.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Run the GA refinement.
+///
+/// Offspring are generated and fitness-decoded in parallel, one rayon
+/// task per genome; each genome's randomness comes from its own
+/// [`stream_seed`] stream, so the outcome is a pure function of
+/// `params.seed` regardless of thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn refine(
     mesh: &Mesh2D,
@@ -276,14 +295,18 @@ pub fn refine(
         pp_volume,
         slots: tile_slots(mesh.nx, mesh.ny, tile.w, tile.h),
     };
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let seed_genome = Genome {
         placement: base_placement.clone(),
         extra: vec![0.0; pp],
         bias: vec![0; pp],
     };
-    let mut population: Vec<(Genome, f64)> = (0..params.population.max(2))
-        .map(|i| {
+    // Generation 0: genome i diverges from the seed by i mutations drawn
+    // from its own stream, then decodes its fitness — all in parallel.
+    let init_slots: Vec<usize> = (0..params.population.max(2)).collect();
+    let mut population: Vec<(Genome, f64)> = init_slots
+        .par_iter()
+        .map(|&i| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(params.seed, 0, i as u64));
             let mut g = seed_genome.clone();
             for _ in 0..i {
                 mutate(&ctx, &mut g, &mut rng);
@@ -294,37 +317,49 @@ pub fn refine(
         .collect();
     let mut history = Vec::with_capacity(params.steps);
 
-    for _ in 0..params.steps {
+    for step in 0..params.steps {
         population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
         history.push(population[0].1);
         let pop = population.len();
-        let mut next: Vec<(Genome, f64)> = population[..2.min(pop)].to_vec();
-        while next.len() < pop {
-            // Parent selection: elitist with probability ω, else binary
-            // tournament over the whole population.
-            let pick = |rng: &mut StdRng| -> usize {
-                if rng.gen::<f64>() < params.omega {
-                    rng.gen_range(0..(pop / 4).max(1))
-                } else {
-                    let a = rng.gen_range(0..pop);
-                    let b = rng.gen_range(0..pop);
-                    if population[a].1 <= population[b].1 {
-                        a
+        let elite: Vec<(Genome, f64)> = population[..2.min(pop)].to_vec();
+        // Each offspring slot selects parents, crosses over, mutates and
+        // decodes from its own RNG stream, against the frozen sorted
+        // population of this generation — an embarrassingly parallel map.
+        let slots: Vec<usize> = (0..pop - elite.len()).collect();
+        let parents = &population;
+        let offspring: Vec<(Genome, f64)> = slots
+            .par_iter()
+            .map(|&j| {
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(params.seed, step as u64 + 1, j as u64));
+                // Parent selection: elitist with probability ω, else
+                // binary tournament over the whole population.
+                let pick = |rng: &mut StdRng| -> usize {
+                    if rng.gen::<f64>() < params.omega {
+                        rng.gen_range(0..(pop / 4).max(1))
                     } else {
-                        b
+                        let a = rng.gen_range(0..pop);
+                        let b = rng.gen_range(0..pop);
+                        if parents[a].1 <= parents[b].1 {
+                            a
+                        } else {
+                            b
+                        }
                     }
-                }
-            };
-            let pa = pick(&mut rng);
-            let pb = pick(&mut rng);
-            let mut child = crossover(&population[pa].0, &population[pb].0, &mut rng);
-            mutate(&ctx, &mut child, &mut rng);
-            if rng.gen_bool(0.3) {
+                };
+                let pa = pick(&mut rng);
+                let pb = pick(&mut rng);
+                let mut child = crossover(&parents[pa].0, &parents[pb].0, &mut rng);
                 mutate(&ctx, &mut child, &mut rng);
-            }
-            let (_, _, f) = decode(&ctx, &child);
-            next.push((child, f));
-        }
+                if rng.gen_bool(0.3) {
+                    mutate(&ctx, &mut child, &mut rng);
+                }
+                let (_, _, f) = decode(&ctx, &child);
+                (child, f)
+            })
+            .collect();
+        let mut next = elite;
+        next.extend(offspring);
         population = next;
     }
     population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));

@@ -43,6 +43,7 @@
 //! `engine::CoExplorationEngine` remain as deprecated shims for one
 //! release.
 
+pub mod cache;
 pub mod dram_alloc;
 pub mod engine;
 pub mod evaluator;
@@ -54,6 +55,7 @@ pub mod robust;
 pub mod scheduler;
 pub mod stage;
 
+pub use crate::cache::ProfileCache;
 pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
 #[allow(deprecated)]
 pub use crate::engine::{CoExplorationEngine, ExplorationRecord};
@@ -71,6 +73,7 @@ pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect}
 pub use crate::robust::{fault_sweep, FaultKind, FaultPoint};
 #[allow(deprecated)]
 pub use crate::scheduler::{
-    evaluate_scheduled, explore, schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions,
+    evaluate_scheduled, evaluate_scheduled_cached, explore, schedule_fixed, schedule_fixed_cached,
+    RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
-pub use crate::stage::{build_stage_profiles, StageProfile};
+pub use crate::stage::{build_stage_profiles, build_stage_profiles_with, LayerData, StageProfile};

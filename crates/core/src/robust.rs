@@ -6,7 +6,8 @@
 //! Fig. 22 fault-rate sweep harness: inject faults at increasing rates and
 //! compare robust WATOS against the non-robust baseline.
 
-use crate::scheduler::{evaluate_scheduled, ScheduledConfig};
+use crate::cache::ProfileCache;
+use crate::scheduler::{evaluate_scheduled_cached, ScheduledConfig};
 use serde::{Deserialize, Serialize};
 use wsc_arch::fault::FaultMap;
 use wsc_arch::wafer::WaferConfig;
@@ -61,7 +62,10 @@ pub(crate) fn fault_sweep_impl(
     rates: &[f64],
     seed: u64,
 ) -> Vec<FaultPoint> {
-    let clean = evaluate_scheduled(wafer, job, cfg, None, true);
+    // One cache for the whole sweep: the configuration's stage profiles
+    // are built once and shared by every (rate, policy) re-evaluation.
+    let cache = ProfileCache::new();
+    let clean = evaluate_scheduled_cached(wafer, job, cfg, None, true, &cache);
     let clean_tp = clean.useful_throughput.as_f64().max(1e-9);
     rates
         .iter()
@@ -70,8 +74,8 @@ pub(crate) fn fault_sweep_impl(
                 FaultKind::Link => FaultMap::inject_link_faults(wafer.nx, wafer.ny, rate, seed),
                 FaultKind::Die => FaultMap::inject_die_faults(wafer.nx, wafer.ny, rate, seed),
             };
-            let robust = evaluate_scheduled(wafer, job, cfg, Some(&fm), true);
-            let baseline = evaluate_scheduled(wafer, job, cfg, Some(&fm), false);
+            let robust = evaluate_scheduled_cached(wafer, job, cfg, Some(&fm), true, &cache);
+            let baseline = evaluate_scheduled_cached(wafer, job, cfg, Some(&fm), false, &cache);
             FaultPoint {
                 rate,
                 robust: robust.useful_throughput.as_f64() / clean_tp,

@@ -9,11 +9,13 @@
 //! with the GA global optimizer; and evaluates the result, keeping the
 //! best configuration (line 7–8).
 
+use crate::cache::ProfileCache;
 use crate::dram_alloc::{allocate, DramGrant};
-use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
+use crate::evaluator::{self, evaluate, EvalInput, EvalOptions, PerfReport};
 use crate::ga::{self, GaParams};
 use crate::placement::{self, PairDemand, Placement};
-use crate::stage::{boundary_bytes, build_stage_profiles};
+use crate::stage::{boundary_bytes, StageProfile};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::Bytes;
@@ -59,6 +61,18 @@ pub struct SchedulerOptions {
     pub tp_candidates: Option<Vec<usize>>,
     /// RNG seed for placement optimization and the GA.
     pub seed: u64,
+    /// Enable the analytic lower-bound pruner: skip full scheduling of a
+    /// `(tp, pp, strategy)` point whenever its compute-plus-ideal-
+    /// collective bound already exceeds the incumbent best. The search
+    /// result is identical with or without pruning (the bound is a true
+    /// lower bound and ties are never pruned); disable only to measure
+    /// the exhaustive sweep.
+    pub prune: bool,
+    /// Force sequential evaluation of the search work-list (default: a
+    /// rayon fan-out in fixed-size waves). Results and [`SearchStats`]
+    /// are identical either way; this knob exists for benchmarking and
+    /// the determinism tests.
+    pub sequential: bool,
 }
 
 /// Default RNG seed for the scheduler's stochastic components.
@@ -76,8 +90,28 @@ impl Default for SchedulerOptions {
             punish: 4.0,
             tp_candidates: None,
             seed: DEFAULT_SEED,
+            prune: true,
+            sequential: false,
         }
     }
+}
+
+/// Instrumentation of one Alg. 1 search: how much of the
+/// `TP × PP × strategy` space was actually scheduled.
+///
+/// `visited = pruned + evaluated` always holds. Counts are deterministic
+/// — independent of thread count and of sequential vs parallel execution
+/// — because pruning decisions are taken against the incumbent from
+/// *completed* waves only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Work-list points enumerated (feasible tile shapes × strategies).
+    pub visited: usize,
+    /// Points skipped without full scheduling (aggregate-memory precheck
+    /// or lower bound above the incumbent).
+    pub pruned: usize,
+    /// Points fully scheduled and evaluated.
+    pub evaluated: usize,
 }
 
 /// One fully scheduled configuration plus its evaluation.
@@ -120,18 +154,75 @@ fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
     out
 }
 
+/// The derived geometry of one `(tp, pp, strategy)` point: TP tile
+/// shape, data parallelism, micro-batch count, sharding context. One
+/// function computes it for both the full scheduler and the lower-bound
+/// pruner, so the two can never disagree on what a point means.
+/// `None` = statically infeasible (bad pp, no tile embedding, or the
+/// Alg. 1 line 1–2 aggregate-memory precheck fails).
+struct ConfigGeometry {
+    shape: GroupShape,
+    parallel: ParallelSpec,
+    n_mb: usize,
+    ctx: ShardingCtx,
+}
+
+fn config_geometry(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    tp: usize,
+    pp: usize,
+    strategy: TpSplitStrategy,
+) -> Option<ConfigGeometry> {
+    if pp == 0 || pp > job.model.layers {
+        return None;
+    }
+    // Alg. 1 line 1–2: early pruning on aggregate modelP.
+    if model_p_total(&job.model).as_f64() / (tp * pp) as f64 > wafer.dram.capacity.as_f64() {
+        return None;
+    }
+    let (tile_w, tile_h) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp)?;
+    let slots = (wafer.nx / tile_w) * (wafer.ny / tile_h);
+    let dp_max = (job.global_batch / job.micro_batch).max(1);
+    let dp = (slots / pp).clamp(1, dp_max);
+    Some(ConfigGeometry {
+        shape: GroupShape::new(tile_w, tile_h),
+        parallel: ParallelSpec::new(dp, tp, pp),
+        n_mb: job.microbatches(dp),
+        ctx: ShardingCtx::new(job.micro_batch, job.seq, tp, strategy),
+    })
+}
+
+/// The collective algorithm the scheduler uses for a point: cheapest
+/// supported algorithm at the first stage's typical per-op volume.
+/// Shared by [`schedule_fixed_cached`] and the lower-bound pruner.
+fn choose_collective(
+    opts: &SchedulerOptions,
+    wafer: &WaferConfig,
+    shape: GroupShape,
+    stages: &[StageProfile],
+    cache: &ProfileCache,
+) -> Option<CollectiveAlgo> {
+    let typical_volume = stages
+        .first()
+        .map(|s| s.fwd_comm_bytes / s.fwd_collectives.max(1) as u64)
+        .unwrap_or(Bytes::ZERO);
+    pick_collective(opts, shape, typical_volume, wafer, cache)
+}
+
 fn pick_collective(
     opts: &SchedulerOptions,
     shape: GroupShape,
     volume: Bytes,
     wafer: &WaferConfig,
+    cache: &ProfileCache,
 ) -> Option<CollectiveAlgo> {
     let mut best: Option<(CollectiveAlgo, f64)> = None;
     for &algo in &opts.collectives {
         if !algo.supports(shape) {
             continue;
         }
-        let t = wsc_mesh::collective::all_reduce_time(
+        let t = cache.all_reduce(
             algo,
             shape,
             volume,
@@ -148,6 +239,10 @@ fn pick_collective(
 /// Schedule a *fixed* (TP, PP, strategy): run the downstream schedulers
 /// and evaluate. This is the Alg. 1 loop body, also used directly by the
 /// ablation and baseline experiments.
+///
+/// One-shot wrapper around [`schedule_fixed_cached`] with a private
+/// cache; searches and sweeps that revisit configurations should hold a
+/// [`ProfileCache`] and call the cached variant.
 pub fn schedule_fixed(
     wafer: &WaferConfig,
     job: &TrainingJob,
@@ -157,26 +252,32 @@ pub fn schedule_fixed(
     opts: &SchedulerOptions,
     faults: Option<&FaultMap>,
 ) -> Option<ScheduledConfig> {
-    if pp == 0 || pp > job.model.layers {
-        return None;
-    }
-    let (tile_w, tile_h) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp)?;
-    let shape = GroupShape::new(tile_w, tile_h);
-    let slots = (wafer.nx / tile_w) * (wafer.ny / tile_h);
-    let dp_max = (job.global_batch / job.micro_batch).max(1);
-    let dp = (slots / pp).clamp(1, dp_max);
-    let parallel = ParallelSpec::new(dp, tp, pp);
-    let n_mb = job.microbatches(dp);
-    let ctx = ShardingCtx::new(job.micro_batch, job.seq, tp, strategy);
+    let cache = ProfileCache::new();
+    schedule_fixed_cached(wafer, job, tp, pp, strategy, opts, faults, &cache)
+}
+
+/// [`schedule_fixed`] with a shared [`ProfileCache`]: stage profiles and
+/// collective-time lookups are reused across every configuration the
+/// cache has seen for this `(wafer, job)` pair.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_fixed_cached(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    tp: usize,
+    pp: usize,
+    strategy: TpSplitStrategy,
+    opts: &SchedulerOptions,
+    faults: Option<&FaultMap>,
+    cache: &ProfileCache,
+) -> Option<ScheduledConfig> {
+    let ConfigGeometry {
+        shape,
+        parallel,
+        n_mb,
+        ctx,
+    } = config_geometry(wafer, job, tp, pp, strategy)?;
     let cap = wafer.dram.capacity;
-
-    // Alg. 1 line 1–2: early pruning on aggregate modelP.
-    let mp_dies = (tp * pp) as f64;
-    if model_p_total(&job.model).as_f64() / mp_dies > cap.as_f64() {
-        return None;
-    }
-
-    let stages = build_stage_profiles(wafer, job, parallel, &ctx, n_mb);
+    let stages = cache.stage_profiles(wafer, job, parallel, &ctx, n_mb);
     let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
 
     // Recomputation scheduler.
@@ -252,11 +353,7 @@ pub fn schedule_fixed(
     };
 
     // Collective selection for this shape.
-    let typical_volume = stages
-        .first()
-        .map(|s| s.fwd_comm_bytes / s.fwd_collectives.max(1) as u64)
-        .unwrap_or(Bytes::ZERO);
-    let collective = pick_collective(opts, shape, typical_volume, wafer)?;
+    let collective = choose_collective(opts, wafer, shape, &stages[..], cache)?;
 
     let options = EvalOptions {
         collective,
@@ -269,12 +366,13 @@ pub fn schedule_fixed(
             job,
             parallel,
             ctx,
-            stages: &stages,
+            stages: &stages[..],
             recompute: plan,
             placement,
             grants,
             faults,
             options: options.clone(),
+            cache: Some(cache),
         })
     };
     let base_report = eval_with(&placement, &plan, &grants);
@@ -284,7 +382,7 @@ pub fn schedule_fixed(
     let (placement, plan, grants, report) = if let Some(params) = &opts.ga {
         let refined = ga::refine(
             &Mesh2D::new(wafer.nx, wafer.ny),
-            &stages,
+            &stages[..],
             &plan,
             &placement,
             &overflow,
@@ -334,22 +432,143 @@ pub fn explore(
     job: &TrainingJob,
     opts: &SchedulerOptions,
 ) -> Option<ScheduledConfig> {
-    explore_impl(wafer, job, opts)
+    explore_impl(wafer, job, opts).best
+}
+
+/// Outcome of one Alg. 1 search: the winner plus instrumentation.
+#[derive(Debug, Clone)]
+pub(crate) struct SearchOutcome {
+    /// Best feasible configuration, if any.
+    pub best: Option<ScheduledConfig>,
+    /// How much of the space was scheduled vs pruned.
+    pub stats: SearchStats,
+}
+
+/// One point of the flattened `TP × PP × strategy` work-list.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    tp: usize,
+    pp: usize,
+    /// Index into `opts.strategies` (tie-break component).
+    sidx: usize,
+    strategy: TpSplitStrategy,
+}
+
+impl WorkItem {
+    /// Deterministic tie-break key: smallest `(tp, pp, strategy index)`
+    /// wins among equal iteration times, no matter in which order the
+    /// points were evaluated.
+    fn key(&self) -> (usize, usize, usize) {
+        (self.tp, self.pp, self.sidx)
+    }
+}
+
+/// Evaluation-wave width of the pruned search. Pruning decisions only
+/// consult the incumbent from *completed* waves, so results and
+/// [`SearchStats`] are independent of thread count; a fixed width (not
+/// the thread count) keeps them independent of the machine too.
+const SEARCH_WAVE: usize = 16;
+
+/// Map `items` through `f`, sequentially or with the rayon fan-out.
+/// Output order matches input order either way.
+fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    items: &[T],
+    sequential: bool,
+    f: F,
+) -> Vec<R> {
+    if sequential {
+        items.iter().map(&f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Analytic lower bound (seconds) on the iteration time any feasible
+/// schedule of `(tp, pp, strategy)` can achieve, from
+/// compute-plus-collective totals of the cached stage profiles:
+///
+/// * 1F1B steady state — the bottleneck stage serializes all `n` micro-
+///   batches: `n · max_s(fwd_s + bwd_s)`;
+/// * pipeline critical path — micro-batch 0 traverses every stage down
+///   and back: `Σ_s (fwd_s + bwd_s)`;
+/// * plus the DP gradient all-reduce and the optimizer DRAM stream,
+///   which the evaluator adds verbatim.
+///
+/// Recomputation, p2p transfers and routing contention only ever add
+/// time, so the bound never exceeds the true evaluation.
+/// `None` = statically infeasible (memory precheck or no collective).
+fn config_lower_bound(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    item: &WorkItem,
+    opts: &SchedulerOptions,
+    cache: &ProfileCache,
+) -> Option<f64> {
+    let (tp, pp) = (item.tp, item.pp);
+    let ConfigGeometry {
+        shape,
+        parallel,
+        n_mb,
+        ctx,
+    } = config_geometry(wafer, job, tp, pp, item.strategy)?;
+    let stages = cache.stage_profiles(wafer, job, parallel, &ctx, n_mb);
+    let link_bw = wafer.d2d_link_bw();
+    let alpha = wafer.d2d_link_latency;
+    // Same collective the full scheduler will pick for this shape.
+    let collective = choose_collective(opts, wafer, shape, &stages[..], cache)?;
+
+    // Per-micro-batch stage times at healthy link bandwidth, using the
+    // evaluator's own comm-time formula (exact: the search evaluates
+    // fault-free, and recompute/p2p only ever add time).
+    let mut max_mb = 0.0f64;
+    let mut sum_mb = 0.0f64;
+    for sp in stages.iter() {
+        let (fwd_comm, bwd_comm) =
+            evaluator::stage_comm_times(Some(cache), collective, shape, sp, link_bw, alpha);
+        let mb = (sp.fwd_compute + fwd_comm + sp.bwd_compute + bwd_comm).as_secs();
+        max_mb = max_mb.max(mb);
+        sum_mb += mb;
+    }
+    let bound = (n_mb as f64 * max_mb).max(sum_mb)
+        + evaluator::dp_allreduce_time(
+            Some(cache),
+            collective,
+            wafer,
+            job,
+            tp,
+            pp,
+            parallel.dp,
+            alpha,
+        )
+        .as_secs()
+        + evaluator::optimizer_stream_time(&stages[..], wafer).as_secs();
+    Some(bound)
 }
 
 /// Implementation of the Alg. 1 single-wafer search (shared by the
 /// deprecated [`explore`] shim and [`crate::Explorer`]).
+///
+/// The `TP × PP × strategy` space is flattened into a work-list,
+/// lower-bounded analytically, sorted by bound, and evaluated in
+/// fixed-width parallel waves; after each wave the incumbent best prunes
+/// every remaining point whose bound it beats. The result — winner *and*
+/// [`SearchStats`] — is identical to the exhaustive sequential sweep
+/// (`prune: false`, `sequential: true`) up to the instrumentation
+/// counters, and byte-identical across thread counts.
 pub(crate) fn explore_impl(
     wafer: &WaferConfig,
     job: &TrainingJob,
     opts: &SchedulerOptions,
-) -> Option<ScheduledConfig> {
+) -> SearchOutcome {
+    let mut stats = SearchStats::default();
     // Alg. 1 line 1–2 at the wafer level.
     let dies = wafer.die_count();
     if model_p_total(&job.model).as_f64() / dies as f64 > wafer.dram.capacity.as_f64() {
-        return None;
+        return SearchOutcome { best: None, stats };
     }
-    let mut best: Option<ScheduledConfig> = None;
+
+    // ---- Flatten the search space. ----
+    let mut items: Vec<WorkItem> = Vec::new();
     for tp in tp_candidates(wafer, opts) {
         let max_pp = (dies / tp).min(job.model.layers);
         for pp in 1..=max_pp {
@@ -361,25 +580,101 @@ pub(crate) fn explore_impl(
             if tp * pp * ((slots / pp).max(1)).min(job.global_batch / job.micro_batch) < dies / 2 {
                 continue;
             }
-            for &strategy in &opts.strategies {
-                // Run the cheap loop body without the GA; GA refines the
-                // winner at the end.
-                let mut inner = opts.clone();
-                inner.ga = None;
-                if let Some(cfg) = schedule_fixed(wafer, job, tp, pp, strategy, &inner, None) {
-                    let better = best.as_ref().is_none_or(|b| {
-                        cfg.report.iteration.as_secs() < b.report.iteration.as_secs()
-                    });
-                    if better {
-                        best = Some(cfg);
-                    }
-                }
+            for (sidx, &strategy) in opts.strategies.iter().enumerate() {
+                items.push(WorkItem {
+                    tp,
+                    pp,
+                    sidx,
+                    strategy,
+                });
             }
         }
     }
+    stats.visited = items.len();
+
+    let cache = ProfileCache::new();
+
+    // ---- Phase 1: analytic lower bounds (cheap, pure, parallel). ----
+    // With pruning disabled every point gets a -inf bound: nothing is
+    // ever pruned and the wave loop degenerates to the exhaustive sweep.
+    let bounds: Vec<Option<f64>> = if opts.prune {
+        run_items(&items, opts.sequential, |it| {
+            config_lower_bound(wafer, job, it, opts, &cache)
+        })
+    } else {
+        vec![Some(f64::NEG_INFINITY); items.len()]
+    };
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| bounds[i].is_some()).collect();
+    stats.pruned += items.len() - order.len();
+    order.sort_by(|&a, &b| {
+        bounds[a]
+            .partial_cmp(&bounds[b])
+            .expect("bounds are not NaN")
+            .then_with(|| items[a].key().cmp(&items[b].key()))
+    });
+
+    // ---- Phase 2: bound-ordered evaluation waves. ----
+    // Run the loop body without the GA; the GA refines the winner once.
+    let inner = SchedulerOptions {
+        ga: None,
+        ..opts.clone()
+    };
+    let mut best: Option<ScheduledConfig> = None;
+    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+    let mut idx = 0;
+    while idx < order.len() {
+        // Deterministic pruning against the incumbent from completed
+        // waves only. Strict `>`: a point whose bound *equals* the
+        // incumbent could still tie and win on the (tp, pp, strategy)
+        // key, so it is never pruned.
+        if let Some(b) = &best {
+            let incumbent = b.report.iteration.as_secs();
+            let survivors = order[idx..]
+                .partition_point(|&i| bounds[i].expect("ordered points have bounds") <= incumbent);
+            if survivors == 0 {
+                stats.pruned += order.len() - idx;
+                break;
+            }
+        }
+        let wave_end = order.len().min(idx + SEARCH_WAVE);
+        let wave: Vec<usize> = order[idx..wave_end]
+            .iter()
+            .copied()
+            .filter(|&i| match &best {
+                Some(b) => {
+                    bounds[i].expect("ordered points have bounds") <= b.report.iteration.as_secs()
+                }
+                None => true,
+            })
+            .collect();
+        stats.pruned += (wave_end - idx) - wave.len();
+        stats.evaluated += wave.len();
+        let results: Vec<Option<ScheduledConfig>> = run_items(&wave, opts.sequential, |&i| {
+            let it = &items[i];
+            schedule_fixed_cached(wafer, job, it.tp, it.pp, it.strategy, &inner, None, &cache)
+        });
+        for (&i, cfg) in wave.iter().zip(results) {
+            let Some(cfg) = cfg else { continue };
+            let key = items[i].key();
+            let iter = cfg.report.iteration.as_secs();
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let bi = b.report.iteration.as_secs();
+                    iter < bi || (iter == bi && key < best_key)
+                }
+            };
+            if better {
+                best = Some(cfg);
+                best_key = key;
+            }
+        }
+        idx = wave_end;
+    }
+
     // GA refinement of the winner.
     if let (Some(b), Some(_)) = (&best, &opts.ga) {
-        if let Some(refined) = schedule_fixed(
+        if let Some(refined) = schedule_fixed_cached(
             wafer,
             job,
             b.parallel.tp,
@@ -387,13 +682,14 @@ pub(crate) fn explore_impl(
             b.strategy,
             opts,
             None,
+            &cache,
         ) {
             if refined.report.iteration.as_secs() <= b.report.iteration.as_secs() {
                 best = Some(refined);
             }
         }
     }
-    best
+    SearchOutcome { best, stats }
 }
 
 /// Re-evaluate a scheduled configuration under faults (Fig. 22) or with a
@@ -405,15 +701,30 @@ pub fn evaluate_scheduled(
     faults: Option<&FaultMap>,
     robust: bool,
 ) -> PerfReport {
+    let cache = ProfileCache::new();
+    evaluate_scheduled_cached(wafer, job, cfg, faults, robust, &cache)
+}
+
+/// [`evaluate_scheduled`] with a shared [`ProfileCache`], so sweeps that
+/// re-evaluate the same configuration many times (fault rates, robust vs
+/// baseline policies) build its stage profiles exactly once.
+pub fn evaluate_scheduled_cached(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    cfg: &ScheduledConfig,
+    faults: Option<&FaultMap>,
+    robust: bool,
+    cache: &ProfileCache,
+) -> PerfReport {
     let ctx = ShardingCtx::new(job.micro_batch, job.seq, cfg.parallel.tp, cfg.strategy);
     let n_mb = job.microbatches(cfg.parallel.dp);
-    let stages = build_stage_profiles(wafer, job, cfg.parallel, &ctx, n_mb);
+    let stages = cache.stage_profiles(wafer, job, cfg.parallel, &ctx, n_mb);
     evaluate(&EvalInput {
         wafer,
         job,
         parallel: cfg.parallel,
         ctx,
-        stages: &stages,
+        stages: &stages[..],
         recompute: &cfg.recompute,
         placement: &cfg.placement,
         grants: &cfg.grants,
@@ -423,6 +734,7 @@ pub fn evaluate_scheduled(
             punish: 4.0,
             robust,
         },
+        cache: Some(cache),
     })
 }
 
@@ -466,7 +778,7 @@ mod tests {
         // 3.92 TB wafer: every candidate must be pruned.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::deepseek_v3());
-        assert!(explore_impl(&wafer, &job, &quick_opts()).is_none());
+        assert!(explore_impl(&wafer, &job, &quick_opts()).best.is_none());
     }
 
     #[test]
@@ -474,13 +786,90 @@ mod tests {
         // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let best = explore_impl(&wafer, &job, &quick_opts()).expect("feasible");
+        let best = explore_impl(&wafer, &job, &quick_opts())
+            .best
+            .expect("feasible");
         assert!(
             best.parallel.tp <= 4,
             "expected small TP, got {}",
             best.parallel
         );
         assert!(best.report.feasible);
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_sweep() {
+        // The tentpole invariant: prune+parallel, prune+sequential and
+        // no-prune+sequential all return the same winner; pruning only
+        // changes the instrumentation counters.
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let pruned = explore_impl(&wafer, &job, &quick_opts());
+        let pruned_seq = explore_impl(
+            &wafer,
+            &job,
+            &SchedulerOptions {
+                sequential: true,
+                ..quick_opts()
+            },
+        );
+        let exhaustive = explore_impl(
+            &wafer,
+            &job,
+            &SchedulerOptions {
+                prune: false,
+                sequential: true,
+                ..quick_opts()
+            },
+        );
+        assert_eq!(pruned.best, pruned_seq.best);
+        assert_eq!(pruned.stats, pruned_seq.stats);
+        assert_eq!(pruned.best, exhaustive.best);
+        assert_eq!(pruned.stats.visited, exhaustive.stats.visited);
+        assert!(pruned.stats.pruned > 0, "{:?}", pruned.stats);
+        assert_eq!(exhaustive.stats.pruned, 0);
+        assert_eq!(exhaustive.stats.evaluated, exhaustive.stats.visited);
+    }
+
+    #[test]
+    fn search_stats_are_consistent() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let out = explore_impl(&wafer, &job, &quick_opts());
+        let s = out.stats;
+        assert!(s.visited > 0);
+        assert_eq!(s.visited, s.pruned + s.evaluated);
+        assert!(s.evaluated > 0, "the winner must have been evaluated");
+    }
+
+    #[test]
+    fn tie_break_is_deterministic_under_parallelism() {
+        // Duplicate the strategy list: every (tp, pp) point now appears
+        // twice with identical iteration times, so the winner is decided
+        // purely by the (tp, pp, strategy index) tie-break. The duplicated
+        // search must agree with the plain one, sequentially and in
+        // parallel.
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let plain = explore_impl(&wafer, &job, &quick_opts());
+        let dup_opts = SchedulerOptions {
+            strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::Megatron],
+            ..quick_opts()
+        };
+        let dup_par = explore_impl(&wafer, &job, &dup_opts);
+        let dup_seq = explore_impl(
+            &wafer,
+            &job,
+            &SchedulerOptions {
+                sequential: true,
+                ..dup_opts
+            },
+        );
+        assert_eq!(dup_par.best, dup_seq.best);
+        assert_eq!(dup_par.stats, dup_seq.stats);
+        // Strategy index 0 wins the tie: identical outcome to the plain
+        // single-strategy search.
+        assert_eq!(plain.best, dup_par.best);
     }
 
     #[test]

@@ -67,6 +67,52 @@ impl StageProfile {
     }
 }
 
+/// Per-layer-kind simulation results for one `(tp, strategy)` sharding:
+/// everything about a layer that does not depend on the pipeline split.
+///
+/// Both layer kinds of a model (dense and MoE) are profiled exactly once;
+/// [`build_stage_profiles_with`] then assembles stage profiles for any
+/// `pp` from pure arithmetic over this data. A [`crate::cache::ProfileCache`]
+/// shares one `LayerData` across every `pp` the search visits.
+#[derive(Debug, Clone)]
+pub struct LayerData {
+    /// Profile of the dense layer kind (when the model has one).
+    pub dense: Option<LayerProfile>,
+    /// Profile of the MoE layer kind (when the model has one).
+    pub moe: Option<LayerProfile>,
+    /// (fwd, bwd) FLOPs of one dense layer per die per micro-batch.
+    pub dense_flops: (Flops, Flops),
+    /// (fwd, bwd) FLOPs of one MoE layer per die per micro-batch.
+    pub moe_flops: (Flops, Flops),
+}
+
+/// Profile both layer kinds of `job.model` for one `(tp, strategy)`
+/// sharding context (the expensive simulator calls behind
+/// [`build_stage_profiles`]).
+pub fn build_layer_data(wafer: &WaferConfig, job: &TrainingJob, ctx: &ShardingCtx) -> LayerData {
+    let dm = DieModel::new(wafer.die.clone(), wafer.dram.bandwidth);
+    let model = &job.model;
+    // Two possible layer kinds: dense and MoE. Profile each kind once —
+    // `layer_ops_at` only branches on the kind, so one representative
+    // layer per kind is exact.
+    let first_dense = (0..model.layers).find(|&l| !graph::is_moe_layer(model, l));
+    let first_moe = (0..model.layers).find(|&l| graph::is_moe_layer(model, l));
+    let flops_of = |l: usize| {
+        let s = graph::summarize(&graph::layer_ops_at(model, l, ctx));
+        (s.fwd_flops, s.bwd_flops)
+    };
+    LayerData {
+        dense: first_dense.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx))),
+        moe: first_moe.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx))),
+        dense_flops: first_dense
+            .map(flops_of)
+            .unwrap_or((Flops::ZERO, Flops::ZERO)),
+        moe_flops: first_moe
+            .map(flops_of)
+            .unwrap_or((Flops::ZERO, Flops::ZERO)),
+    }
+}
+
 /// Build the per-stage profiles for a parallel configuration.
 ///
 /// Layer profiles are cached per distinct layer kind (dense vs MoE), so
@@ -79,17 +125,24 @@ pub fn build_stage_profiles(
     ctx: &ShardingCtx,
     microbatches: usize,
 ) -> Vec<StageProfile> {
-    let dm = DieModel::new(wafer.die.clone(), wafer.dram.bandwidth);
+    let layers = build_layer_data(wafer, job, ctx);
+    build_stage_profiles_with(&layers, job, parallel, ctx, microbatches)
+}
+
+/// Assemble stage profiles from pre-profiled [`LayerData`]: O(layers)
+/// arithmetic, no simulator calls. Bit-identical to
+/// [`build_stage_profiles`] (which delegates here).
+pub fn build_stage_profiles_with(
+    layer_data: &LayerData,
+    job: &TrainingJob,
+    parallel: ParallelSpec,
+    ctx: &ShardingCtx,
+    microbatches: usize,
+) -> Vec<StageProfile> {
     let model = &job.model;
     let pp = parallel.pp;
-
-    // Two possible layer kinds: dense and MoE. Profile each kind once.
-    let first_dense = (0..model.layers).find(|&l| !graph::is_moe_layer(model, l));
-    let first_moe = (0..model.layers).find(|&l| graph::is_moe_layer(model, l));
-    let dense_profile: Option<LayerProfile> =
-        first_dense.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx)));
-    let moe_profile: Option<LayerProfile> =
-        first_moe.map(|l| profile_layer(&dm, &graph::layer_ops_at(model, l, ctx)));
+    let dense_profile = &layer_data.dense;
+    let moe_profile = &layer_data.moe;
     let profile_of = |layer_idx: usize| -> &LayerProfile {
         if graph::is_moe_layer(model, layer_idx) {
             moe_profile.as_ref().expect("moe profile cached")
@@ -129,11 +182,17 @@ pub fn build_stage_profiles(
                     dense_count += 1;
                 }
             }
-            // FLOPs from the op graph directly (profiles carry times only).
+            // FLOPs from the op graph directly (profiles carry times
+            // only). Summed per layer in the same order as before the
+            // per-kind caching, so totals stay bit-identical.
             for l in lo..hi {
-                let s = graph::summarize(&graph::layer_ops_at(model, l, ctx));
-                fwd_flops += s.fwd_flops;
-                bwd_flops += s.bwd_flops;
+                let (f, b) = if graph::is_moe_layer(model, l) {
+                    layer_data.moe_flops
+                } else {
+                    layer_data.dense_flops
+                };
+                fwd_flops += f;
+                bwd_flops += b;
             }
             if dense_count > 0 {
                 menus.push(RecomputeMenu::from_layer_profile(

@@ -35,6 +35,10 @@ pub struct CommTask {
     pub bytes: Bytes,
     /// Traffic class.
     pub kind: TaskKind,
+    /// Caller-defined tag carried through routing (e.g. the pipeline
+    /// stage-boundary index), so routed tasks can be attributed back to
+    /// their origin without re-deriving it from endpoints.
+    pub tag: usize,
 }
 
 /// A task together with its chosen route.
@@ -232,6 +236,7 @@ mod tests {
             dst: m.node(b.0, b.1),
             bytes: Bytes::mib(mb),
             kind,
+            tag: 0,
         }
     }
 

@@ -1,0 +1,84 @@
+//! Property test for the tentpole invariant of the pruned search engine:
+//! across randomized jobs, wafer geometries and seeds, the pruned +
+//! parallel + memoized Alg. 1 sweep returns a report byte-identical (up
+//! to the `SearchStats` instrumentation) to the exhaustive sequential
+//! sweep — same winner, same iteration time, same parallel spec.
+
+use proptest::prelude::*;
+use watos::{ExplorationReport, Explorer, SearchStats};
+use wsc_arch::presets;
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::training::TrainingJob;
+use wsc_workload::zoo;
+
+/// Zero out the per-candidate instrumentation: pruned and exhaustive
+/// sweeps legitimately differ only in these counters.
+fn strip_stats(report: &ExplorationReport) -> ExplorationReport {
+    let mut r = report.clone();
+    for rec in &mut r.single_wafer {
+        rec.stats = SearchStats::default();
+    }
+    r
+}
+
+fn run(wafer: &WaferConfig, job: &TrainingJob, seed: u64, exhaustive: bool) -> ExplorationReport {
+    let mut b = Explorer::builder()
+        .job(job.clone())
+        .wafer(wafer.clone())
+        .no_ga()
+        .seed(seed)
+        // Shrunken wafers need not satisfy the full floorplan model.
+        .allow_invalid_architectures();
+    if exhaustive {
+        b = b.sequential().no_prune();
+    }
+    b.build().expect("valid exploration").run()
+}
+
+proptest! {
+    #[test]
+    fn pruned_parallel_search_matches_exhaustive_sweep(
+        nx in 3usize..6,
+        ny in 3usize..6,
+        layers in 4usize..13,
+        micro in 1usize..4,
+        batches in 2usize..17,
+        cfg_idx in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut wafer = presets::config(cfg_idx);
+        wafer.nx = nx;
+        wafer.ny = ny;
+        let mut model = zoo::llama_7b();
+        model.layers = layers;
+        let job = TrainingJob::with_batch(model, micro * batches, micro, 1024);
+
+        let pruned = run(&wafer, &job, seed, false);
+        let exhaustive = run(&wafer, &job, seed, true);
+
+        // Same feasibility verdict, winner, iteration time, parallel spec.
+        prop_assert_eq!(pruned.best_index, exhaustive.best_index);
+        if let (Ok(p), Ok(e)) = (pruned.best(), exhaustive.best()) {
+            let pb = p.best.as_ref().expect("feasible record");
+            let eb = e.best.as_ref().expect("feasible record");
+            prop_assert_eq!(pb.parallel, eb.parallel, "parallel spec must match");
+            prop_assert_eq!(
+                pb.report.iteration,
+                eb.report.iteration,
+                "iteration time must match"
+            );
+        }
+        // Byte-identical report modulo instrumentation.
+        prop_assert_eq!(
+            strip_stats(&pruned).to_json(),
+            strip_stats(&exhaustive).to_json()
+        );
+        // Stats invariants.
+        let s = pruned.search_stats();
+        prop_assert_eq!(s.visited, s.pruned + s.evaluated);
+        let e = exhaustive.search_stats();
+        prop_assert_eq!(e.pruned, 0, "exhaustive sweep must not prune");
+        prop_assert_eq!(e.evaluated, e.visited);
+        prop_assert_eq!(s.visited, e.visited, "same work-list either way");
+    }
+}
