@@ -125,6 +125,40 @@ fn bench_search(c: &mut Criterion) {
         });
     }
 
+    // The §VI-F multi-wafer node sweep, pruned vs exhaustive.
+    for preset in wsc_bench::util::multi_wafer_search_presets() {
+        let name = preset.name;
+        let job = TrainingJob::standard(preset.model);
+        let pruned = SchedulerOptions {
+            ga: None,
+            strategies: preset.strategies.clone(),
+            ..SchedulerOptions::default()
+        };
+        let exhaustive = SchedulerOptions {
+            prune: false,
+            sequential: true,
+            ..pruned.clone()
+        };
+        let run = |opts: &SchedulerOptions| {
+            watos::Explorer::builder()
+                .job(job.clone())
+                .multi_wafer(preset.node.clone())
+                .options(opts.clone())
+                .build()
+                .expect("valid")
+                .run()
+                .multi_wafer
+                .swap_remove(0)
+                .best
+        };
+        g.bench_function(&format!("explore_{name}_pruned_parallel"), |b| {
+            b.iter(|| black_box(run(&pruned)));
+        });
+        g.bench_function(&format!("explore_{name}_exhaustive_sequential"), |b| {
+            b.iter(|| black_box(run(&exhaustive)));
+        });
+    }
+
     // The bare evaluator on a fixed schedule (the Alg. 1 loop-body tail).
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::llama2_30b());

@@ -1,15 +1,18 @@
 //! Measured-benchmark harness for the co-exploration search engine.
 //!
-//! Runs the Alg. 1 single-wafer sweep twice per preset — once with the
-//! production configuration (analytic pruning + parallel waves) and once
-//! as the exhaustive sequential baseline (`sequential` + no-prune) — in
-//! the same process, checks the winners agree, and writes the wall times
+//! Runs each search sweep twice per preset — once with the production
+//! configuration (analytic pruning + parallel waves) and once as the
+//! exhaustive sequential baseline (`sequential` + no-prune) — in the
+//! same process, checks the winners agree, and writes the wall times
 //! plus `SearchStats` to `BENCH_search.json` so the perf trajectory is
-//! tracked from PR to PR.
+//! tracked from PR to PR. The `small`/`medium`/`large` presets exercise
+//! the Alg. 1 single-wafer engine; `multiwafer` exercises the §VI-F
+//! node sweep (Llama3-405B on a 4-wafer node).
 //!
 //! ```text
 //! cargo run -p wsc-bench --release --bin bench_search -- \
-//!     [--preset small|medium|large|all] [--output BENCH_search.json] \
+//!     [--preset small|medium|large|multiwafer|all] \
+//!     [--output BENCH_search.json] \
 //!     [--require-pruning] [--min-speedup X]
 //! ```
 //!
@@ -19,7 +22,9 @@
 
 use std::time::Instant;
 use watos::{ExplorationReport, Explorer, SearchStats};
-use wsc_bench::util::{search_presets, SearchPreset};
+use wsc_bench::util::{
+    multi_wafer_search_presets, search_presets, MultiWaferSearchPreset, SearchPreset,
+};
 use wsc_workload::training::TrainingJob;
 
 use serde::Serialize;
@@ -47,17 +52,20 @@ struct BenchReport {
     presets: Vec<BenchEntry>,
 }
 
-fn presets_for(which: &str) -> Vec<SearchPreset> {
-    let all = search_presets();
+fn presets_for(which: &str) -> (Vec<SearchPreset>, Vec<MultiWaferSearchPreset>) {
+    let single = search_presets();
+    let multi = multi_wafer_search_presets();
     if which == "all" {
-        return all;
+        return (single, multi);
     }
-    let filtered: Vec<SearchPreset> = all.into_iter().filter(|p| p.name == which).collect();
-    if filtered.is_empty() {
-        eprintln!("unknown preset `{which}` (small|medium|large|all)");
+    let single: Vec<SearchPreset> = single.into_iter().filter(|p| p.name == which).collect();
+    let multi: Vec<MultiWaferSearchPreset> =
+        multi.into_iter().filter(|p| p.name == which).collect();
+    if single.is_empty() && multi.is_empty() {
+        eprintln!("unknown preset `{which}` (small|medium|large|multiwafer|all)");
         std::process::exit(2);
     }
-    filtered
+    (single, multi)
 }
 
 fn run_once(
@@ -77,6 +85,123 @@ fn run_once(
     let t0 = Instant::now();
     let report = explorer.run();
     (report, t0.elapsed().as_secs_f64())
+}
+
+fn run_once_multi(
+    preset: &MultiWaferSearchPreset,
+    job: &TrainingJob,
+    exhaustive: bool,
+) -> (ExplorationReport, f64) {
+    let mut b = Explorer::builder()
+        .job(job.clone())
+        .multi_wafer(preset.node.clone())
+        .strategies(preset.strategies.clone())
+        .no_ga();
+    if exhaustive {
+        b = b.sequential().no_prune();
+    }
+    let explorer = b.build().expect("valid benchmark configuration");
+    let t0 = Instant::now();
+    let report = explorer.run();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+/// One fully measured preset, ready to be checked and recorded.
+struct Measured {
+    preset: String,
+    model: String,
+    wafer: String,
+    pruned_report: ExplorationReport,
+    pruned_secs: f64,
+    exhaustive_report: ExplorationReport,
+    exhaustive_secs: f64,
+    /// Read the multi-wafer leg of the reports instead of the
+    /// single-wafer one.
+    multi: bool,
+}
+
+/// Check the winners agree and the CLI contracts hold, print the row,
+/// and append the JSON entry. Returns `true` when a contract failed.
+fn record(
+    m: Measured,
+    require_pruning: bool,
+    min_speedup: Option<f64>,
+    entries: &mut Vec<BenchEntry>,
+) -> bool {
+    let winner = |r: &ExplorationReport| -> Option<(String, f64)> {
+        if m.multi {
+            r.multi_wafer.first().and_then(|rec| {
+                rec.best.as_ref().map(|b| {
+                    (
+                        format!("{} {:?}", b.parallel, b.strategy),
+                        b.iteration.as_secs(),
+                    )
+                })
+            })
+        } else {
+            r.best().ok().and_then(|rec| {
+                rec.best
+                    .as_ref()
+                    .map(|b| (b.parallel.to_string(), b.report.iteration.as_secs()))
+            })
+        }
+    };
+    let mut failed = false;
+    let (pw, ew) = (winner(&m.pruned_report), winner(&m.exhaustive_report));
+    if pw != ew {
+        eprintln!(
+            "[{}] PRUNING BUG: pruned winner {pw:?} != exhaustive winner {ew:?}",
+            m.preset
+        );
+        failed = true;
+    }
+    let (stats, exhaustive_stats) = if m.multi {
+        (
+            m.pruned_report.multi_wafer_search_stats(),
+            m.exhaustive_report.multi_wafer_search_stats(),
+        )
+    } else {
+        (
+            m.pruned_report.search_stats(),
+            m.exhaustive_report.search_stats(),
+        )
+    };
+    let speedup = m.exhaustive_secs / m.pruned_secs.max(1e-12);
+    println!(
+        "[{:10}] {:12} pruned+parallel {:8.3}s  sequential+no-prune {:8.3}s  speedup {:5.2}x  \
+         visited {} pruned {} evaluated {}",
+        m.preset,
+        m.model,
+        m.pruned_secs,
+        m.exhaustive_secs,
+        speedup,
+        stats.visited,
+        stats.pruned,
+        stats.evaluated,
+    );
+    if require_pruning && stats.pruned == 0 {
+        eprintln!("[{}] expected pruned > 0, got {:?}", m.preset, stats);
+        failed = true;
+    }
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("[{}] speedup {speedup:.2}x below required {min}x", m.preset);
+            failed = true;
+        }
+    }
+    entries.push(BenchEntry {
+        preset: m.preset,
+        model: m.model,
+        wafer: m.wafer,
+        pruned_parallel_secs: m.pruned_secs,
+        sequential_noprune_secs: m.exhaustive_secs,
+        speedup,
+        stats,
+        exhaustive_stats,
+        best_parallel: pw.as_ref().map(|(p, _)| p.clone()),
+        best_iteration_secs: pw.map(|(_, t)| t),
+    });
+    failed
 }
 
 fn main() {
@@ -107,66 +232,46 @@ fn main() {
 
     let mut entries = Vec::new();
     let mut failed = false;
-    for preset in presets_for(&preset_arg) {
+    let (single, multi) = presets_for(&preset_arg);
+    for preset in single {
         let job = TrainingJob::standard(preset.model.clone());
         let (pruned_report, pruned_secs) = run_once(&preset, &job, false);
         let (exhaustive_report, exhaustive_secs) = run_once(&preset, &job, true);
-
-        // Sanity: the pruned search must find the exhaustive winner.
-        let winner = |r: &ExplorationReport| {
-            r.best()
-                .ok()
-                .and_then(|rec| rec.best.as_ref().map(|b| (b.parallel, b.report.iteration)))
-        };
-        let (pw, ew) = (winner(&pruned_report), winner(&exhaustive_report));
-        if pw != ew {
-            eprintln!(
-                "[{}] PRUNING BUG: pruned winner {pw:?} != exhaustive winner {ew:?}",
-                preset.name
-            );
-            failed = true;
-        }
-
-        let stats = pruned_report.search_stats();
-        let exhaustive_stats = exhaustive_report.search_stats();
-        let speedup = exhaustive_secs / pruned_secs.max(1e-12);
-        println!(
-            "[{:6}] {:12} pruned+parallel {:8.3}s  sequential+no-prune {:8.3}s  speedup {:5.2}x  \
-             visited {} pruned {} evaluated {}",
-            preset.name,
-            preset.model.name,
-            pruned_secs,
-            exhaustive_secs,
-            speedup,
-            stats.visited,
-            stats.pruned,
-            stats.evaluated,
+        failed |= record(
+            Measured {
+                preset: preset.name.to_string(),
+                model: preset.model.name.clone(),
+                wafer: preset.wafer.name.clone(),
+                pruned_report,
+                pruned_secs,
+                exhaustive_report,
+                exhaustive_secs,
+                multi: false,
+            },
+            require_pruning,
+            min_speedup,
+            &mut entries,
         );
-        if require_pruning && stats.pruned == 0 {
-            eprintln!("[{}] expected pruned > 0, got {:?}", preset.name, stats);
-            failed = true;
-        }
-        if let Some(min) = min_speedup {
-            if speedup < min {
-                eprintln!(
-                    "[{}] speedup {speedup:.2}x below required {min}x",
-                    preset.name
-                );
-                failed = true;
-            }
-        }
-        entries.push(BenchEntry {
-            preset: preset.name.to_string(),
-            model: preset.model.name.clone(),
-            wafer: preset.wafer.name.clone(),
-            pruned_parallel_secs: pruned_secs,
-            sequential_noprune_secs: exhaustive_secs,
-            speedup,
-            stats,
-            exhaustive_stats,
-            best_parallel: pw.map(|(p, _)| p.to_string()),
-            best_iteration_secs: pw.map(|(_, t)| t.as_secs()),
-        });
+    }
+    for preset in multi {
+        let job = TrainingJob::standard(preset.model.clone());
+        let (pruned_report, pruned_secs) = run_once_multi(&preset, &job, false);
+        let (exhaustive_report, exhaustive_secs) = run_once_multi(&preset, &job, true);
+        failed |= record(
+            Measured {
+                preset: preset.name.to_string(),
+                model: preset.model.name.clone(),
+                wafer: format!("{}x {}", preset.node.wafers, preset.node.wafer.name),
+                pruned_report,
+                pruned_secs,
+                exhaustive_report,
+                exhaustive_secs,
+                multi: true,
+            },
+            require_pruning,
+            min_speedup,
+            &mut entries,
+        );
     }
 
     let report = BenchReport {

@@ -50,6 +50,30 @@ pub fn search_presets() -> Vec<SearchPreset> {
     ]
 }
 
+/// One multi-wafer search-benchmark preset — the §VI-F engine analogue
+/// of [`SearchPreset`], shared by the criterion `search` group and the
+/// `bench_search` JSON harness.
+pub struct MultiWaferSearchPreset {
+    /// Preset name (`multiwafer`).
+    pub name: &'static str,
+    /// Candidate multi-wafer node.
+    pub node: MultiWaferConfig,
+    /// Training model (one that does *not* fit a single wafer).
+    pub model: LlmModel,
+    /// TP partition strategies to sweep.
+    pub strategies: Vec<TpSplitStrategy>,
+}
+
+/// The multi-wafer search-benchmark presets.
+pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
+    vec![MultiWaferSearchPreset {
+        name: "multiwafer",
+        node: presets::multi_wafer_18(),
+        model: zoo::llama3_405b(),
+        strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
+    }]
+}
+
 /// Explore one wafer candidate through the `Explorer` facade.
 ///
 /// Figure generators sweep one synthetic candidate at a time, so this

@@ -4,7 +4,17 @@
 //! [`CoExplorationEngine`] enumerated architecture candidates
 //! sequentially and returned bare records; the `Explorer` facade does the
 //! same fan-out in parallel and folds multi-wafer, fault-sweep, and
-//! baseline runs into the same report.
+//! baseline runs into the same report. Migration is mechanical:
+//!
+//! | seed-era call | facade equivalent |
+//! |---|---|
+//! | `CoExplorationEngine::new(opts).explore_arch(w, job)` | `Explorer::builder().job(job).wafer(w).options(opts).build()?.run()` |
+//! | `engine.explore_all(&candidates, &job)` | `…builder().wafers(candidates)…` → [`crate::ExplorationReport::single_wafer`] |
+//! | `engine.best(&candidates, &job)` | [`crate::Explorer::run_for_best`] |
+//!
+//! The shim still drives the same Alg. 1 search (`explore_impl`) under
+//! the hood, so results match the facade exactly — pinned by
+//! `engine_shim_matches_explorer_facade` below.
 
 #![allow(deprecated)]
 

@@ -130,6 +130,9 @@ pub struct MultiWaferRecord {
     pub node: MultiWaferConfig,
     /// Best multi-wafer schedule found.
     pub best: Option<MultiWaferReport>,
+    /// Search instrumentation: visited/pruned/evaluated counts of this
+    /// node's §VI-F sweep.
+    pub stats: SearchStats,
 }
 
 /// One fault-kind sweep over the run's best configuration.
@@ -195,15 +198,19 @@ impl ExplorationReport {
     }
 
     /// Aggregate search instrumentation across all single-wafer
-    /// candidates.
+    /// candidates (the multi-wafer legs are aggregated separately by
+    /// [`Self::multi_wafer_search_stats`]).
     pub fn search_stats(&self) -> SearchStats {
         self.single_wafer
             .iter()
-            .fold(SearchStats::default(), |acc, r| SearchStats {
-                visited: acc.visited + r.stats.visited,
-                pruned: acc.pruned + r.stats.pruned,
-                evaluated: acc.evaluated + r.stats.evaluated,
-            })
+            .fold(SearchStats::default(), |acc, r| acc.merge(r.stats))
+    }
+
+    /// Aggregate search instrumentation across all multi-wafer nodes.
+    pub fn multi_wafer_search_stats(&self) -> SearchStats {
+        self.multi_wafer
+            .iter()
+            .fold(SearchStats::default(), |acc, r| acc.merge(r.stats))
     }
 
     /// Compact JSON encoding (deterministic: field order is declaration
@@ -290,7 +297,11 @@ impl ExplorerBuilder {
         self
     }
 
-    /// Add a multi-wafer node candidate (§VI-F).
+    /// Add a multi-wafer node candidate (§VI-F). Each node gets its own
+    /// pruned `TP × PP × strategy` wave search, honoring the same
+    /// scheduler options (strategies, `prune`, `sequential`, …) as the
+    /// single-wafer sweep; its instrumentation lands in
+    /// [`MultiWaferRecord::stats`].
     pub fn multi_wafer(mut self, node: MultiWaferConfig) -> Self {
         self.nodes.push(node);
         self
@@ -503,8 +514,10 @@ impl Explorer {
 
     /// Run every configured sub-experiment and collect the report.
     ///
-    /// Single-wafer candidates fan out across threads; all other phases
-    /// (multi-wafer, fault sweeps, baselines) run on the winner and are
+    /// Single-wafer candidates fan out across threads, each running the
+    /// pruned Alg. 1 wave search; multi-wafer nodes then run the §VI-F
+    /// sweep on the same engine (parallel within each node's work-list);
+    /// fault sweeps and baselines run on the single-wafer winner and are
     /// cheap by comparison. Results are deterministic in the seed and
     /// independent of thread count.
     pub fn run(&self) -> ExplorationReport {
@@ -543,10 +556,14 @@ impl Explorer {
         let multi_wafer: Vec<MultiWaferRecord> = self
             .nodes
             .iter()
-            .map(|node| MultiWaferRecord {
-                name: format!("{}x {}", node.wafers, node.wafer.name),
-                node: node.clone(),
-                best: explore_multi_wafer_impl(node, &self.job),
+            .map(|node| {
+                let outcome = explore_multi_wafer_impl(node, &self.job, &self.options);
+                MultiWaferRecord {
+                    name: format!("{}x {}", node.wafers, node.wafer.name),
+                    node: node.clone(),
+                    best: outcome.best,
+                    stats: outcome.stats,
+                }
             })
             .collect();
 

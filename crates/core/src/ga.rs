@@ -270,8 +270,8 @@ fn stream_seed(seed: u64, generation: u64, slot: u64) -> u64 {
 ///
 /// Offspring are generated and fitness-decoded in parallel, one rayon
 /// task per genome; each genome's randomness comes from its own
-/// [`stream_seed`] stream, so the outcome is a pure function of
-/// `params.seed` regardless of thread count.
+/// splitmix stream keyed by `(seed, generation, slot)`, so the outcome
+/// is a pure function of `params.seed` regardless of thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn refine(
     mesh: &Mesh2D,

@@ -54,6 +54,7 @@ pub mod placement;
 pub mod robust;
 pub mod scheduler;
 pub mod stage;
+mod wave;
 
 pub use crate::cache::ProfileCache;
 pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
@@ -67,7 +68,9 @@ pub use crate::explorer::{
 };
 pub use crate::ga::{GaParams, GaResult};
 #[allow(deprecated)]
-pub use crate::multiwafer::{evaluate_multi_wafer, explore_multi_wafer, MultiWaferReport};
+pub use crate::multiwafer::{
+    evaluate_multi_wafer, evaluate_multi_wafer_cached, explore_multi_wafer, MultiWaferReport,
+};
 pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect};
 #[allow(deprecated)]
 pub use crate::robust::{fault_sweep, FaultKind, FaultPoint};

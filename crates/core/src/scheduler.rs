@@ -8,6 +8,15 @@
 //! (location-aware placement + Alg. 3 DRAM allocation); optionally refines
 //! with the GA global optimizer; and evaluates the result, keeping the
 //! best configuration (line 7–8).
+//!
+//! The sweep itself runs on the shared bounded wave engine
+//! (`crate::wave`, also behind the multi-wafer search): the line 1–2
+//! memory precheck decides points before any profile is built, the
+//! survivors are sorted by an analytic lower bound (compute plus ideal
+//! collective time, from cached stage profiles) and
+//! evaluated in deterministic ramped waves, and the incumbent best
+//! prunes the bound-ordered tail. Winner and [`SearchStats`] are
+//! byte-identical across thread counts and vs the exhaustive sweep.
 
 use crate::cache::ProfileCache;
 use crate::dram_alloc::{allocate, DramGrant};
@@ -15,7 +24,7 @@ use crate::evaluator::{self, evaluate, EvalInput, EvalOptions, PerfReport};
 use crate::ga::{self, GaParams};
 use crate::placement::{self, PairDemand, Placement};
 use crate::stage::{boundary_bytes, StageProfile};
-use rayon::prelude::*;
+use crate::wave::{bounded_search, WorkItem};
 use serde::{Deserialize, Serialize};
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::Bytes;
@@ -41,37 +50,73 @@ pub enum RecomputeMode {
 }
 
 /// Scheduler knobs (the ablation switches of Fig. 18 map directly here).
+///
+/// The same option set is handed to both search engines behind
+/// [`crate::Explorer`]. The Alg. 1 single-wafer sweep honors every
+/// knob; the §VI-F multi-wafer sweep ([`crate::multiwafer`]) honors the
+/// search-shaping knobs (`strategies`, `tp_candidates`, `allow_odd_tp`,
+/// `prune`, `sequential`) but fixes its evaluator to ring collectives +
+/// GCMR with no placement/GA refinement (stages are pinned to wafers in
+/// pipeline order), so `collectives`, `recompute`, `memory_scheduler`,
+/// `ga`, `punish` and `seed` do not affect it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerOptions {
     /// TP partition strategies to explore (the set `S` of Alg. 1).
+    ///
+    /// Keep both [`TpSplitStrategy::Megatron`] and
+    /// [`TpSplitStrategy::SequenceParallel`] (the default) for final
+    /// quality; trim to one to halve the work-list for smoke tests and
+    /// quick sweeps.
     pub strategies: Vec<TpSplitStrategy>,
-    /// Collective algorithms to consider per TP shape.
+    /// Collective algorithms to consider per TP shape. The scheduler
+    /// picks the cheapest supported algorithm at each shape's typical
+    /// per-op volume; list more than one only when comparing collective
+    /// implementations (Fig. 13).
     pub collectives: Vec<CollectiveAlgo>,
-    /// Allow odd TP degrees (expanded search space of Fig. 21).
+    /// Allow odd TP degrees (expanded search space of Fig. 21). Off by
+    /// default: odd degrees rarely win and inflate the work-list.
     pub allow_odd_tp: bool,
-    /// Recomputation scheduler selection.
+    /// Recomputation scheduler selection. [`RecomputeMode::Gcmr`]
+    /// (Alg. 2, the default) for production searches;
+    /// [`RecomputeMode::Naive`] / [`RecomputeMode::None`] exist for the
+    /// Fig. 8/18 ablations.
     pub recompute: RecomputeMode,
-    /// Enable the location-aware memory scheduler (§IV-C).
+    /// Enable the location-aware memory scheduler (§IV-C: optimized
+    /// placement + Alg. 3 DRAM allocation). Disable only to reproduce
+    /// the serpentine-placement baseline of the ablations.
     pub memory_scheduler: bool,
-    /// GA global-optimizer parameters (None disables the GA).
+    /// GA global-optimizer parameters (§IV-D; `None` disables the GA).
+    /// The GA refines the search winner once and never makes it worse,
+    /// at the cost of a few hundred extra evaluations — disable for
+    /// interactive exploration, enable for final numbers.
     pub ga: Option<GaParams>,
-    /// Link-punishment factor for PP routing.
+    /// Link-punishment factor for PP routing: how strongly the traffic
+    /// assigner penalizes pipeline hops over contended links.
     pub punish: f64,
-    /// Explicit TP candidates (None = automatic).
+    /// Explicit TP candidates (`None` = automatic: 1 and every even
+    /// degree up to 16 that embeds as a rectangle). Set to pin the sweep
+    /// to specific degrees, e.g. `Some(vec![4])` when reproducing a
+    /// fixed configuration.
     pub tp_candidates: Option<Vec<usize>>,
-    /// RNG seed for placement optimization and the GA.
+    /// RNG seed for placement optimization and the GA. Reports are a
+    /// pure function of this seed — rerunning with the same seed
+    /// reproduces them byte-for-byte at any thread count.
     pub seed: u64,
     /// Enable the analytic lower-bound pruner: skip full scheduling of a
     /// `(tp, pp, strategy)` point whenever its compute-plus-ideal-
     /// collective bound already exceeds the incumbent best. The search
     /// result is identical with or without pruning (the bound is a true
-    /// lower bound and ties are never pruned); disable only to measure
-    /// the exhaustive sweep.
+    /// lower bound and ties are never pruned) and the pruned search is
+    /// 20–100× faster on the committed presets, so leave it on; disable
+    /// (builder: [`crate::ExplorerBuilder::no_prune`]) only to measure
+    /// the exhaustive sweep or stress the equivalence tests.
     pub prune: bool,
     /// Force sequential evaluation of the search work-list (default: a
-    /// rayon fan-out in fixed-size waves). Results and [`SearchStats`]
-    /// are identical either way; this knob exists for benchmarking and
-    /// the determinism tests.
+    /// rayon fan-out in bound-ordered ramped waves). Results and
+    /// [`SearchStats`] are identical either way; enable (builder:
+    /// [`crate::ExplorerBuilder::sequential`]) for single-threaded
+    /// benchmarking baselines and determinism tests, or to keep a shared
+    /// machine responsive.
     pub sequential: bool,
 }
 
@@ -96,23 +141,7 @@ impl Default for SchedulerOptions {
     }
 }
 
-/// Instrumentation of one Alg. 1 search: how much of the
-/// `TP × PP × strategy` space was actually scheduled.
-///
-/// `visited = pruned + evaluated` always holds. Counts are deterministic
-/// — independent of thread count and of sequential vs parallel execution
-/// — because pruning decisions are taken against the incumbent from
-/// *completed* waves only.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SearchStats {
-    /// Work-list points enumerated (feasible tile shapes × strategies).
-    pub visited: usize,
-    /// Points skipped without full scheduling (aggregate-memory precheck
-    /// or lower bound above the incumbent).
-    pub pruned: usize,
-    /// Points fully scheduled and evaluated.
-    pub evaluated: usize,
-}
+pub use crate::wave::SearchStats;
 
 /// One fully scheduled configuration plus its evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,7 +162,11 @@ pub struct ScheduledConfig {
     pub report: PerfReport,
 }
 
-fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
+/// TP degrees worth trying on `wafer`: explicit `opts.tp_candidates` if
+/// set, else 1 plus every (even, unless `allow_odd_tp`) degree up to 16
+/// that embeds as a rectangle. Shared with the multi-wafer search, where
+/// TP likewise stays inside one wafer.
+pub(crate) fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
     if let Some(c) = &opts.tp_candidates {
         return c.clone();
     }
@@ -152,6 +185,21 @@ fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
         }
     }
     out
+}
+
+/// The Alg. 1 line 1–2 aggregate-memory precheck: true when `modelP`
+/// split over a `tp × pp` group cannot fit that group's aggregate DRAM
+/// (per-die share vs per-die capacity). The single authority for every
+/// precheck site — the geometry derivations AND the work-list `decided`
+/// masks of both search engines — so the "skip without profiling"
+/// short-circuit can never disagree with what the evaluators reject.
+pub(crate) fn memory_precheck_fails(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    tp: usize,
+    pp: usize,
+) -> bool {
+    model_p_total(&job.model).as_f64() / (tp * pp) as f64 > wafer.dram.capacity.as_f64()
 }
 
 /// The derived geometry of one `(tp, pp, strategy)` point: TP tile
@@ -178,7 +226,7 @@ fn config_geometry(
         return None;
     }
     // Alg. 1 line 1–2: early pruning on aggregate modelP.
-    if model_p_total(&job.model).as_f64() / (tp * pp) as f64 > wafer.dram.capacity.as_f64() {
+    if memory_precheck_fails(wafer, job, tp, pp) {
         return None;
     }
     let (tile_w, tile_h) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp)?;
@@ -444,45 +492,6 @@ pub(crate) struct SearchOutcome {
     pub stats: SearchStats,
 }
 
-/// One point of the flattened `TP × PP × strategy` work-list.
-#[derive(Debug, Clone, Copy)]
-struct WorkItem {
-    tp: usize,
-    pp: usize,
-    /// Index into `opts.strategies` (tie-break component).
-    sidx: usize,
-    strategy: TpSplitStrategy,
-}
-
-impl WorkItem {
-    /// Deterministic tie-break key: smallest `(tp, pp, strategy index)`
-    /// wins among equal iteration times, no matter in which order the
-    /// points were evaluated.
-    fn key(&self) -> (usize, usize, usize) {
-        (self.tp, self.pp, self.sidx)
-    }
-}
-
-/// Evaluation-wave width of the pruned search. Pruning decisions only
-/// consult the incumbent from *completed* waves, so results and
-/// [`SearchStats`] are independent of thread count; a fixed width (not
-/// the thread count) keeps them independent of the machine too.
-const SEARCH_WAVE: usize = 16;
-
-/// Map `items` through `f`, sequentially or with the rayon fan-out.
-/// Output order matches input order either way.
-fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
-    items: &[T],
-    sequential: bool,
-    f: F,
-) -> Vec<R> {
-    if sequential {
-        items.iter().map(&f).collect()
-    } else {
-        items.par_iter().map(f).collect()
-    }
-}
-
 /// Analytic lower bound (seconds) on the iteration time any feasible
 /// schedule of `(tp, pp, strategy)` can achieve, from
 /// compute-plus-collective totals of the cached stage profiles:
@@ -549,9 +558,11 @@ fn config_lower_bound(
 /// deprecated [`explore`] shim and [`crate::Explorer`]).
 ///
 /// The `TP × PP × strategy` space is flattened into a work-list,
-/// lower-bounded analytically, sorted by bound, and evaluated in
-/// fixed-width parallel waves; after each wave the incumbent best prunes
-/// every remaining point whose bound it beats. The result — winner *and*
+/// lower-bounded analytically (memory-precheck-decided points are
+/// short-circuited without building stage profiles), sorted by bound,
+/// and evaluated in deterministic ramped parallel waves; after each wave
+/// the incumbent best prunes every remaining point whose bound it beats.
+/// The result — winner *and*
 /// [`SearchStats`] — is identical to the exhaustive sequential sweep
 /// (`prune: false`, `sequential: true`) up to the instrumentation
 /// counters, and byte-identical across thread counts.
@@ -560,15 +571,23 @@ pub(crate) fn explore_impl(
     job: &TrainingJob,
     opts: &SchedulerOptions,
 ) -> SearchOutcome {
-    let mut stats = SearchStats::default();
     // Alg. 1 line 1–2 at the wafer level.
     let dies = wafer.die_count();
     if model_p_total(&job.model).as_f64() / dies as f64 > wafer.dram.capacity.as_f64() {
-        return SearchOutcome { best: None, stats };
+        return SearchOutcome {
+            best: None,
+            stats: SearchStats::default(),
+        };
     }
 
     // ---- Flatten the search space. ----
+    // `decided[i]` marks points the Alg. 1 line 1–2 aggregate-memory
+    // precheck alone decides (modelP per die cannot fit the die's DRAM):
+    // the bound phase, the pruned waves AND the exhaustive sweep all
+    // short-circuit them without building stage profiles or running the
+    // downstream schedulers.
     let mut items: Vec<WorkItem> = Vec::new();
+    let mut decided: Vec<bool> = Vec::new();
     for tp in tp_candidates(wafer, opts) {
         let max_pp = (dies / tp).min(job.model.layers);
         for pp in 1..=max_pp {
@@ -580,6 +599,7 @@ pub(crate) fn explore_impl(
             if tp * pp * ((slots / pp).max(1)).min(job.global_batch / job.micro_batch) < dies / 2 {
                 continue;
             }
+            let memory_decided = memory_precheck_fails(wafer, job, tp, pp);
             for (sidx, &strategy) in opts.strategies.iter().enumerate() {
                 items.push(WorkItem {
                     tp,
@@ -587,90 +607,28 @@ pub(crate) fn explore_impl(
                     sidx,
                     strategy,
                 });
+                decided.push(memory_decided);
             }
         }
     }
-    stats.visited = items.len();
 
     let cache = ProfileCache::new();
 
-    // ---- Phase 1: analytic lower bounds (cheap, pure, parallel). ----
-    // With pruning disabled every point gets a -inf bound: nothing is
-    // ever pruned and the wave loop degenerates to the exhaustive sweep.
-    let bounds: Vec<Option<f64>> = if opts.prune {
-        run_items(&items, opts.sequential, |it| {
-            config_lower_bound(wafer, job, it, opts, &cache)
-        })
-    } else {
-        vec![Some(f64::NEG_INFINITY); items.len()]
-    };
-    let mut order: Vec<usize> = (0..items.len()).filter(|&i| bounds[i].is_some()).collect();
-    stats.pruned += items.len() - order.len();
-    order.sort_by(|&a, &b| {
-        bounds[a]
-            .partial_cmp(&bounds[b])
-            .expect("bounds are not NaN")
-            .then_with(|| items[a].key().cmp(&items[b].key()))
-    });
-
-    // ---- Phase 2: bound-ordered evaluation waves. ----
-    // Run the loop body without the GA; the GA refines the winner once.
+    // Bound-ordered evaluation waves on the shared engine. The loop body
+    // runs without the GA; the GA refines the winner once.
     let inner = SchedulerOptions {
         ga: None,
         ..opts.clone()
     };
-    let mut best: Option<ScheduledConfig> = None;
-    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
-    let mut idx = 0;
-    while idx < order.len() {
-        // Deterministic pruning against the incumbent from completed
-        // waves only. Strict `>`: a point whose bound *equals* the
-        // incumbent could still tie and win on the (tp, pp, strategy)
-        // key, so it is never pruned.
-        if let Some(b) = &best {
-            let incumbent = b.report.iteration.as_secs();
-            let survivors = order[idx..]
-                .partition_point(|&i| bounds[i].expect("ordered points have bounds") <= incumbent);
-            if survivors == 0 {
-                stats.pruned += order.len() - idx;
-                break;
-            }
-        }
-        let wave_end = order.len().min(idx + SEARCH_WAVE);
-        let wave: Vec<usize> = order[idx..wave_end]
-            .iter()
-            .copied()
-            .filter(|&i| match &best {
-                Some(b) => {
-                    bounds[i].expect("ordered points have bounds") <= b.report.iteration.as_secs()
-                }
-                None => true,
-            })
-            .collect();
-        stats.pruned += (wave_end - idx) - wave.len();
-        stats.evaluated += wave.len();
-        let results: Vec<Option<ScheduledConfig>> = run_items(&wave, opts.sequential, |&i| {
-            let it = &items[i];
-            schedule_fixed_cached(wafer, job, it.tp, it.pp, it.strategy, &inner, None, &cache)
-        });
-        for (&i, cfg) in wave.iter().zip(results) {
-            let Some(cfg) = cfg else { continue };
-            let key = items[i].key();
-            let iter = cfg.report.iteration.as_secs();
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    let bi = b.report.iteration.as_secs();
-                    iter < bi || (iter == bi && key < best_key)
-                }
-            };
-            if better {
-                best = Some(cfg);
-                best_key = key;
-            }
-        }
-        idx = wave_end;
-    }
+    let (mut best, stats) = bounded_search(
+        &items,
+        &decided,
+        opts.prune,
+        opts.sequential,
+        |it| config_lower_bound(wafer, job, it, opts, &cache),
+        |it| schedule_fixed_cached(wafer, job, it.tp, it.pp, it.strategy, &inner, None, &cache),
+        |cfg| cfg.report.iteration.as_secs(),
+    );
 
     // GA refinement of the winner.
     if let (Some(b), Some(_)) = (&best, &opts.ga) {

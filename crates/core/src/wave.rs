@@ -1,0 +1,372 @@
+//! The shared bounded wave-search engine behind both design-space sweeps:
+//! the single-wafer Alg. 1 search ([`crate::scheduler::explore`] via
+//! `explore_impl`) and the §VI-F multi-wafer node search
+//! ([`crate::multiwafer`]).
+//!
+//! Both searches have the same shape — flatten a `TP × PP × strategy`
+//! space into a work-list, compute an analytic lower bound per point,
+//! sort by bound, and evaluate in deterministic parallel waves, letting
+//! the incumbent best prune every remaining point whose bound it beats.
+//! This module owns that shape once, so the two searches can never drift
+//! apart on determinism or pruning semantics:
+//!
+//! * **Determinism.** Pruning decisions consult only the incumbent from
+//!   *completed* waves, wave boundaries are fixed (independent of the
+//!   thread count and the machine), and ties are resolved by the
+//!   smallest `(tp, pp, strategy index)` key — so the winner *and* the
+//!   [`SearchStats`] counters are byte-identical across thread counts
+//!   and identical to the exhaustive sequential sweep (modulo the
+//!   counters, which legitimately differ when pruning is disabled).
+//! * **Soundness.** A point is pruned only when its bound *strictly*
+//!   exceeds the incumbent iteration time; a point whose bound equals
+//!   the incumbent could still tie and win on the key, so it is never
+//!   pruned.
+//! * **Ramped waves.** Wave widths ramp `1, 2, 4, 8, 16, 16, …`
+//!   ([`SEARCH_WAVE`] caps the width). The first wave used to evaluate
+//!   16 points with no incumbent at all; since the work-list is sorted
+//!   by lower bound, the very first point is usually the winner, and the
+//!   measured cost of the search is dominated by those no-incumbent
+//!   evaluations (the GPT-175B preset spent ~1.0 s of its 1.1 s there).
+//!   Ramping evaluates 1 point, then prunes with it — the schedule is
+//!   still fixed, so determinism is unaffected.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wsc_workload::parallel::TpSplitStrategy;
+
+/// Instrumentation of one bounded search: how much of the
+/// `TP × PP × strategy` space was actually scheduled.
+///
+/// `visited = pruned + evaluated` always holds. Counts are deterministic
+/// — independent of thread count and of sequential vs parallel execution
+/// — because pruning decisions are taken against the incumbent from
+/// *completed* waves only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Work-list points enumerated (feasible tile shapes × strategies).
+    pub visited: usize,
+    /// Points skipped without full scheduling (aggregate-memory precheck
+    /// or lower bound above the incumbent).
+    pub pruned: usize,
+    /// Points sent through the evaluation path. In the pruned mode these
+    /// are fully scheduled; in the exhaustive mode (`prune: false`,
+    /// where by definition nothing may be skipped) the count also
+    /// includes memory-precheck-decided points, which return infeasible
+    /// from the evaluation path without ever being profiled.
+    pub evaluated: usize,
+}
+
+impl SearchStats {
+    /// Component-wise sum (for aggregating per-candidate stats).
+    pub fn merge(self, other: SearchStats) -> SearchStats {
+        SearchStats {
+            visited: self.visited + other.visited,
+            pruned: self.pruned + other.pruned,
+            evaluated: self.evaluated + other.evaluated,
+        }
+    }
+}
+
+/// One point of a flattened `TP × PP × strategy` work-list.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkItem {
+    pub tp: usize,
+    pub pp: usize,
+    /// Index into the options' strategy list (tie-break component).
+    pub sidx: usize,
+    pub strategy: TpSplitStrategy,
+}
+
+impl WorkItem {
+    /// Deterministic tie-break key: smallest `(tp, pp, strategy index)`
+    /// wins among equal iteration times, no matter in which order the
+    /// points were evaluated.
+    pub fn key(&self) -> (usize, usize, usize) {
+        (self.tp, self.pp, self.sidx)
+    }
+}
+
+/// Maximum evaluation-wave width of the pruned search. Pruning decisions
+/// only consult the incumbent from *completed* waves, so results and
+/// [`SearchStats`] are independent of thread count; a fixed cap (not the
+/// thread count) keeps them independent of the machine too.
+pub(crate) const SEARCH_WAVE: usize = 16;
+
+/// Map `items` through `f`, sequentially or with the rayon fan-out.
+/// Output order matches input order either way.
+fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    items: &[T],
+    sequential: bool,
+    f: F,
+) -> Vec<R> {
+    if sequential {
+        items.iter().map(&f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Run one bounded search over a flattened work-list: bound phase plus
+/// wave loop, with the prune/short-circuit semantics held in one place
+/// for every caller.
+///
+/// `decided[i]` marks points the caller's static precheck alone decides
+/// (e.g. Alg. 1 line 1–2 aggregate memory): they are never handed to
+/// `bound` or `eval`, so they cost nothing in either sweep mode — in the
+/// pruned mode they count as pruned, in the exhaustive mode they flow
+/// through the (skipped) evaluation path and count as evaluated, since
+/// an exhaustive sweep by definition skips nothing. With `prune` set,
+/// `bound` computes an analytic lower bound per surviving point (`None`
+/// = statically infeasible, counted as pruned); with it unset, every
+/// point gets a `-inf` bound and the wave loop degenerates to the
+/// exhaustive sweep. `eval` runs the full scheduler on one point;
+/// `score` extracts the iteration time the incumbent competes on.
+/// Returns the winner (smallest score, ties to the smallest
+/// [`WorkItem::key`]) plus the [`SearchStats`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bounded_search<C: Send>(
+    items: &[WorkItem],
+    decided: &[bool],
+    prune: bool,
+    sequential: bool,
+    bound: impl Fn(&WorkItem) -> Option<f64> + Sync,
+    eval: impl Fn(&WorkItem) -> Option<C> + Sync,
+    score: impl Fn(&C) -> f64,
+) -> (Option<C>, SearchStats) {
+    debug_assert_eq!(items.len(), decided.len());
+    let idxs: Vec<usize> = (0..items.len()).collect();
+    let bounds: Vec<Option<f64>> = if prune {
+        run_items(&idxs, sequential, |&i| {
+            if decided[i] {
+                None
+            } else {
+                bound(&items[i])
+            }
+        })
+    } else {
+        vec![Some(f64::NEG_INFINITY); items.len()]
+    };
+    wave_search(
+        items,
+        &bounds,
+        sequential,
+        |i, it| {
+            if decided[i] {
+                return None;
+            }
+            eval(it)
+        },
+        score,
+    )
+}
+
+/// The bound-ordered wave loop behind [`bounded_search`].
+///
+/// `bounds[i]` is the analytic lower bound of `items[i]`; `None` marks a
+/// statically infeasible point (it is counted as pruned and never
+/// evaluated). `eval` receives the work-list index alongside the item so
+/// the wrapper can consult per-point side tables. Returns the winner
+/// (smallest score, ties to the smallest [`WorkItem::key`]) plus the
+/// [`SearchStats`] (with `visited` already set to the work-list length).
+fn wave_search<C: Send>(
+    items: &[WorkItem],
+    bounds: &[Option<f64>],
+    sequential: bool,
+    eval: impl Fn(usize, &WorkItem) -> Option<C> + Sync,
+    score: impl Fn(&C) -> f64,
+) -> (Option<C>, SearchStats) {
+    debug_assert_eq!(items.len(), bounds.len());
+    let mut stats = SearchStats {
+        visited: items.len(),
+        ..SearchStats::default()
+    };
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| bounds[i].is_some()).collect();
+    stats.pruned += items.len() - order.len();
+    order.sort_by(|&a, &b| {
+        bounds[a]
+            .partial_cmp(&bounds[b])
+            .expect("bounds are not NaN")
+            .then_with(|| items[a].key().cmp(&items[b].key()))
+    });
+
+    let mut best: Option<C> = None;
+    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+    let mut idx = 0;
+    let mut wave_no = 0u32;
+    while idx < order.len() {
+        // Deterministic pruning against the incumbent from completed
+        // waves only. Strict `>`: a point whose bound *equals* the
+        // incumbent could still tie and win on the (tp, pp, strategy)
+        // key, so it is never pruned.
+        if let Some(b) = &best {
+            let incumbent = score(b);
+            let survivors = order[idx..]
+                .partition_point(|&i| bounds[i].expect("ordered points have bounds") <= incumbent);
+            if survivors == 0 {
+                stats.pruned += order.len() - idx;
+                break;
+            }
+        }
+        let width = SEARCH_WAVE.min(1usize << wave_no.min(31));
+        wave_no += 1;
+        let wave_end = order.len().min(idx + width);
+        let wave: Vec<usize> = order[idx..wave_end]
+            .iter()
+            .copied()
+            .filter(|&i| match &best {
+                Some(b) => bounds[i].expect("ordered points have bounds") <= score(b),
+                None => true,
+            })
+            .collect();
+        stats.pruned += (wave_end - idx) - wave.len();
+        stats.evaluated += wave.len();
+        let results: Vec<Option<C>> = run_items(&wave, sequential, |&i| eval(i, &items[i]));
+        for (&i, cfg) in wave.iter().zip(results) {
+            let Some(cfg) = cfg else { continue };
+            let key = items[i].key();
+            let s = score(&cfg);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let bs = score(b);
+                    s < bs || (s == bs && key < best_key)
+                }
+            };
+            if better {
+                best = Some(cfg);
+                best_key = key;
+            }
+        }
+        idx = wave_end;
+    }
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<WorkItem> {
+        (0..n)
+            .map(|i| WorkItem {
+                tp: i,
+                pp: 0,
+                sidx: 0,
+                strategy: TpSplitStrategy::Megatron,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_mode_evaluates_everything() {
+        let its = items(40);
+        let bounds = vec![Some(f64::NEG_INFINITY); 40];
+        let (best, stats) = wave_search(
+            &its,
+            &bounds,
+            true,
+            |_, it| Some(it.tp as f64),
+            |&c: &f64| c,
+        );
+        assert_eq!(best, Some(0.0));
+        assert_eq!(stats.visited, 40);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.evaluated, 40);
+    }
+
+    #[test]
+    fn tight_bounds_prune_after_first_point() {
+        // Bounds equal the true scores: after evaluating the first
+        // (lowest-bound) point, every other point's bound strictly
+        // exceeds the incumbent and the whole tail is pruned.
+        let its = items(40);
+        let bounds: Vec<Option<f64>> = (0..40).map(|i| Some(i as f64)).collect();
+        let (best, stats) = wave_search(
+            &its,
+            &bounds,
+            true,
+            |_, it| Some(it.tp as f64),
+            |&c: &f64| c,
+        );
+        assert_eq!(best, Some(0.0));
+        assert_eq!(stats.evaluated, 1, "ramp starts with a single point");
+        assert_eq!(stats.pruned, 39);
+        assert_eq!(stats.visited, stats.pruned + stats.evaluated);
+    }
+
+    #[test]
+    fn static_infeasible_points_count_as_pruned() {
+        let its = items(4);
+        let bounds = vec![Some(0.0), None, Some(1.0), None];
+        let (best, stats) = wave_search(
+            &its,
+            &bounds,
+            true,
+            |_, it| Some(it.tp as f64),
+            |&c: &f64| c,
+        );
+        assert_eq!(best, Some(0.0));
+        assert_eq!(stats.visited, 4);
+        assert!(stats.pruned >= 2);
+    }
+
+    #[test]
+    fn equal_scores_tie_break_on_key() {
+        // Every point evaluates to the same score; the smallest (tp, pp,
+        // sidx) key must win regardless of bound order.
+        let mut its = items(8);
+        its.reverse(); // work-list order is not key order
+        let bounds = vec![Some(0.0); 8];
+        let (best, _) = wave_search(
+            &its,
+            &bounds,
+            true,
+            |_, it| Some((it.tp, 7.0f64)),
+            |c: &(usize, f64)| c.1,
+        );
+        assert_eq!(best.map(|b| b.0), Some(0), "smallest key wins the tie");
+    }
+
+    #[test]
+    fn decided_points_skip_both_phases_in_both_modes() {
+        // A precheck-decided point must reach neither the bound nor the
+        // eval closure, in the pruned and the exhaustive mode alike; it
+        // counts as pruned in the former and evaluated in the latter.
+        let its = items(6);
+        let decided = vec![false, true, false, true, false, true];
+        let bound = |it: &WorkItem| {
+            assert!(it.tp.is_multiple_of(2), "decided point reached bound phase");
+            Some(it.tp as f64)
+        };
+        let eval = |it: &WorkItem| {
+            assert!(it.tp.is_multiple_of(2), "decided point reached eval phase");
+            Some(it.tp as f64)
+        };
+        for prune in [true, false] {
+            let (best, stats) =
+                bounded_search(&its, &decided, prune, true, bound, eval, |&c: &f64| c);
+            assert_eq!(best, Some(0.0));
+            assert_eq!(stats.visited, 6);
+            if prune {
+                assert!(stats.pruned >= 3, "decided points count as pruned");
+            } else {
+                assert_eq!(
+                    stats.evaluated, 6,
+                    "exhaustive mode skips nothing (by count)"
+                );
+                assert_eq!(stats.pruned, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let its = items(50);
+        let bounds: Vec<Option<f64>> = (0..50).map(|i| Some((i % 7) as f64)).collect();
+        let eval = |_: usize, it: &WorkItem| Some(((it.tp * 13) % 11) as f64);
+        let seq = wave_search(&its, &bounds, true, eval, |&c: &f64| c);
+        let par = wave_search(&its, &bounds, false, eval, |&c: &f64| c);
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.1, par.1);
+    }
+}

@@ -23,6 +23,7 @@ fn report_is_identical_across_thread_counts() {
             .strategies(vec![TpSplitStrategy::Megatron])
             .wafer(presets::config(3))
             .wafer(presets::config(4))
+            .multi_wafer(presets::multi_wafer_18())
             .with_faults([FaultKind::Link], [0.0, 0.2])
             .seed(7)
             .build()

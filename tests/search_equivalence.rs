@@ -1,13 +1,15 @@
 //! Property test for the tentpole invariant of the pruned search engine:
 //! across randomized jobs, wafer geometries and seeds, the pruned +
-//! parallel + memoized Alg. 1 sweep returns a report byte-identical (up
-//! to the `SearchStats` instrumentation) to the exhaustive sequential
-//! sweep — same winner, same iteration time, same parallel spec.
+//! parallel + memoized sweep — single-wafer (Alg. 1) *and* multi-wafer
+//! (§VI-F) — returns a report byte-identical (up to the `SearchStats`
+//! instrumentation) to the exhaustive sequential sweep — same winner,
+//! same iteration time, same parallel spec.
 
 use proptest::prelude::*;
 use watos::{ExplorationReport, Explorer, SearchStats};
 use wsc_arch::presets;
-use wsc_arch::wafer::WaferConfig;
+use wsc_arch::units::{Bandwidth, Time};
+use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
@@ -16,6 +18,9 @@ use wsc_workload::zoo;
 fn strip_stats(report: &ExplorationReport) -> ExplorationReport {
     let mut r = report.clone();
     for rec in &mut r.single_wafer {
+        rec.stats = SearchStats::default();
+    }
+    for rec in &mut r.multi_wafer {
         rec.stats = SearchStats::default();
     }
     r
@@ -77,6 +82,84 @@ proptest! {
         let s = pruned.search_stats();
         prop_assert_eq!(s.visited, s.pruned + s.evaluated);
         let e = exhaustive.search_stats();
+        prop_assert_eq!(e.pruned, 0, "exhaustive sweep must not prune");
+        prop_assert_eq!(e.evaluated, e.visited);
+        prop_assert_eq!(s.visited, e.visited, "same work-list either way");
+    }
+}
+
+fn run_node(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    seed: u64,
+    exhaustive: bool,
+) -> ExplorationReport {
+    let mut b = Explorer::builder()
+        .job(job.clone())
+        .multi_wafer(node.clone())
+        .no_ga()
+        .seed(seed)
+        // Shrunken wafers need not satisfy the full floorplan model.
+        .allow_invalid_architectures();
+    if exhaustive {
+        b = b.sequential().no_prune();
+    }
+    b.build().expect("valid exploration").run()
+}
+
+proptest! {
+    #[test]
+    fn multi_wafer_pruned_search_matches_exhaustive_sweep(
+        nx in 3usize..6,
+        ny in 3usize..6,
+        wafers in 1usize..5,
+        layers in 4usize..13,
+        micro in 1usize..4,
+        batches in 2usize..17,
+        w2w_gbps in 50.0f64..2000.0,
+        cfg_idx in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut wafer = presets::config(cfg_idx);
+        wafer.nx = nx;
+        wafer.ny = ny;
+        let node = MultiWaferConfig {
+            wafers,
+            wafer,
+            w2w_bw: Bandwidth::gb_per_s(w2w_gbps),
+            w2w_latency: Time::from_nanos(400.0),
+        };
+        let mut model = zoo::llama_7b();
+        model.layers = layers;
+        let job = TrainingJob::with_batch(model, micro * batches, micro, 1024);
+
+        let pruned = run_node(&node, &job, seed, false);
+        let exhaustive = run_node(&node, &job, seed, true);
+
+        // Same winner, iteration time, parallel spec, strategy.
+        let pb = &pruned.multi_wafer[0];
+        let eb = &exhaustive.multi_wafer[0];
+        prop_assert_eq!(pb.best.is_some(), eb.best.is_some());
+        if let (Some(p), Some(e)) = (&pb.best, &eb.best) {
+            prop_assert_eq!(p.parallel, e.parallel, "parallel spec must match");
+            prop_assert_eq!(p.strategy, e.strategy, "strategy must match");
+            prop_assert_eq!(p.iteration, e.iteration, "iteration time must match");
+            // §VI-F seam-accounting invariant: at most every boundary
+            // crosses a seam, and a 1-wafer node crosses none.
+            prop_assert!((0.0..=1.0).contains(&p.w2w_boundary_fraction));
+            if wafers == 1 {
+                prop_assert_eq!(p.w2w_boundary_fraction, 0.0);
+            }
+        }
+        // Byte-identical report modulo instrumentation.
+        prop_assert_eq!(
+            strip_stats(&pruned).to_json(),
+            strip_stats(&exhaustive).to_json()
+        );
+        // Stats invariants.
+        let s = pruned.multi_wafer_search_stats();
+        prop_assert_eq!(s.visited, s.pruned + s.evaluated);
+        let e = exhaustive.multi_wafer_search_stats();
         prop_assert_eq!(e.pruned, 0, "exhaustive sweep must not prune");
         prop_assert_eq!(e.evaluated, e.visited);
         prop_assert_eq!(s.visited, e.visited, "same work-list either way");
