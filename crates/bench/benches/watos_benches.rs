@@ -183,6 +183,86 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// The §IV-C/§IV-D refinement hot path: incremental cost engine vs the
+/// naive re-derive-everything reference, on the same presets as the
+/// `bench_ga` JSON harness (GA steps trimmed so the group stays quick).
+fn bench_ga(c: &mut Criterion) {
+    use watos::ga::{refine, refine_naive, GaParams};
+    use watos::placement::{optimize, optimize_naive};
+
+    let mut g = c.benchmark_group("ga");
+    g.sample_size(10);
+    let preset = wsc_bench::util::ga_refine_presets()
+        .into_iter()
+        .find(|p| p.name == "refine-llama3-70b")
+        .expect("preset table always carries the Llama3-70B entry");
+    let s = wsc_bench::util::ga_setup(&preset);
+    let params = GaParams {
+        population: 12,
+        steps: 20,
+        ..GaParams::default()
+    };
+    g.bench_function("refine_llama3_70b_naive", |b| {
+        b.iter(|| {
+            black_box(refine_naive(
+                &s.mesh,
+                &s.stages,
+                &s.plan,
+                &s.placement,
+                &s.overflow,
+                &s.spare,
+                s.pp_volume,
+                s.capacity,
+                &params,
+            ))
+        });
+    });
+    g.bench_function("refine_llama3_70b_incremental", |b| {
+        b.iter(|| {
+            black_box(refine(
+                &s.mesh,
+                &s.stages,
+                &s.plan,
+                &s.placement,
+                &s.overflow,
+                &s.spare,
+                s.pp_volume,
+                s.capacity,
+                &params,
+            ))
+        });
+    });
+
+    let h = wsc_bench::util::hill_climb_preset();
+    g.bench_function("hillclimb_48_stages_naive", |b| {
+        b.iter(|| {
+            black_box(optimize_naive(
+                &h.mesh,
+                h.pp,
+                h.tile_w,
+                h.tile_h,
+                h.pp_volume,
+                &h.pairs,
+                h.seed,
+            ))
+        });
+    });
+    g.bench_function("hillclimb_48_stages_incremental", |b| {
+        b.iter(|| {
+            black_box(optimize(
+                &h.mesh,
+                h.pp,
+                h.tile_w,
+                h.tile_h,
+                h.pp_volume,
+                &h.pairs,
+                h.seed,
+            ))
+        });
+    });
+    g.finish();
+}
+
 /// The evaluator and scheduler paths behind Figs. 15–18.
 fn bench_scheduling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduling");
@@ -272,6 +352,7 @@ criterion_group!(
     benches,
     bench_kernels,
     bench_search,
+    bench_ga,
     bench_scheduling,
     bench_sim,
     bench_figures

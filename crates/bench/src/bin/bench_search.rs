@@ -13,12 +13,16 @@
 //! cargo run -p wsc-bench --release --bin bench_search -- \
 //!     [--preset small|medium|large|multiwafer|all] \
 //!     [--output BENCH_search.json] \
-//!     [--require-pruning] [--min-speedup X]
+//!     [--require-pruning] [--min-speedup X] [--threads N]
 //! ```
 //!
 //! `--require-pruning` exits non-zero unless every preset pruned at
 //! least one configuration (the CI smoke contract); `--min-speedup`
 //! exits non-zero when the measured speedup falls below `X`.
+//! `--threads N` pins the rayon pool (the vendored rayon honors
+//! `RAYON_NUM_THREADS` at call time), and every JSON entry records the
+//! thread count it was measured with, so wave fan-out can be compared
+//! across `--threads` runs on real multi-core hardware.
 
 use std::time::Instant;
 use watos::{ExplorationReport, Explorer, SearchStats};
@@ -35,6 +39,8 @@ struct BenchEntry {
     preset: String,
     model: String,
     wafer: String,
+    /// Rayon pool size the entry was measured with.
+    threads: usize,
     pruned_parallel_secs: f64,
     sequential_noprune_secs: f64,
     speedup: f64,
@@ -193,6 +199,7 @@ fn record(
         preset: m.preset,
         model: m.model,
         wafer: m.wafer,
+        threads: rayon::current_num_threads(),
         pruned_parallel_secs: m.pruned_secs,
         sequential_noprune_secs: m.exhaustive_secs,
         speedup,
@@ -222,6 +229,14 @@ fn main() {
                         .parse()
                         .expect("--min-speedup must be a number"),
                 )
+            }
+            "--threads" => {
+                // Honored by the vendored rayon at call time; set before
+                // any parallel work starts.
+                std::env::set_var(
+                    "RAYON_NUM_THREADS",
+                    args.next().expect("--threads needs a value"),
+                );
             }
             other => {
                 eprintln!("unknown argument `{other}`");

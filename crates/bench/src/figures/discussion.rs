@@ -415,14 +415,7 @@ pub fn ga_history(
     let plan = wsc_pipeline::gcmr::gcmr(&inputs, cap, 12).as_recompute_plan();
     let (tw, th) = watos::placement::choose_tile(wafer.nx, wafer.ny, tp, pp).expect("tile");
     let placement = watos::placement::serpentine(wafer.nx, wafer.ny, pp, tw, th).expect("fits");
-    let mut overflow = Vec::new();
-    let mut spare = Vec::new();
-    for (s, i) in inputs.iter().enumerate() {
-        let kept = i.ckpt_per_mb.saturating_sub(plan.saved_per_mb[s]);
-        let local = i.model_p + kept * i.in_flight as u64;
-        overflow.push(local.saturating_sub(cap));
-        spare.push(cap.saturating_sub(local));
-    }
+    let (overflow, spare) = wsc_pipeline::recompute::overflow_and_spare(&inputs, &plan, cap);
     let r = watos::ga::refine(
         &Mesh2D::new(wafer.nx, wafer.ny),
         &stages,

@@ -2,13 +2,21 @@
 //! common scheduler option sets, and thin wrappers over the `Explorer`
 //! facade for single-candidate figure runs.
 
+use watos::ga::GaParams;
+use watos::placement::{choose_tile, serpentine, PairDemand};
 use watos::scheduler::{RecomputeMode, ScheduledConfig, SchedulerOptions};
-use watos::{Explorer, MultiWaferReport};
+use watos::stage::{build_stage_profiles, StageProfile};
+use watos::{Explorer, MultiWaferReport, Placement};
 use wsc_arch::presets;
+use wsc_arch::units::Bytes;
 use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
 use wsc_mesh::collective::CollectiveAlgo;
+use wsc_mesh::topology::Mesh2D;
+use wsc_pipeline::gcmr::gcmr;
+use wsc_pipeline::recompute::{overflow_and_spare, RecomputePlan};
+use wsc_workload::graph::ShardingCtx;
 use wsc_workload::model::LlmModel;
-use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
@@ -72,6 +80,154 @@ pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
         model: zoo::llama3_405b(),
         strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
     }]
+}
+
+/// One GA-refinement benchmark preset — the single source of truth
+/// shared by the criterion `ga` group, the `bench_ga` JSON harness and
+/// the GA leg of the thread-determinism test, so all three always
+/// measure the same workload per name.
+pub struct GaRefinePreset {
+    /// Preset name (`refine-llama2-30b` / `refine-llama3-70b`).
+    pub name: &'static str,
+    /// Candidate wafer.
+    pub wafer: WaferConfig,
+    /// Training model.
+    pub model: LlmModel,
+    /// Tensor parallelism of the refined configuration.
+    pub tp: usize,
+    /// Pipeline stages of the refined configuration.
+    pub pp: usize,
+    /// GA hyper-parameters (the defaults: ~1,600 decodes per refine).
+    pub params: GaParams,
+}
+
+/// The §IV-D GA-refinement presets, in model-size order.
+pub fn ga_refine_presets() -> Vec<GaRefinePreset> {
+    vec![
+        // Config 1's 48 GiB stacks with per-die stages: 12 of the 48
+        // stages overflow (~450 GiB borrowed), so every genome decode
+        // pays the full Sender→Helper pairing + Eq. 2 conflict path.
+        GaRefinePreset {
+            name: "refine-llama2-30b",
+            wafer: presets::config(1),
+            model: zoo::llama2_30b(),
+            tp: 1,
+            pp: 48,
+            params: GaParams::default(),
+        },
+        GaRefinePreset {
+            name: "refine-llama3-70b",
+            wafer: presets::config(3),
+            model: zoo::llama3_70b(),
+            tp: 4,
+            pp: 8,
+            params: GaParams::default(),
+        },
+    ]
+}
+
+/// Everything `ga::refine` needs for one preset, derived the same way
+/// the scheduler derives it (GCMR plan, serpentine seed placement,
+/// per-stage overflow/spare against the wafer DRAM capacity).
+pub struct GaSetup {
+    /// The wafer fabric.
+    pub mesh: Mesh2D,
+    /// Per-stage profiles.
+    pub stages: Vec<StageProfile>,
+    /// GCMR base recomputation plan.
+    pub plan: RecomputePlan,
+    /// Serpentine seed placement.
+    pub placement: Placement,
+    /// Per-stage DRAM overflow beyond capacity.
+    pub overflow: Vec<Bytes>,
+    /// Per-stage donatable DRAM.
+    pub spare: Vec<Bytes>,
+    /// Eq. 2 inter-stage pipeline volume.
+    pub pp_volume: f64,
+    /// Per-die DRAM capacity.
+    pub capacity: Bytes,
+}
+
+/// Build the GA inputs for one refinement preset.
+pub fn ga_setup(preset: &GaRefinePreset) -> GaSetup {
+    let job = TrainingJob::standard(preset.model.clone());
+    let ctx = ShardingCtx::new(
+        job.micro_batch,
+        job.seq,
+        preset.tp,
+        TpSplitStrategy::Megatron,
+    );
+    let stages = build_stage_profiles(
+        &preset.wafer,
+        &job,
+        ParallelSpec::model_parallel(preset.tp, preset.pp),
+        &ctx,
+        job.microbatches(1),
+    );
+    let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
+    let capacity = preset.wafer.dram.capacity;
+    let plan = gcmr(&inputs, capacity, 12).as_recompute_plan();
+    let (tw, th) = choose_tile(preset.wafer.nx, preset.wafer.ny, preset.tp, preset.pp)
+        .expect("preset tile must embed");
+    let placement =
+        serpentine(preset.wafer.nx, preset.wafer.ny, preset.pp, tw, th).expect("preset fits");
+    let (overflow, spare) = overflow_and_spare(&inputs, &plan, capacity);
+    GaSetup {
+        mesh: Mesh2D::new(preset.wafer.nx, preset.wafer.ny),
+        stages,
+        plan,
+        placement,
+        overflow,
+        spare,
+        pp_volume: 1e8,
+        capacity,
+    }
+}
+
+/// The hill-climb benchmark preset: `placement::optimize` on a Config-1
+/// geometry (8×8 dies) with per-die stages — a 48-stage pipeline whose
+/// first eight stages borrow DRAM from the last eight (the Fig. 11
+/// Mem_pair pattern at scale), so every swap candidate pays the full
+/// Eq. 2 pair/conflict machinery.
+pub struct HillClimbPreset {
+    /// Preset name (`hillclimb`).
+    pub name: &'static str,
+    /// The wafer fabric.
+    pub mesh: Mesh2D,
+    /// Stage-tile width in dies.
+    pub tile_w: usize,
+    /// Stage-tile height in dies.
+    pub tile_h: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Eq. 2 inter-stage pipeline volume.
+    pub pp_volume: f64,
+    /// Sender→Helper balance demands.
+    pub pairs: Vec<PairDemand>,
+    /// Hill-climb RNG seed.
+    pub seed: u64,
+}
+
+/// The hill-climb benchmark preset.
+pub fn hill_climb_preset() -> HillClimbPreset {
+    let pp = 48;
+    let pairs = (0..8)
+        .map(|s| PairDemand {
+            sender: s,
+            helper: pp - 1 - s,
+            volume: (1.0 + s as f64) * 1e8,
+        })
+        .collect();
+    HillClimbPreset {
+        name: "hillclimb",
+        mesh: Mesh2D::new(8, 8),
+        tile_w: 1,
+        tile_h: 1,
+        pp,
+        pp_volume: 1e8,
+        pairs,
+        seed: 42,
+    }
 }
 
 /// Explore one wafer candidate through the `Explorer` facade.

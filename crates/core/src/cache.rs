@@ -21,12 +21,14 @@
 //! the steady state is read-only hits, so waves never serialize on the
 //! cache.
 
+use crate::costmodel::PlacementCostModel;
 use crate::stage::{build_layer_data, build_stage_profiles_with, LayerData, StageProfile};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use wsc_arch::units::{Bandwidth, Bytes, Time};
 use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
+use wsc_mesh::topology::Mesh2D;
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
@@ -34,6 +36,7 @@ use wsc_workload::training::TrainingJob;
 type LayerKey = (usize, TpSplitStrategy);
 type StageKey = (usize, usize, TpSplitStrategy, usize);
 type CollectiveKey = (CollectiveAlgo, usize, usize, u64, u64, u64);
+type CostModelKey = (usize, usize, usize, usize, u64);
 
 /// Shared memo for one `(wafer, job)` exploration (see module docs).
 ///
@@ -44,6 +47,7 @@ pub struct ProfileCache {
     layers: RwLock<HashMap<LayerKey, Arc<LayerData>>>,
     stages: RwLock<HashMap<StageKey, Arc<Vec<StageProfile>>>>,
     collectives: RwLock<HashMap<CollectiveKey, Time>>,
+    cost_models: RwLock<HashMap<CostModelKey, Arc<PlacementCostModel>>>,
 }
 
 impl ProfileCache {
@@ -134,6 +138,36 @@ impl ProfileCache {
             .or_insert(t)
     }
 
+    /// The shared Eq. 2 [`PlacementCostModel`] for a
+    /// `(mesh, tile shape, pp_volume)` context: slot-distance tables and
+    /// path-link fragments are reused by every placement hill climb and
+    /// GA refinement the search runs with that tile shape.
+    pub fn cost_model(
+        &self,
+        mesh: &Mesh2D,
+        tile_w: usize,
+        tile_h: usize,
+        pp_volume: f64,
+    ) -> Arc<PlacementCostModel> {
+        let key = (mesh.nx, mesh.ny, tile_w, tile_h, pp_volume.to_bits());
+        if let Some(hit) = self.cost_models.read().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(PlacementCostModel::new(*mesh, tile_w, tile_h, pp_volume));
+        Arc::clone(
+            self.cost_models
+                .write()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Number of cached cost models (for tests/introspection).
+    pub fn cost_model_entries(&self) -> usize {
+        self.cost_models.read().expect("cache lock").len()
+    }
+
     /// Number of cached stage-profile vectors (for tests/introspection).
     pub fn stage_entries(&self) -> usize {
         self.stages.read().expect("cache lock").len()
@@ -195,6 +229,18 @@ mod tests {
         }
         assert_eq!(cache.stage_entries(), 4);
         assert_eq!(cache.layer_entries(), 1, "one simulator pass for all pp");
+    }
+
+    #[test]
+    fn cost_model_shared_per_tile_shape() {
+        let cache = ProfileCache::new();
+        let mesh = Mesh2D::new(7, 8);
+        let a = cache.cost_model(&mesh, 2, 2, 1e8);
+        let b = cache.cost_model(&mesh, 2, 2, 1e8);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one model");
+        let c = cache.cost_model(&mesh, 1, 4, 1e8);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.cost_model_entries(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! (fraction ω) with binary tournament: ω → 1 converges fast but greedily,
 //! ω → 0 preserves diversity (the Fig. 24b trade-off).
 
+use crate::costmodel::PlacementCostModel;
 use crate::dram_alloc::DramGrant;
 use crate::placement::{global_cost, tile_slots, PairDemand, Placement, Rect};
 use crate::stage::StageProfile;
@@ -22,6 +23,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 use wsc_arch::units::{Bytes, Time};
 use wsc_mesh::topology::Mesh2D;
 use wsc_pipeline::recompute::RecomputePlan;
@@ -82,13 +85,78 @@ struct GaCtx<'a> {
     spare: &'a [Bytes],
     pp_volume: f64,
     slots: Vec<Rect>,
+    engine: Engine<'a>,
+}
+
+/// How a genome's fitness is priced.
+enum Engine<'a> {
+    /// The pre-cost-model decode: clone the base plan, re-derive the
+    /// overflow vector and rebuild the Eq. 2 link set for every genome.
+    /// Kept as the measured baseline (`refine_naive`, `bench_ga`).
+    Naive,
+    /// Decomposed decode on the shared [`PlacementCostModel`]: the
+    /// `(plan, overflow, t_max)` partial is reused across genomes with
+    /// the same Op1/Op2 `extra` component (borrowed outright when
+    /// `extra` is all-zero), and the Eq. 2 cost runs on memoized path
+    /// fragments — Op3/Op4/Op5 changes only recompute the allocation
+    /// and cost factors.
+    Model {
+        model: &'a PlacementCostModel,
+        /// `t_max` of the untouched base plan (the all-zero fast path).
+        base_t_max: f64,
+        /// Plan partials keyed by the exact `extra` bits.
+        memo: PlanMemo,
+    },
+}
+
+/// The Op1/Op2-dependent part of a decoded genome: what `extra` alone
+/// determines (the post-recomputation overflow vector and the `t_max`
+/// fitness factor), shared across every genome with identical `extra`.
+/// The mutated plan itself is only materialized for the returned winner
+/// ([`decode_full`]).
+struct PlanEval {
+    overflow: Vec<Bytes>,
+    t_max: f64,
+}
+
+/// Concurrent memo of [`PlanEval`] partials. Entries are pure functions
+/// of the `extra` bit pattern, so racing parallel decodes compute
+/// identical values and the first insert wins — results stay
+/// deterministic at every thread count.
+#[derive(Default)]
+struct PlanMemo {
+    map: RwLock<HashMap<Vec<u64>, Arc<PlanEval>>>,
+}
+
+impl PlanMemo {
+    fn get_or_build(&self, ctx: &GaCtx<'_>, extra: &[f64]) -> Arc<PlanEval> {
+        let key: Vec<u64> = extra.iter().map(|e| e.to_bits()).collect();
+        if let Some(hit) = self.map.read().expect("plan memo lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let (plan, overflow) = apply_extra(ctx, extra);
+        let t_max = plan_t_max(ctx.stages, &plan);
+        let built = Arc::new(PlanEval { overflow, t_max });
+        Arc::clone(
+            self.map
+                .write()
+                .expect("plan memo lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
 }
 
 /// Biased greedy allocation: each sender's helper queue (sorted by
 /// distance) is rotated by `bias[sender]` before grants are taken.
+///
+/// Distances come through `dist` so both decode engines share one
+/// implementation: the naive engine measures rectangle centers, the
+/// model engine reads the cost model's slot-distance table — the exact
+/// same `f64` bits, so queues, grants and hops are identical.
 fn biased_allocate(
     ctx: &GaCtx<'_>,
-    placement: &Placement,
+    dist: &dyn Fn(usize, usize) -> f64,
     overflow: &[Bytes],
     bias: &[usize],
 ) -> (Vec<DramGrant>, bool) {
@@ -104,9 +172,9 @@ fn biased_allocate(
             .filter(|&h| h != s && remaining[h] > Bytes::ZERO)
             .collect();
         q.sort_by(|&a, &b| {
-            let da = placement.stages[s].dist(&placement.stages[a]);
-            let db = placement.stages[s].dist(&placement.stages[b]);
-            da.partial_cmp(&db).expect("finite")
+            dist(s, a)
+                .partial_cmp(&dist(s, b))
+                .expect("finite distances")
         });
         if !q.is_empty() {
             let rot = bias[s] % q.len();
@@ -124,7 +192,7 @@ fn biased_allocate(
                 sender: s,
                 helper: h,
                 bytes: take,
-                hops: placement.stages[s].dist(&placement.stages[h]),
+                hops: dist(s, h),
             });
             remaining[h] -= take;
             need -= take;
@@ -136,18 +204,20 @@ fn biased_allocate(
     (grants, complete)
 }
 
-fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
+/// Apply the genome's Op1/Op2 `extra` component on top of the base plan:
+/// the recompute-plan mutation and overflow re-derivation shared by both
+/// decode engines (value-identical by construction).
+fn apply_extra(ctx: &GaCtx<'_>, extra: &[f64]) -> (RecomputePlan, Vec<Bytes>) {
     let pp = ctx.stages.len();
-    // Extra recomputation on top of the base plan.
     let mut plan = ctx.base.clone();
     let mut overflow: Vec<Bytes> = ctx.overflow.to_vec();
     #[allow(clippy::needless_range_loop)]
     for s in 0..pp {
-        if g.extra[s] <= 0.0 {
+        if extra[s] <= 0.0 {
             continue;
         }
         let menu = &ctx.stages[s].menu;
-        let want = menu.max_savings().scale(g.extra[s]);
+        let want = menu.max_savings().scale(extra[s]);
         let target = plan.saved_per_mb[s].max(want);
         if let Some(t) = menu.time_for_savings(target) {
             let freed = target.saturating_sub(plan.saved_per_mb[s]);
@@ -156,28 +226,98 @@ fn decode(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
             overflow[s] = overflow[s].saturating_sub(freed * ctx.stages[s].in_flight as u64);
         }
     }
-    let (grants, complete) = biased_allocate(ctx, &g.placement, &overflow, &g.bias);
-    // Fitness: t_max × GlobalCost (Eq. 2), infeasible → +inf.
-    let t_max = ctx
-        .stages
+    (plan, overflow)
+}
+
+/// Slowest per-micro-batch stage time under a plan (the `t_max` fitness
+/// factor).
+fn plan_t_max(stages: &[StageProfile], plan: &RecomputePlan) -> f64 {
+    stages
         .iter()
         .enumerate()
         .map(|(s, sp)| (sp.fwd_compute + sp.bwd_compute + plan.recompute_time[s]).as_secs())
-        .fold(0.0f64, f64::max);
-    let pairs: Vec<PairDemand> = grants
+        .fold(0.0f64, f64::max)
+}
+
+/// Fitness: t_max × GlobalCost (Eq. 2), infeasible → +inf.
+fn fitness_of(ctx: &GaCtx<'_>, t_max: f64, gc: f64, complete: bool) -> f64 {
+    let pp = ctx.stages.len();
+    if complete {
+        t_max * (1.0 + gc / (ctx.pp_volume * pp as f64 + 1.0))
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Grants → Eq. 2 pair demands.
+fn grant_pairs(grants: &[DramGrant]) -> Vec<PairDemand> {
+    grants
         .iter()
         .map(|gr| PairDemand {
             sender: gr.sender,
             helper: gr.helper,
             volume: gr.bytes.as_f64(),
         })
-        .collect();
-    let gc = global_cost(ctx.mesh, &g.placement, ctx.pp_volume, &pairs);
-    let fitness = if complete {
-        t_max * (1.0 + gc / (ctx.pp_volume * pp as f64 + 1.0))
-    } else {
-        f64::INFINITY
+        .collect()
+}
+
+/// Fitness-only decode — what the population loops need. On the
+/// [`Engine::Model`] path the plan partial is borrowed (all-zero
+/// `extra`) or memo-shared, and the Eq. 2 cost runs on the incremental
+/// model; on [`Engine::Naive`] everything is re-derived per genome, as
+/// before the cost engine existed. Both produce bit-identical fitness.
+fn decode_fitness(ctx: &GaCtx<'_>, g: &Genome) -> f64 {
+    match &ctx.engine {
+        Engine::Naive => decode_full(ctx, g).2,
+        Engine::Model {
+            model,
+            base_t_max,
+            memo,
+        } => {
+            let partial = if g.extra.iter().all(|&e| e <= 0.0) {
+                None
+            } else {
+                Some(memo.get_or_build(ctx, &g.extra))
+            };
+            let (overflow, t_max): (&[Bytes], f64) = match &partial {
+                None => (ctx.overflow, *base_t_max),
+                Some(e) => (&e.overflow, e.t_max),
+            };
+            match model.slot_ids(&g.placement) {
+                Some(ids) => {
+                    let d = |s: usize, h: usize| model.dist(ids[s], ids[h]);
+                    let (grants, complete) = biased_allocate(ctx, &d, overflow, &g.bias);
+                    let gc = model.cost_of_slots(&ids, &grant_pairs(&grants));
+                    fitness_of(ctx, t_max, gc, complete)
+                }
+                // Off the slot grid (unreachable from `refine`, which
+                // mutates over the model's own slots): same values via
+                // the rectangle path.
+                None => {
+                    let d = |s: usize, h: usize| g.placement.stages[s].dist(&g.placement.stages[h]);
+                    let (grants, complete) = biased_allocate(ctx, &d, overflow, &g.bias);
+                    let gc = model.placement_cost(&g.placement, &grant_pairs(&grants));
+                    fitness_of(ctx, t_max, gc, complete)
+                }
+            }
+        }
+    }
+}
+
+/// Full decode — plan, grants and fitness, used once for the returned
+/// winner (and per genome by the naive engine).
+fn decode_full(ctx: &GaCtx<'_>, g: &Genome) -> (RecomputePlan, Vec<DramGrant>, f64) {
+    // Extra recomputation on top of the base plan.
+    let (plan, overflow) = apply_extra(ctx, &g.extra);
+    let d = |s: usize, h: usize| g.placement.stages[s].dist(&g.placement.stages[h]);
+    let (grants, complete) = biased_allocate(ctx, &d, &overflow, &g.bias);
+    let t_max = plan_t_max(ctx.stages, &plan);
+    let pairs = grant_pairs(&grants);
+    let gc = match &ctx.engine {
+        Engine::Naive => global_cost(ctx.mesh, &g.placement, ctx.pp_volume, &pairs),
+        Engine::Model { model, .. } => model.placement_cost(&g.placement, &pairs),
     };
+    let fitness = fitness_of(ctx, t_max, gc, complete);
     (plan, grants, fitness)
 }
 
@@ -272,6 +412,10 @@ fn stream_seed(seed: u64, generation: u64, slot: u64) -> u64 {
 /// task per genome; each genome's randomness comes from its own
 /// splitmix stream keyed by `(seed, generation, slot)`, so the outcome
 /// is a pure function of `params.seed` regardless of thread count.
+///
+/// Fitness decoding runs on an incremental [`PlacementCostModel`] built
+/// for the base placement's tile grid; results are bit-identical to
+/// [`refine_naive`] (enforced by `tests/ga_cost_equivalence.rs`).
 #[allow(clippy::too_many_arguments)]
 pub fn refine(
     mesh: &Mesh2D,
@@ -281,8 +425,108 @@ pub fn refine(
     overflow: &[Bytes],
     spare: &[Bytes],
     pp_volume: f64,
+    capacity: Bytes,
+    params: &GaParams,
+) -> GaResult {
+    let tile = base_placement.stages[0];
+    let model = PlacementCostModel::new(*mesh, tile.w, tile.h, pp_volume);
+    refine_with_model(
+        mesh,
+        stages,
+        base_plan,
+        base_placement,
+        overflow,
+        spare,
+        pp_volume,
+        capacity,
+        &model,
+        params,
+    )
+}
+
+/// [`refine`] on a caller-provided (typically cached) cost model, so
+/// path-fragment and distance tables are shared with the placement hill
+/// climb and across search points (see
+/// [`crate::cache::ProfileCache::cost_model`]).
+#[allow(clippy::too_many_arguments)]
+pub fn refine_with_model(
+    mesh: &Mesh2D,
+    stages: &[StageProfile],
+    base_plan: &RecomputePlan,
+    base_placement: &Placement,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+    pp_volume: f64,
+    _capacity: Bytes,
+    model: &PlacementCostModel,
+    params: &GaParams,
+) -> GaResult {
+    assert!(
+        model.mesh() == mesh
+            && model.tile_w() == base_placement.stages[0].w
+            && model.tile_h() == base_placement.stages[0].h
+            && model.pp_volume() == pp_volume,
+        "cost model must match the refinement's mesh, tile shape and pp_volume"
+    );
+    let engine = Engine::Model {
+        model,
+        base_t_max: plan_t_max(stages, base_plan),
+        memo: PlanMemo::default(),
+    };
+    refine_engine(
+        mesh,
+        stages,
+        base_plan,
+        base_placement,
+        overflow,
+        spare,
+        pp_volume,
+        params,
+        engine,
+    )
+}
+
+/// The pre-cost-model refinement: every genome decode clones the plan,
+/// re-derives overflow and rebuilds the Eq. 2 link set from scratch.
+/// Kept as the reference implementation — `tests/ga_cost_equivalence.rs`
+/// pins `refine ≡ refine_naive` bit-for-bit (fitness, history, placement,
+/// grants), and `bench_ga` measures the gap.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_naive(
+    mesh: &Mesh2D,
+    stages: &[StageProfile],
+    base_plan: &RecomputePlan,
+    base_placement: &Placement,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+    pp_volume: f64,
     _capacity: Bytes,
     params: &GaParams,
+) -> GaResult {
+    refine_engine(
+        mesh,
+        stages,
+        base_plan,
+        base_placement,
+        overflow,
+        spare,
+        pp_volume,
+        params,
+        Engine::Naive,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_engine(
+    mesh: &Mesh2D,
+    stages: &[StageProfile],
+    base_plan: &RecomputePlan,
+    base_placement: &Placement,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+    pp_volume: f64,
+    params: &GaParams,
+    engine: Engine<'_>,
 ) -> GaResult {
     let pp = stages.len();
     let tile = base_placement.stages[0];
@@ -294,6 +538,7 @@ pub fn refine(
         spare,
         pp_volume,
         slots: tile_slots(mesh.nx, mesh.ny, tile.w, tile.h),
+        engine,
     };
     let seed_genome = Genome {
         placement: base_placement.clone(),
@@ -311,7 +556,7 @@ pub fn refine(
             for _ in 0..i {
                 mutate(&ctx, &mut g, &mut rng);
             }
-            let (_, _, f) = decode(&ctx, &g);
+            let f = decode_fitness(&ctx, &g);
             (g, f)
         })
         .collect();
@@ -354,7 +599,7 @@ pub fn refine(
                 if rng.gen_bool(0.3) {
                     mutate(&ctx, &mut child, &mut rng);
                 }
-                let (_, _, f) = decode(&ctx, &child);
+                let f = decode_fitness(&ctx, &child);
                 (child, f)
             })
             .collect();
@@ -364,7 +609,7 @@ pub fn refine(
     }
     population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
     let best = population.remove(0);
-    let (plan, grants, fitness) = decode(&ctx, &best.0);
+    let (plan, grants, fitness) = decode_full(&ctx, &best.0);
     history.push(fitness);
     GaResult {
         placement: best.0.placement,
@@ -420,14 +665,7 @@ mod tests {
         let plan = wsc_pipeline::gcmr::gcmr(&inputs, cap, 12);
         let rp = plan.as_recompute_plan();
         let placement = serpentine(wafer.nx, wafer.ny, 8, 2, 2).unwrap();
-        let mut overflow = Vec::new();
-        let mut spare = Vec::new();
-        for (s, i) in inputs.iter().enumerate() {
-            let kept = i.ckpt_per_mb.saturating_sub(rp.saved_per_mb[s]);
-            let local = i.model_p + kept * i.in_flight as u64;
-            overflow.push(local.saturating_sub(cap));
-            spare.push(cap.saturating_sub(local));
-        }
+        let (overflow, spare) = wsc_pipeline::recompute::overflow_and_spare(&inputs, &rp, cap);
         let ppv = 1e8;
         (
             Mesh2D::new(wafer.nx, wafer.ny),
@@ -506,12 +744,35 @@ mod tests {
         assert!(r.recompute.feasible);
         assert_eq!(r.placement.stages.len(), 8);
         // Extra recomputation can only *add* savings.
-        let (_, _, plan, _, _, _, _, _) = {
-            let s = setup();
-            (0, 0, s.2, 0, 0, 0, 0, 0)
-        };
+        let plan = setup().2;
         for (a, b) in r.recompute.saved_per_mb.iter().zip(&plan.saved_per_mb) {
             assert!(a >= b);
         }
+    }
+
+    #[test]
+    fn incremental_refine_matches_naive_on_real_profiles() {
+        // The proptest covers synthetic stages; this pins the real
+        // Llama3-70B profile path: same fitness bits, same history,
+        // same placement, same grants, for both decode engines.
+        let (mesh, stages, plan, placement, overflow, spare, ppv, cap) = setup();
+        let params = GaParams {
+            population: 10,
+            steps: 12,
+            omega: 0.5,
+            seed: 21,
+        };
+        let inc = refine(
+            &mesh, &stages, &plan, &placement, &overflow, &spare, ppv, cap, &params,
+        );
+        let naive = refine_naive(
+            &mesh, &stages, &plan, &placement, &overflow, &spare, ppv, cap, &params,
+        );
+        assert_eq!(inc.fitness.to_bits(), naive.fitness.to_bits());
+        let bits = |h: &[f64]| h.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&inc.history), bits(&naive.history));
+        assert_eq!(inc.placement, naive.placement);
+        assert_eq!(inc.grants, naive.grants);
+        assert_eq!(inc.recompute, naive.recompute);
     }
 }

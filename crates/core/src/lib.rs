@@ -44,6 +44,7 @@
 //! release.
 
 pub mod cache;
+pub mod costmodel;
 pub mod dram_alloc;
 pub mod engine;
 pub mod evaluator;
@@ -57,6 +58,7 @@ pub mod stage;
 mod wave;
 
 pub use crate::cache::ProfileCache;
+pub use crate::costmodel::{CostState, PlacementCostModel};
 pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
 #[allow(deprecated)]
 pub use crate::engine::{CoExplorationEngine, ExplorationRecord};

@@ -12,6 +12,7 @@
 //! where γ counts routing conflicts between activation-balance paths and
 //! pipeline paths.
 
+use crate::costmodel::{link_id, pipeline_link_bitmap, PlacementCostModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -226,8 +227,18 @@ fn pair_conflicts(
 
 /// Count routing conflicts γ: links shared between the XY routes of
 /// activation-balance paths and pipeline paths.
+///
+/// Runs on the cost-model's dense link-id bitmap instead of rebuilding a
+/// `HashSet<DirLink>` per call; the count is identical (the bitmap holds
+/// exactly the naive pipeline link set).
 pub fn conflict_factor(mesh: &Mesh2D, placement: &Placement, pair: &PairDemand) -> usize {
-    pair_conflicts(mesh, placement, &pipeline_link_set(mesh, placement), pair)
+    let pipeline = pipeline_link_bitmap(mesh, placement);
+    let s = placement.stages[pair.sender].center_node(mesh);
+    let h = placement.stages[pair.helper].center_node(mesh);
+    path_links(&xy_path(mesh, s, h))
+        .into_iter()
+        .filter(|&l| pipeline.contains(link_id(mesh, l)))
+        .count()
 }
 
 /// The Eq. 2 global communication cost of a placement.
@@ -261,7 +272,98 @@ pub fn global_cost(
 /// Location-aware placement (§IV-C-1): start from serpentine and
 /// hill-climb over stage↔slot swaps to minimize [`global_cost`], keeping
 /// the pipeline path intact as a first-class cost term.
+///
+/// Runs on the incremental [`PlacementCostModel`] engine — each swap or
+/// move candidate is priced in O(Δ) instead of re-deriving the whole
+/// Eq. 2 sum — and is bit-identical to [`optimize_naive`] for every
+/// seed (same RNG stream, same acceptance decisions, same placement).
 pub fn optimize(
+    mesh: &Mesh2D,
+    pp: usize,
+    tile_w: usize,
+    tile_h: usize,
+    pp_volume: f64,
+    pairs: &[PairDemand],
+    seed: u64,
+) -> Option<Placement> {
+    let model = PlacementCostModel::new(*mesh, tile_w, tile_h, pp_volume);
+    optimize_with(&model, pp, pairs, seed)
+}
+
+/// [`optimize`] on a caller-provided (typically cached, see
+/// [`crate::cache::ProfileCache::cost_model`]) cost model, so path
+/// fragments and distance tables are shared across every search point
+/// and GA refinement with the same tile shape.
+pub fn optimize_with(
+    model: &PlacementCostModel,
+    pp: usize,
+    pairs: &[PairDemand],
+    seed: u64,
+) -> Option<Placement> {
+    let mesh = model.mesh();
+    let base = serpentine(mesh.nx, mesh.ny, pp, model.tile_w(), model.tile_h())?;
+    if pairs.is_empty() {
+        // No balance traffic: the boustrophedon layout already minimizes
+        // the pipeline term (all consecutive stages adjacent).
+        return Some(base);
+    }
+    let n_slots = model.slot_count();
+    let mut state = model
+        .state(&base, pairs)
+        .expect("serpentine slots lie on the model's tile grid");
+    // The state tracks the incumbent best; rejected candidates are
+    // undone, so `state` always equals the naive loop's `best`.
+    let mut best_cost = state.cost();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a1e_77a7);
+    // Swap moves: either two stages exchange slots, or one stage moves to
+    // an unused slot. The RNG draw sequence matches `optimize_naive`
+    // exactly.
+    let iters = 60 + 40 * pp;
+    for _ in 0..iters {
+        if n_slots > pp && rng.gen_bool(0.3) {
+            // Move a stage to a free slot.
+            let mut used = vec![false; n_slots];
+            for &s in state.stage_slots() {
+                used[s as usize] = true;
+            }
+            let free: Vec<u32> = (0..n_slots as u32).filter(|&s| !used[s as usize]).collect();
+            if let Some(&slot) = free.get(
+                rng.gen_range(0..free.len().max(1))
+                    .min(free.len().saturating_sub(1)),
+            ) {
+                let idx = rng.gen_range(0..pp);
+                let old = state.stage_slots()[idx];
+                state.apply_move(idx, slot);
+                let c = state.cost();
+                if c < best_cost {
+                    best_cost = c;
+                } else {
+                    state.apply_move(idx, old);
+                }
+            }
+        } else {
+            let i = rng.gen_range(0..pp);
+            let j = rng.gen_range(0..pp);
+            if i == j {
+                continue;
+            }
+            state.apply_swap(i, j);
+            let c = state.cost();
+            if c < best_cost {
+                best_cost = c;
+            } else {
+                state.apply_swap(i, j);
+            }
+        }
+    }
+    Some(state.placement())
+}
+
+/// The pre-cost-model hill climb: every candidate recomputes
+/// [`global_cost`] from scratch. Kept as the reference implementation —
+/// `tests/ga_cost_equivalence.rs` pins `optimize ≡ optimize_naive`
+/// bit-for-bit, and `bench_ga` measures the gap.
+pub fn optimize_naive(
     mesh: &Mesh2D,
     pp: usize,
     tile_w: usize,
@@ -445,5 +547,27 @@ mod tests {
         let a = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
         let b = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimize_matches_naive_reference() {
+        // The incremental hill climb must retrace the naive one exactly:
+        // same RNG stream, same acceptances, same final placement.
+        let mesh = Mesh2D::new(8, 4);
+        let pairs = fig11_pairs();
+        for seed in [0, 7, 42, 1234] {
+            let inc = optimize(&mesh, 8, 2, 2, 1.0, &pairs, seed).unwrap();
+            let naive = optimize_naive(&mesh, 8, 2, 2, 1.0, &pairs, seed).unwrap();
+            assert_eq!(inc, naive, "seed {seed}");
+            // Free-slot moves engage when slots > pp.
+            let pairs6 = vec![PairDemand {
+                sender: 0,
+                helper: 5,
+                volume: 1.0,
+            }];
+            let inc6 = optimize(&mesh, 6, 2, 2, 1.0, &pairs6, seed).unwrap();
+            let naive6 = optimize_naive(&mesh, 6, 2, 2, 1.0, &pairs6, seed).unwrap();
+            assert_eq!(inc6, naive6, "seed {seed} with free slots");
+        }
     }
 }

@@ -32,7 +32,7 @@ use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::{CollectiveAlgo, GroupShape};
 use wsc_mesh::topology::Mesh2D;
 use wsc_pipeline::gcmr::gcmr;
-use wsc_pipeline::recompute::{naive_recompute, RecomputePlan};
+use wsc_pipeline::recompute::{naive_recompute, overflow_and_spare, RecomputePlan};
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::memory::model_p_total;
 use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
@@ -358,29 +358,31 @@ pub fn schedule_fixed_cached(
             volume: p.bytes.as_f64(),
         })
         .collect();
+    // One cost model per (tile shape, pp_volume) is shared through the
+    // cache: the hill climb, the GA refinement, and every other search
+    // point with this tile shape reuse its distance tables and memoized
+    // path-link fragments. Built only when a consumer actually reads it:
+    // the GA decodes against it, and the hill climb prices pairs on it —
+    // with no pair demands the hill climb returns the serpentine seed
+    // without touching Eq. 2, so the common fits-in-DRAM point skips the
+    // O(slots²) table build entirely.
+    let mesh = Mesh2D::new(wafer.nx, wafer.ny);
+    let cost_model = ((opts.memory_scheduler && !pair_demands.is_empty()) || opts.ga.is_some())
+        .then(|| cache.cost_model(&mesh, shape.w, shape.h, pp_volume));
     let placement = if opts.memory_scheduler {
-        placement::optimize(
-            &Mesh2D::new(wafer.nx, wafer.ny),
-            pp,
-            shape.w,
-            shape.h,
-            pp_volume,
-            &pair_demands,
-            opts.seed,
-        )?
+        match &cost_model {
+            Some(model) => placement::optimize_with(model, pp, &pair_demands, opts.seed)?,
+            // No pair demands: `optimize_with` would return serpentine
+            // unchanged (the boustrophedon layout already minimizes the
+            // pipeline term).
+            None => placement::serpentine(wafer.nx, wafer.ny, pp, shape.w, shape.h)?,
+        }
     } else {
         placement::serpentine(wafer.nx, wafer.ny, pp, shape.w, shape.h)?
     };
 
     // Fine-grained DRAM allocation (Alg. 3): overflow/spare per stage.
-    let mut overflow = Vec::with_capacity(pp);
-    let mut spare = Vec::with_capacity(pp);
-    for (s, input) in inputs.iter().enumerate() {
-        let kept = input.ckpt_per_mb.saturating_sub(plan.saved_per_mb[s]);
-        let local = input.model_p + kept * input.in_flight as u64;
-        overflow.push(local.saturating_sub(cap));
-        spare.push(cap.saturating_sub(local));
-    }
+    let (overflow, spare) = overflow_and_spare(&inputs, &plan, cap);
     let grants: Vec<DramGrant> = if opts.memory_scheduler {
         let alloc = allocate(&placement, &overflow, &spare);
         if !alloc.complete() {
@@ -428,8 +430,8 @@ pub fn schedule_fixed_cached(
     // Optional GA refinement of placement + recomputation + pairing;
     // kept only when the full evaluation confirms the improvement.
     let (placement, plan, grants, report) = if let Some(params) = &opts.ga {
-        let refined = ga::refine(
-            &Mesh2D::new(wafer.nx, wafer.ny),
+        let refined = ga::refine_with_model(
+            &mesh,
             &stages[..],
             &plan,
             &placement,
@@ -437,6 +439,7 @@ pub fn schedule_fixed_cached(
             &spare,
             pp_volume,
             cap,
+            cost_model.as_ref().expect("built when ga is enabled"),
             params,
         );
         let refined_report = eval_with(&refined.placement, &refined.recompute, &refined.grants);

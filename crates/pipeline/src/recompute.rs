@@ -107,6 +107,26 @@ pub fn planned_memory(stages: &[StageRecomputeInput], plan: &RecomputePlan) -> V
         .collect()
 }
 
+/// Per-stage DRAM overflow beyond `capacity` and donatable spare under a
+/// plan — the Alg. 3 / GA-refinement inputs. One derivation shared by
+/// the scheduler, the GA harnesses and the benchmarks, so they can never
+/// disagree on what a stage demands or donates.
+pub fn overflow_and_spare(
+    stages: &[StageRecomputeInput],
+    plan: &RecomputePlan,
+    capacity: Bytes,
+) -> (Vec<Bytes>, Vec<Bytes>) {
+    planned_memory(stages, plan)
+        .into_iter()
+        .map(|local| {
+            (
+                local.saturating_sub(capacity),
+                capacity.saturating_sub(local),
+            )
+        })
+        .unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

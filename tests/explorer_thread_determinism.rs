@@ -4,8 +4,10 @@
 //! the only test in the binary, nothing reads the environment while it
 //! writes (worker threads are joined before each `set_var`).
 
+use watos::ga::{refine, GaParams};
 use watos::{Explorer, FaultKind};
 use wsc_arch::presets;
+use wsc_bench::util::{ga_refine_presets, ga_setup};
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -31,7 +33,43 @@ fn report_is_identical_across_thread_counts() {
             .run();
         jsons.push(report.to_json());
     }
+
+    // GA leg: `refine` decodes genomes in parallel through the
+    // incremental cost engine (shared fragment table + plan memo);
+    // fitness, history and placement must be byte-identical at every
+    // pool size.
+    let preset = ga_refine_presets()
+        .into_iter()
+        .find(|p| p.name == "refine-llama3-70b")
+        .expect("preset table always carries the Llama3-70B entry");
+    let s = ga_setup(&preset);
+    let params = GaParams {
+        population: 10,
+        steps: 15,
+        omega: 0.5,
+        seed: 33,
+    };
+    let mut ga_runs = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let r = refine(
+            &s.mesh,
+            &s.stages,
+            &s.plan,
+            &s.placement,
+            &s.overflow,
+            &s.spare,
+            s.pp_volume,
+            s.capacity,
+            &params,
+        );
+        let history_bits: Vec<u64> = r.history.iter().map(|f| f.to_bits()).collect();
+        ga_runs.push((r.fitness.to_bits(), history_bits, r.placement, r.grants));
+    }
     std::env::remove_var("RAYON_NUM_THREADS");
+
     assert_eq!(jsons[0], jsons[1]);
     assert_eq!(jsons[1], jsons[2]);
+    assert_eq!(ga_runs[0], ga_runs[1]);
+    assert_eq!(ga_runs[1], ga_runs[2]);
 }
