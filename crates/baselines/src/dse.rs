@@ -16,10 +16,11 @@
 //! | WATOS     | ✓                  | ✓               | ✓             | ✓ (GCMR)         | optimized + GA |
 
 use serde::{Deserialize, Serialize};
-use watos::scheduler::{schedule_fixed, RecomputeMode, ScheduledConfig, SchedulerOptions};
+use watos::scheduler::{schedule_plan, RecomputeMode, ScheduledConfig, SchedulerOptions};
 use watos::Explorer;
 use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::CollectiveAlgo;
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 
@@ -99,12 +100,10 @@ pub fn run(method: DseMethod, wafer: &WaferConfig, job: &TrainingJob) -> Option<
                 t <= dies
                     && watos::placement::choose_tile(wafer.nx, wafer.ny, t, dies / t).is_some()
             })?;
-            schedule_fixed(
+            schedule_plan(
                 wafer,
                 job,
-                tp,
-                dies / tp,
-                TpSplitStrategy::Megatron,
+                &ParallelPlan::intra(tp, dies / tp, TpSplitStrategy::Megatron),
                 &opts,
                 None,
             )
@@ -223,15 +222,20 @@ fn flat_network_pick(
     }
     let (_, tp, pp) = best?;
     // The flat model tends to overrate big TP; deploy its choice as-is.
-    schedule_fixed(wafer, job, tp, pp, opts.strategies[0], opts, None).or_else(|| {
+    schedule_plan(
+        wafer,
+        job,
+        &ParallelPlan::intra(tp, pp, opts.strategies[0]),
+        opts,
+        None,
+    )
+    .or_else(|| {
         // If the flat choice is infeasible on the real machine, the tool
         // would fall back to halving TP.
-        schedule_fixed(
+        schedule_plan(
             wafer,
             job,
-            (tp / 2).max(1),
-            pp,
-            opts.strategies[0],
+            &ParallelPlan::intra((tp / 2).max(1), pp, opts.strategies[0]),
             opts,
             None,
         )

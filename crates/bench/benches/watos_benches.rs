@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use watos::placement::{optimize, PairDemand};
-use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_plan, RecomputeMode, SchedulerOptions};
 use watos::stage::build_stage_profiles;
 use wsc_arch::presets;
 use wsc_arch::units::{Bandwidth, Bytes, Time};
@@ -19,6 +19,7 @@ use wsc_pipeline::onefb::{simulate, StageTiming};
 use wsc_sim::op_cost::DieModel;
 use wsc_sim::predictor::{generate_corpus, DnnPredictor};
 use wsc_workload::graph::{layer_ops_at, ShardingCtx};
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -163,12 +164,10 @@ fn bench_search(c: &mut Criterion) {
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::llama2_30b());
     let opts = quick_opts();
-    let cfg = schedule_fixed(
+    let cfg = schedule_plan(
         &wafer,
         &job,
-        4,
-        14,
-        TpSplitStrategy::SequenceParallel,
+        &ParallelPlan::intra(4, 14, TpSplitStrategy::SequenceParallel),
         &opts,
         None,
     )
@@ -271,17 +270,8 @@ fn bench_scheduling(c: &mut Criterion) {
     let job = TrainingJob::standard(zoo::llama2_30b());
 
     g.bench_function("schedule_fixed_tp4_pp14", |b| {
-        b.iter(|| {
-            black_box(schedule_fixed(
-                &wafer,
-                &job,
-                4,
-                14,
-                TpSplitStrategy::SequenceParallel,
-                &quick_opts(),
-                None,
-            ))
-        });
+        let plan = ParallelPlan::intra(4, 14, TpSplitStrategy::SequenceParallel);
+        b.iter(|| black_box(schedule_plan(&wafer, &job, &plan, &quick_opts(), None)));
     });
 
     g.bench_function("explore_config3_llama30b", |b| {
@@ -291,17 +281,8 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut naive = quick_opts();
     naive.recompute = RecomputeMode::Naive;
     g.bench_function("schedule_fixed_naive_recompute", |b| {
-        b.iter(|| {
-            black_box(schedule_fixed(
-                &wafer,
-                &job,
-                8,
-                7,
-                TpSplitStrategy::SequenceParallel,
-                &naive,
-                None,
-            ))
-        });
+        let plan = ParallelPlan::intra(8, 7, TpSplitStrategy::SequenceParallel);
+        b.iter(|| black_box(schedule_plan(&wafer, &job, &plan, &naive, None)));
     });
     g.finish();
 }

@@ -25,7 +25,7 @@
 //! across `--threads` runs on real multi-core hardware.
 
 use std::time::Instant;
-use watos::{ExplorationReport, Explorer, SearchStats};
+use watos::{ExplorationReport, Explorer, ParallelPlan, SearchStats};
 use wsc_bench::util::{
     multi_wafer_search_presets, search_presets, MultiWaferSearchPreset, SearchPreset,
 };
@@ -47,6 +47,9 @@ struct BenchEntry {
     stats: SearchStats,
     exhaustive_stats: SearchStats,
     best_parallel: Option<String>,
+    /// The full winning plan (strategy, stage map, TP span), so the
+    /// committed JSON records *which* plan-space region won.
+    best_plan: Option<ParallelPlan>,
     best_iteration_secs: Option<f64>,
 }
 
@@ -102,6 +105,7 @@ fn run_once_multi(
         .job(job.clone())
         .multi_wafer(preset.node.clone())
         .strategies(preset.strategies.clone())
+        .plans(preset.plans)
         .no_ga();
     if exhaustive {
         b = b.sequential().no_prune();
@@ -134,21 +138,18 @@ fn record(
     min_speedup: Option<f64>,
     entries: &mut Vec<BenchEntry>,
 ) -> bool {
-    let winner = |r: &ExplorationReport| -> Option<(String, f64)> {
+    let winner = |r: &ExplorationReport| -> Option<(ParallelPlan, f64)> {
         if m.multi {
             r.multi_wafer.first().and_then(|rec| {
-                rec.best.as_ref().map(|b| {
-                    (
-                        format!("{} {:?}", b.parallel, b.strategy),
-                        b.iteration.as_secs(),
-                    )
-                })
+                rec.best
+                    .as_ref()
+                    .map(|b| (b.plan.clone(), b.iteration.as_secs()))
             })
         } else {
             r.best().ok().and_then(|rec| {
                 rec.best
                     .as_ref()
-                    .map(|b| (b.parallel.to_string(), b.report.iteration.as_secs()))
+                    .map(|b| (b.plan.clone(), b.report.iteration.as_secs()))
             })
         }
     };
@@ -205,7 +206,8 @@ fn record(
         speedup,
         stats,
         exhaustive_stats,
-        best_parallel: pw.as_ref().map(|(p, _)| p.clone()),
+        best_parallel: pw.as_ref().map(|(p, _)| p.to_string()),
+        best_plan: pw.as_ref().map(|(p, _)| p.clone()),
         best_iteration_secs: pw.map(|(_, t)| t),
     });
     failed

@@ -6,13 +6,14 @@ use crate::util::{explore_node, explore_one};
 use crate::util::{f2, f3, normalize_min1, watos_options, TextTable};
 use watos::ga::GaParams;
 use watos::robust::FaultKind;
-use watos::scheduler::{schedule_fixed, SchedulerOptions};
+use watos::scheduler::{schedule_plan, SchedulerOptions};
 use watos::Explorer;
 use wsc_arch::enumerate::die_granularity_sweep;
 use wsc_arch::presets;
 use wsc_baselines::dse::{run as run_dse, DseMethod};
 use wsc_mesh::collective::CollectiveAlgo;
 use wsc_mesh::switch::MeshSwitchTopology;
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -374,7 +375,13 @@ pub fn fig24b_data(steps: usize) -> Vec<(f64, Vec<f64>)> {
                 ..SchedulerOptions::default()
             };
             // GA history via a fixed schedule (the GA runs inside).
-            let cfg = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &opts, None);
+            let cfg = schedule_plan(
+                &wafer,
+                &job,
+                &ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron),
+                &opts,
+                None,
+            );
             // Re-run the GA standalone for the history curve.
             let hist = cfg
                 .map(|_| {

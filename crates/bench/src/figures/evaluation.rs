@@ -5,7 +5,7 @@ use crate::util::explore_one;
 use crate::util::{f2, f3, normalize_min1, watos_options, TextTable};
 use watos::ga::GaParams;
 use watos::placement::{global_cost, optimize, row_major, PairDemand};
-use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_plan, RecomputeMode, SchedulerOptions};
 use watos::Explorer;
 use wsc_arch::presets;
 use wsc_arch::units::Bandwidth;
@@ -17,6 +17,7 @@ use wsc_mesh::topology::Mesh2D;
 use wsc_sim::op_cost::DieModel;
 use wsc_sim::predictor::{analytic_mape, generate_corpus, DnnPredictor};
 use wsc_workload::graph::{self, ShardingCtx};
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -325,12 +326,10 @@ pub fn fig17(quick: bool) -> String {
     let wafer = presets::config(3);
     let job = TrainingJob::standard(zoo::gpt_175b());
     let opts = watos_options(quick);
-    let wa = schedule_fixed(
+    let wa = schedule_plan(
         &wafer,
         &job,
-        4,
-        14,
-        TpSplitStrategy::SequenceParallel,
+        &ParallelPlan::intra(4, 14, TpSplitStrategy::SequenceParallel),
         &opts,
         None,
     )
@@ -411,7 +410,8 @@ pub fn fig18_data(model: wsc_workload::model::LlmModel, quick: bool) -> Vec<(Str
     ladder
         .into_iter()
         .map(|(label, opts)| {
-            let t = schedule_fixed(&wafer, &job, 8, 7, TpSplitStrategy::Megatron, &opts, None)
+            let plan = ParallelPlan::intra(8, 7, TpSplitStrategy::Megatron);
+            let t = schedule_plan(&wafer, &job, &plan, &opts, None)
                 .map(|c| c.report.iteration.as_secs())
                 .unwrap_or(f64::INFINITY);
             (label.to_string(), t)

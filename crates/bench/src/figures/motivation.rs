@@ -2,7 +2,7 @@
 //! imbalance, FSDP, offloading, checkpoint types, GCMR vs naive).
 
 use crate::util::{f2, f3, normalize_min1, TextTable};
-use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_plan, RecomputeMode, SchedulerOptions};
 use wsc_arch::dram::DramStack;
 use wsc_arch::presets;
 use wsc_arch::units::{Bandwidth, Bytes, Time};
@@ -15,6 +15,7 @@ use wsc_sim::op_cost::DieModel;
 use wsc_sim::profile::{profile_layer, RecomputeMenu};
 use wsc_workload::graph::{self, ShardingCtx};
 use wsc_workload::memory::pipeline_memory;
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -53,7 +54,8 @@ pub fn fig5a_data(model: wsc_workload::model::LlmModel, dies: usize) -> Vec<(Str
         .into_iter()
         .map(|(tp, pp)| {
             let label = format!("({tp},{pp})");
-            let t = schedule_fixed(&wafer, &job, tp, pp, TpSplitStrategy::Megatron, &opts, None)
+            let plan = ParallelPlan::intra(tp, pp, TpSplitStrategy::Megatron);
+            let t = schedule_plan(&wafer, &job, &plan, &opts, None)
                 .map(|cfg| cfg.report.iteration.as_secs())
                 .unwrap_or(f64::INFINITY);
             (label, t)

@@ -4,7 +4,7 @@
 
 use watos::ga::GaParams;
 use watos::placement::{choose_tile, serpentine, PairDemand};
-use watos::scheduler::{RecomputeMode, ScheduledConfig, SchedulerOptions};
+use watos::scheduler::{PlanFilter, RecomputeMode, ScheduledConfig, SchedulerOptions};
 use watos::stage::{build_stage_profiles, StageProfile};
 use watos::{Explorer, MultiWaferReport, Placement};
 use wsc_arch::presets;
@@ -70,15 +70,21 @@ pub struct MultiWaferSearchPreset {
     pub model: LlmModel,
     /// TP partition strategies to sweep.
     pub strategies: Vec<TpSplitStrategy>,
+    /// Plan-space axes to enable (cross-wafer TP, uneven stage maps).
+    pub plans: PlanFilter,
 }
 
-/// The multi-wafer search-benchmark presets.
+/// The multi-wafer search-benchmark presets. The node sweep runs with
+/// the full plan space enabled — cross-wafer TP and uneven stage maps —
+/// so the committed numbers (and the CI smoke) cover the enlarged
+/// search, not just the seed-era balanced intra-wafer space.
 pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
     vec![MultiWaferSearchPreset {
         name: "multiwafer",
         node: presets::multi_wafer_18(),
         model: zoo::llama3_405b(),
         strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
+        plans: PlanFilter::all(),
     }]
 }
 

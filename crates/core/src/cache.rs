@@ -4,13 +4,19 @@
 //! the fault/robust/GA re-evaluations revisit the winner many more times.
 //! Before this cache every visit re-profiled layers on the die simulator,
 //! re-aggregated stage profiles, and re-priced identical collectives. A
-//! [`ProfileCache`] is scoped to one `(wafer, job)` pair and shares:
+//! [`ProfileCache`] is scoped to one `(wafer, job)` pair. Lookups are
+//! keyed by the *profile-relevant projection* of a
+//! [`ParallelPlan`] — deliberately not the whole plan, so plans that
+//! differ only in stage map or TP span (which change collective pricing
+//! and seam accounting, never the sharded operator graph) share one set
+//! of profiles:
 //!
-//! * [`LayerData`] per `(tp, strategy)` — the die-simulator calls, reused
-//!   across every `pp` the search sweeps;
-//! * stage-profile vectors per `(tp, pp, strategy, microbatches)` —
-//!   reused by the bound pruner, the evaluator, the GA refinement, and
-//!   fault sweeps;
+//! * [`LayerData`] per `(plan.tp, plan.strategy)` — the die-simulator
+//!   calls, reused across every `pp` and every stage map the search
+//!   sweeps;
+//! * stage-profile vectors per `(plan.tp, plan.pp, plan.strategy,
+//!   microbatches)` — reused by the bound pruner, the evaluator, the GA
+//!   refinement, fault sweeps, and every stage-map/TP-span variant;
 //! * `all_reduce_time` results per `(algo, shape, bytes, bw, alpha)` —
 //!   the collective lookups the evaluator repeats for every balanced
 //!   stage.
@@ -29,8 +35,7 @@ use wsc_arch::units::{Bandwidth, Bytes, Time};
 use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
 use wsc_mesh::topology::Mesh2D;
-use wsc_workload::graph::ShardingCtx;
-use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::parallel::{ParallelPlan, ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 
 type LayerKey = (usize, TpSplitStrategy);
@@ -56,19 +61,21 @@ impl ProfileCache {
         ProfileCache::default()
     }
 
-    /// The per-layer-kind simulation results for `(ctx.tp, ctx.strategy)`.
+    /// The per-layer-kind simulation results for
+    /// `(plan.tp, plan.strategy)` — the only plan axes the die simulator
+    /// sees.
     pub fn layer_data(
         &self,
         wafer: &WaferConfig,
         job: &TrainingJob,
-        ctx: &ShardingCtx,
+        plan: &ParallelPlan,
     ) -> Arc<LayerData> {
-        let key = (ctx.tp, ctx.strategy);
+        let key = (plan.tp, plan.strategy);
         if let Some(hit) = self.layers.read().expect("cache lock").get(&key) {
             return Arc::clone(hit);
         }
         // Build outside the lock: racing misses compute identical values.
-        let built = Arc::new(build_layer_data(wafer, job, ctx));
+        let built = Arc::new(build_layer_data(wafer, job, &plan.sharding_ctx(job)));
         Arc::clone(
             self.layers
                 .write()
@@ -78,26 +85,27 @@ impl ProfileCache {
         )
     }
 
-    /// Stage profiles for `(parallel.tp, parallel.pp, ctx.strategy,
-    /// microbatches)`, assembled from cached [`LayerData`].
+    /// Stage profiles for `(plan.tp, plan.pp, plan.strategy,
+    /// microbatches)`, assembled from cached [`LayerData`]. Stage maps
+    /// and TP spans deliberately do not enter the key — they change how
+    /// collectives and boundaries are *priced*, never the profiles.
     pub fn stage_profiles(
         &self,
         wafer: &WaferConfig,
         job: &TrainingJob,
-        parallel: ParallelSpec,
-        ctx: &ShardingCtx,
+        plan: &ParallelPlan,
         microbatches: usize,
     ) -> Arc<Vec<StageProfile>> {
-        let key = (parallel.tp, parallel.pp, ctx.strategy, microbatches);
+        let key = (plan.tp, plan.pp, plan.strategy, microbatches);
         if let Some(hit) = self.stages.read().expect("cache lock").get(&key) {
             return Arc::clone(hit);
         }
-        let layers = self.layer_data(wafer, job, ctx);
+        let layers = self.layer_data(wafer, job, plan);
         let built = Arc::new(build_stage_profiles_with(
             &layers,
             job,
-            parallel,
-            ctx,
+            ParallelSpec::new(plan.dp.max(1), plan.tp, plan.pp),
+            &plan.sharding_ctx(job),
             microbatches,
         ));
         Arc::clone(
@@ -205,30 +213,41 @@ mod tests {
     fn stage_profiles_match_uncached_build() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
-        let parallel = ParallelSpec::model_parallel(4, 14);
+        let plan = crate::testutil::megatron_plan(4, 14);
         let cache = ProfileCache::new();
-        let cached = cache.stage_profiles(&wafer, &job, parallel, &ctx, 16);
-        let direct = crate::stage::build_stage_profiles(&wafer, &job, parallel, &ctx, 16);
+        let cached = cache.stage_profiles(&wafer, &job, &plan, 16);
+        let direct = crate::stage::build_stage_profiles(
+            &wafer,
+            &job,
+            ParallelSpec::model_parallel(4, 14),
+            &plan.sharding_ctx(&job),
+            16,
+        );
         assert_eq!(*cached, direct);
         // Second lookup hits the same Arc.
-        let again = cache.stage_profiles(&wafer, &job, parallel, &ctx, 16);
+        let again = cache.stage_profiles(&wafer, &job, &plan, 16);
         assert!(Arc::ptr_eq(&cached, &again));
         assert_eq!(cache.stage_entries(), 1);
         assert_eq!(cache.layer_entries(), 1);
     }
 
     #[test]
-    fn layer_data_shared_across_pp() {
+    fn layer_data_shared_across_pp_and_stage_maps() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
         let cache = ProfileCache::new();
         for pp in [2, 4, 7, 14] {
-            cache.stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, pp), &ctx, 8);
+            cache.stage_profiles(&wafer, &job, &crate::testutil::megatron_plan(4, pp), 8);
         }
         assert_eq!(cache.stage_entries(), 4);
         assert_eq!(cache.layer_entries(), 1, "one simulator pass for all pp");
+        // A different stage map or TP span hits the same profile entry:
+        // they change pricing, not profiles.
+        let mapped = crate::testutil::megatron_plan(4, 14)
+            .with_stage_map(wsc_workload::parallel::StageMap::Balanced { wafers: 2 })
+            .with_tp_span(2);
+        cache.stage_profiles(&wafer, &job, &mapped, 8);
+        assert_eq!(cache.stage_entries(), 4, "stage map must not enter the key");
     }
 
     #[test]

@@ -487,7 +487,7 @@ mod tests {
     use crate::placement::serpentine;
     use crate::stage::build_stage_profiles;
     use wsc_arch::presets;
-    use wsc_workload::parallel::TpSplitStrategy;
+
     use wsc_workload::zoo;
 
     fn eval_config3(tp: usize, pp: usize, robust: bool, faults: Option<&FaultMap>) -> PerfReport {
@@ -503,7 +503,7 @@ mod tests {
     ) -> PerfReport {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(model);
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, tp, TpSplitStrategy::Megatron);
+        let ctx = crate::testutil::megatron_ctx(&job, tp);
         let parallel = ParallelSpec::model_parallel(tp, pp);
         let n_mb = job.microbatches(1);
         let stages = build_stage_profiles(&wafer, &job, parallel, &ctx, n_mb);
@@ -607,7 +607,7 @@ mod tests {
     fn infeasible_recompute_propagates() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let ctx = crate::testutil::megatron_ctx(&job, 4);
         let parallel = ParallelSpec::model_parallel(4, 2);
         let stages = build_stage_profiles(&wafer, &job, parallel, &ctx, 8);
         let placement = serpentine(wafer.nx, wafer.ny, 2, 2, 2).unwrap();

@@ -16,7 +16,7 @@
 use crate::multiwafer::{explore_multi_wafer_impl, MultiWaferReport};
 use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
 use crate::scheduler::{
-    explore_impl, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
+    explore_impl, PlanFilter, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -316,6 +316,30 @@ impl ExplorerBuilder {
     /// TP partition strategies to explore.
     pub fn strategies(mut self, strategies: Vec<TpSplitStrategy>) -> Self {
         self.opts_mut().strategies = strategies;
+        self
+    }
+
+    /// Which [`ParallelPlan`](wsc_workload::parallel::ParallelPlan)
+    /// regions the searches may emit beyond the baseline intra-wafer-TP,
+    /// balanced-stage-map space (see [`PlanFilter`]). Each axis only
+    /// adds candidates, so enabling one can never lose a winner.
+    pub fn plans(mut self, filter: PlanFilter) -> Self {
+        self.opts_mut().plans = filter;
+        self
+    }
+
+    /// Enable cross-wafer-TP plans on multi-wafer nodes (TP collectives
+    /// crossing the W2W seam; see [`PlanFilter::cross_wafer_tp`]).
+    pub fn cross_wafer_tp(mut self) -> Self {
+        self.opts_mut().plans.cross_wafer_tp = true;
+        self
+    }
+
+    /// Enable uneven stage→wafer maps on multi-wafer nodes (every PP
+    /// plus the remainder-shift family of explicit maps; see
+    /// [`PlanFilter::uneven_stage_maps`]).
+    pub fn uneven_stage_maps(mut self) -> Self {
+        self.opts_mut().plans.uneven_stage_maps = true;
         self
     }
 

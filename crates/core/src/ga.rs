@@ -634,8 +634,8 @@ mod tests {
     use crate::placement::serpentine;
     use crate::stage::build_stage_profiles;
     use wsc_arch::presets;
-    use wsc_workload::graph::ShardingCtx;
-    use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+
+    use wsc_workload::parallel::ParallelSpec;
     use wsc_workload::training::TrainingJob;
     use wsc_workload::zoo;
 
@@ -652,7 +652,7 @@ mod tests {
     ) {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama3_70b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let ctx = crate::testutil::megatron_ctx(&job, 4);
         let stages = build_stage_profiles(
             &wafer,
             &job,

@@ -38,15 +38,24 @@
 //! assert_eq!(watos::ExplorationReport::from_json(&json).unwrap(), report);
 //! ```
 //!
-//! The seed-era free functions (`scheduler::explore`,
-//! `multiwafer::explore_multi_wafer`, `robust::fault_sweep`) and
-//! `engine::CoExplorationEngine` remain as deprecated shims for one
-//! release.
+//! ## The `ParallelPlan` contract
+//!
+//! A parallel configuration is a *value*, not a tuple: [`ParallelPlan`]
+//! (from `wsc-workload`) carries `dp`/`tp`/`pp`, the TP partition
+//! strategy, the stage→wafer [`StageMap`] and the TP span, and is the
+//! one type threaded through the scheduler, the wave engine, the
+//! profile cache, the multi-wafer search and every report record. The
+//! seed-era `(tp, pp, strategy)` entry points
+//! ([`scheduler::schedule_fixed`], [`multiwafer::evaluate_multi_wafer`]
+//! and their `_cached` variants) remain as deprecated shims for one
+//! release, mapping onto the exactly-equivalent intra-wafer plans. The
+//! PR 1 shims (`CoExplorationEngine`, `explore`, `explore_multi_wafer`,
+//! `fault_sweep`) have completed their deprecation release and are
+//! gone; their migration tables live in `docs/ARCHITECTURE.md`.
 
 pub mod cache;
 pub mod costmodel;
 pub mod dram_alloc;
-pub mod engine;
 pub mod evaluator;
 pub mod explorer;
 pub mod ga;
@@ -60,8 +69,6 @@ mod wave;
 pub use crate::cache::ProfileCache;
 pub use crate::costmodel::{CostState, PlacementCostModel};
 pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
-#[allow(deprecated)]
-pub use crate::engine::{CoExplorationEngine, ExplorationRecord};
 pub use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
 pub use crate::explorer::{
     ArchRecord, BaselineModel, BaselineOutcome, BaselineRecord, CandidateSource, ExplorationError,
@@ -69,16 +76,36 @@ pub use crate::explorer::{
     MultiWaferRecord,
 };
 pub use crate::ga::{GaParams, GaResult};
-#[allow(deprecated)]
 pub use crate::multiwafer::{
-    evaluate_multi_wafer, evaluate_multi_wafer_cached, explore_multi_wafer, MultiWaferReport,
+    evaluate_multi_wafer_plan, evaluate_multi_wafer_plan_cached, MultiWaferReport,
 };
 pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect};
-#[allow(deprecated)]
-pub use crate::robust::{fault_sweep, FaultKind, FaultPoint};
-#[allow(deprecated)]
+pub use crate::robust::{FaultKind, FaultPoint};
 pub use crate::scheduler::{
-    evaluate_scheduled, evaluate_scheduled_cached, explore, schedule_fixed, schedule_fixed_cached,
+    evaluate_scheduled, evaluate_scheduled_cached, schedule_plan, schedule_plan_cached, PlanFilter,
     RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
 pub use crate::stage::{build_stage_profiles, build_stage_profiles_with, LayerData, StageProfile};
+pub use wsc_workload::parallel::{
+    ParallelPlan, ParallelSpec, PlanError, StageMap, TpSplitStrategy,
+};
+
+/// Shared test support: the one place test modules get their canonical
+/// plans and sharding contexts from, instead of each hand-rolling
+/// `ShardingCtx::new(job.micro_batch, job.seq, tp, strategy)`.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use wsc_workload::graph::ShardingCtx;
+    use wsc_workload::parallel::{ParallelPlan, TpSplitStrategy};
+    use wsc_workload::training::TrainingJob;
+
+    /// The canonical intra-wafer Megatron test plan.
+    pub(crate) fn megatron_plan(tp: usize, pp: usize) -> ParallelPlan {
+        ParallelPlan::intra(tp, pp, TpSplitStrategy::Megatron)
+    }
+
+    /// The sharding context of [`megatron_plan`] for `job`.
+    pub(crate) fn megatron_ctx(job: &TrainingJob, tp: usize) -> ShardingCtx {
+        megatron_plan(tp, 1).sharding_ctx(job)
+    }
+}

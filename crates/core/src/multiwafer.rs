@@ -1,49 +1,65 @@
-//! Multi-wafer scheduling and evaluation (§VI-F, Fig. 24a).
+//! Multi-wafer scheduling and evaluation (§VI-F, Fig. 24a), over
+//! first-class [`ParallelPlan`]s.
 //!
-//! A multi-wafer node chains wafers along the pipeline dimension: TP stays
-//! inside a wafer (exploiting its mesh), pipeline stages are distributed
-//! across wafers (`ceil(pp / wafers)` stages per wafer, remainder on the
-//! early wafers), and only the stage boundaries that land on a wafer seam
-//! cross the W2W interconnect. Models too large for one wafer
-//! (Llama3-405B, DeepSeek-V3) thereby become schedulable while keeping at
-//! most a hop-count-1 cross-wafer communication per boundary —
-//! [`MultiWaferReport::w2w_boundary_fraction`] measures how many
+//! A multi-wafer node chains wafers along the pipeline dimension.
+//! Where pipeline stages land is the plan's [`StageMap`] — `Balanced`
+//! (the seed-era `ceil(pp / wafers)` layout) or an `Explicit` uneven
+//! assignment — and only the stage boundaries that land on a wafer seam
+//! cross the W2W interconnect. TP is the plan's `tp_span`: intra-wafer
+//! (`1`, collectives stay on the D2D mesh) or cross-wafer (`k > 1`,
+//! each TP group places `tp / k` dies on each of `k` adjacent wafers and
+//! every TP collective pays the seam — in exchange for TP degrees and
+//! per-die memory relief no single wafer can host). Models too large
+//! for one wafer (Llama3-405B, DeepSeek-V3) thereby become schedulable —
+//! [`MultiWaferReport::w2w_boundary_fraction`] measures how many stage
 //! boundaries actually pay the W2W latency/bandwidth of
 //! [`MultiWaferConfig`].
 //!
 //! # The timing model
 //!
-//! One `(tp, pp, strategy)` point is evaluated exactly like the
-//! single-wafer Alg. 1 loop body, minus placement freedom (stages are
-//! pinned to wafers in pipeline order):
+//! One plan is evaluated exactly like the single-wafer Alg. 1 loop
+//! body, minus placement freedom (stages are pinned to wafer groups in
+//! stage-map order):
 //!
 //! * per-stage forward/backward times come from the shared
 //!   [`ProfileCache`] stage profiles, with TP collectives priced by the
-//!   α–β ring model on the intra-wafer tile shape;
+//!   α–β ring model on the per-wafer tile shape; a cross-wafer TP group
+//!   pays an additional hierarchical step — a ring all-reduce over its
+//!   `tp_span` wafer segments at W2W bandwidth/latency — for every
+//!   collective, in both the evaluator and the lower bound (one shared
+//!   pricing function, so the bound stays sound by construction);
 //! * checkpoint overflow is delegated to the GCMR recomputation
 //!   scheduler (Alg. 2) against the per-die DRAM capacity;
 //! * the 1F1B pipeline (Fig. 8a) is simulated exactly, with per-boundary
-//!   p2p cost `α + bytes/BW` — wafer-internal boundaries use the D2D
-//!   link, seam boundaries use the W2W link;
+//!   p2p cost `α + bytes/BW` — boundaries inside a wafer group use the
+//!   D2D link, seam boundaries use the W2W link;
 //! * a data-parallel gradient all-reduce (ring, wafer row) is appended
 //!   when `dp > 1`, as in the single-wafer evaluator.
 //!
 //! # The search
 //!
 //! The search (`explore_multi_wafer_impl`, driven by
-//! [`crate::Explorer`]) sweeps `TP × PP × strategy` on the shared
-//! bounded wave engine (`crate::wave`), exactly like the single-wafer
-//! search: the aggregate-memory precheck (Alg. 1 line 1–2 at node scale)
-//! decides infeasible points without building stage profiles, surviving
-//! points are sorted by an analytic lower bound (1F1B steady state +
-//! pipeline critical path + DP all-reduce — recomputation and p2p only
-//! ever add time) and evaluated in deterministic ramped waves. Winner and
-//! [`SearchStats`] are byte-identical across thread counts and match the
-//! exhaustive sequential sweep.
+//! [`crate::Explorer`]) sweeps the plan space on the shared bounded
+//! wave engine (`crate::wave`), exactly like the single-wafer search.
+//! The baseline space is the seed-era one — intra-wafer TP, balanced
+//! maps, `pp` in wafer multiples; [`PlanFilter`] axes enlarge it with
+//! cross-wafer-TP plans (`tp_span` over the divisors of the wafer
+//! count) and uneven stage maps (every `pp`, plus the deterministic
+//! [`StageMap::remainder_shifted`] family where `pp` does not divide
+//! evenly), each pruned by the same per-die memory precheck. The
+//! aggregate-memory precheck (Alg. 1 line 1–2 at node scale) decides
+//! infeasible points without building stage profiles, surviving points
+//! are sorted by an analytic lower bound (1F1B steady state + pipeline
+//! critical path + DP all-reduce — recomputation and p2p only ever add
+//! time) and evaluated in deterministic ramped waves. Winner and
+//! [`SearchStats`] are byte-identical across thread counts and match
+//! the exhaustive sequential sweep.
 
 use crate::cache::ProfileCache;
 use crate::placement::choose_tile;
-use crate::scheduler::{memory_precheck_fails, tp_candidates, SchedulerOptions, SearchStats};
+use crate::scheduler::{
+    memory_precheck_fails, tp_candidates, PlanFilter, SchedulerOptions, SearchStats,
+};
 use crate::stage::{boundary_bytes, StageProfile};
 use crate::wave::{bounded_search, WorkItem};
 use serde::{Deserialize, Serialize};
@@ -54,16 +70,17 @@ use wsc_pipeline::gcmr::gcmr;
 use wsc_pipeline::onefb::{simulate, StageTiming};
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::memory::model_p_total;
-use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::parallel::{ParallelPlan, ParallelSpec, StageMap, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 
 /// Multi-wafer evaluation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiWaferReport {
-    /// Chosen parallelism (TP within wafer, PP across the node).
+    /// Chosen parallelism (resolved DP).
     pub parallel: ParallelSpec,
-    /// TP partition strategy of the winning configuration.
-    pub strategy: TpSplitStrategy,
+    /// The full winning plan (strategy, stage map, TP span; `dp`
+    /// resolved to the scheduled value).
+    pub plan: ParallelPlan,
     /// End-to-end iteration latency.
     pub iteration: Time,
     /// Useful throughput.
@@ -77,20 +94,28 @@ pub struct MultiWaferReport {
     pub feasible: bool,
 }
 
-/// The derived geometry of one multi-wafer `(tp, pp, strategy)` point:
-/// stages per wafer, TP tile shape, data parallelism, micro-batch count,
-/// sharding context. One function computes it for the evaluator and the
-/// lower-bound pruner, so the two can never disagree on what a point
-/// means. `None` = statically infeasible: bad `pp`, no tile embedding,
-/// more stages than tile slots per wafer, or the aggregate-memory
-/// precheck fails (Alg. 1 line 1–2 at node scale: `modelP / (tp·pp)`
-/// must fit the per-die DRAM — exact for this evaluator, because GCMR
-/// requires each stage's training state to fit locally, and the largest
-/// stage share is at least the average). The precheck runs *before* any
-/// stage profile is built, so memory-decided points cost nothing in both
-/// the pruned and the exhaustive sweep.
+/// The derived geometry of one multi-wafer [`ParallelPlan`]: the
+/// resolved stage → wafer-group assignment, per-wafer TP tile shape,
+/// data parallelism, micro-batch count, sharding context. One function
+/// computes it for the evaluator and the lower-bound pruner, so the two
+/// can never disagree on what a plan means. `None` = statically
+/// infeasible: bad `pp`, a `tp_span` that divides neither `tp` nor the
+/// wafer count, an invalid stage map, no tile embedding, more stages
+/// than tile slots per wafer, or the aggregate-memory precheck fails
+/// (Alg. 1 line 1–2 at node scale: `modelP / (tp·pp)` must fit the
+/// per-die DRAM — exact for this evaluator, because GCMR requires each
+/// stage's training state to fit locally, and the largest stage share
+/// is at least the average; note the per-die share is independent of
+/// `tp_span`, which only moves the *same* dies across seams). The
+/// precheck runs *before* any stage profile is built, so
+/// memory-decided points cost nothing in both the pruned and the
+/// exhaustive sweep.
 struct NodeGeometry {
-    per_wafer: usize,
+    /// Stage → wafer-group index (`pp` entries).
+    assignment: Vec<usize>,
+    /// Wafers one TP group spans (`plan.tp_span`).
+    span: usize,
+    /// Per-wafer TP tile shape (`tp / span` dies).
     shape: GroupShape,
     parallel: ParallelSpec,
     n_mb: usize,
@@ -100,43 +125,71 @@ struct NodeGeometry {
 fn node_geometry(
     node: &MultiWaferConfig,
     job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
+    plan: &ParallelPlan,
 ) -> Option<NodeGeometry> {
     let wafer = &node.wafer;
-    if tp == 0 || pp == 0 || pp > job.model.layers {
+    let (tp, pp, span) = (plan.tp, plan.pp, plan.tp_span);
+    if tp == 0 || pp == 0 || span == 0 || pp > job.model.layers {
+        return None;
+    }
+    // A TP group spans whole wafers; wafer groups partition the node.
+    if !tp.is_multiple_of(span) || !node.wafers.max(1).is_multiple_of(span) {
+        return None;
+    }
+    let groups = node.wafers.max(1) / span;
+    if plan.stage_map.validate(pp, groups).is_err() {
         return None;
     }
     // Aggregate-memory precheck: decides the point without profiles.
     if memory_precheck_fails(wafer, job, tp, pp) {
         return None;
     }
-    // Stages per wafer (balanced; remainder on early wafers).
-    let per_wafer = pp.div_ceil(node.wafers);
-    let (tw, th) = choose_tile(wafer.nx, wafer.ny, tp, per_wafer)?;
+    let assignment = plan.stage_map.assignments(pp);
+    let max_per_group = plan.stage_map.max_stages_per_wafer(pp);
+    // Each wafer of a group hosts `tp / span` dies of every TP group and
+    // one tile slot per stage of the group.
+    let (tw, th) = choose_tile(wafer.nx, wafer.ny, tp / span, max_per_group)?;
     let slots_per_wafer = (wafer.nx / tw) * (wafer.ny / th);
-    if per_wafer > slots_per_wafer {
+    if max_per_group > slots_per_wafer {
         return None;
     }
-    let dp = (slots_per_wafer / per_wafer)
+    let mut dp = (slots_per_wafer / max_per_group)
         .max(1)
         .clamp(1, (job.global_batch / job.micro_batch).max(1));
+    if plan.dp > 0 {
+        dp = dp.min(plan.dp);
+    }
     let parallel = ParallelSpec::new(dp, tp, pp);
     Some(NodeGeometry {
-        per_wafer,
+        assignment,
+        span,
         shape: GroupShape::new(tw, th),
         parallel,
         n_mb: job.microbatches(dp),
-        ctx: ShardingCtx::new(job.micro_batch, job.seq, tp, strategy),
+        ctx: plan.sharding_ctx(job),
     })
 }
 
-/// Evaluate a fixed `(tp, pp, strategy)` on a multi-wafer node.
+/// Evaluate a fixed [`ParallelPlan`] on a multi-wafer node.
 ///
-/// One-shot wrapper around [`evaluate_multi_wafer_cached`] with a private
-/// cache; searches and sweeps that revisit configurations should hold a
-/// [`ProfileCache`] and call the cached variant.
+/// One-shot wrapper around [`evaluate_multi_wafer_plan_cached`] with a
+/// private cache; searches and sweeps that revisit configurations
+/// should hold a [`ProfileCache`] and call the cached variant.
+pub fn evaluate_multi_wafer_plan(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+) -> Option<MultiWaferReport> {
+    let cache = ProfileCache::new();
+    evaluate_multi_wafer_plan_cached(node, job, plan, &cache)
+}
+
+/// Deprecated tuple shim: [`evaluate_multi_wafer_plan`] on the
+/// exactly-equivalent balanced intra-wafer-TP plan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use evaluate_multi_wafer_plan(node, job, &ParallelPlan::balanced(tp, pp, strategy, node.wafers)) instead"
+)]
 pub fn evaluate_multi_wafer(
     node: &MultiWaferConfig,
     job: &TrainingJob,
@@ -144,15 +197,19 @@ pub fn evaluate_multi_wafer(
     pp: usize,
     strategy: TpSplitStrategy,
 ) -> Option<MultiWaferReport> {
-    let cache = ProfileCache::new();
-    evaluate_multi_wafer_cached(node, job, tp, pp, strategy, &cache)
+    evaluate_multi_wafer_plan(
+        node,
+        job,
+        &ParallelPlan::balanced(tp, pp, strategy, node.wafers),
+    )
 }
 
-/// [`evaluate_multi_wafer`] with a shared [`ProfileCache`]: layer
-/// profiles per `(tp, strategy)`, stage profiles per
-/// `(tp, pp, strategy, microbatches)` and collective-time lookups are
-/// reused across every point the cache has seen for this
-/// `(wafer, job)` pair.
+/// Deprecated tuple shim: [`evaluate_multi_wafer_plan_cached`] on the
+/// exactly-equivalent balanced intra-wafer-TP plan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use evaluate_multi_wafer_plan_cached(node, job, &ParallelPlan::balanced(tp, pp, strategy, node.wafers), cache) instead"
+)]
 pub fn evaluate_multi_wafer_cached(
     node: &MultiWaferConfig,
     job: &TrainingJob,
@@ -161,22 +218,43 @@ pub fn evaluate_multi_wafer_cached(
     strategy: TpSplitStrategy,
     cache: &ProfileCache,
 ) -> Option<MultiWaferReport> {
+    evaluate_multi_wafer_plan_cached(
+        node,
+        job,
+        &ParallelPlan::balanced(tp, pp, strategy, node.wafers),
+        cache,
+    )
+}
+
+/// [`evaluate_multi_wafer_plan`] with a shared [`ProfileCache`]: layer
+/// profiles per `(tp, strategy)`, stage profiles per
+/// `(tp, pp, strategy, microbatches)` and collective-time lookups are
+/// reused across every plan the cache has seen for this `(wafer, job)`
+/// pair — including plans that differ only in stage map or TP span.
+pub fn evaluate_multi_wafer_plan_cached(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+    cache: &ProfileCache,
+) -> Option<MultiWaferReport> {
     let wafer = &node.wafer;
+    let pp = plan.pp;
     let NodeGeometry {
-        per_wafer,
+        assignment,
+        span,
         shape,
         parallel,
         n_mb,
         ctx,
-    } = node_geometry(node, job, tp, pp, strategy)?;
+    } = node_geometry(node, job, plan)?;
     let dp = parallel.dp;
-    let stages = cache.stage_profiles(wafer, job, parallel, &ctx, n_mb);
+    let stages = cache.stage_profiles(wafer, job, plan, n_mb);
     let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
-    let plan = gcmr(&inputs, wafer.dram.capacity, (160 / pp).clamp(3, 16));
-    if !plan.feasible {
+    let gplan = gcmr(&inputs, wafer.dram.capacity, (160 / pp).clamp(3, 16));
+    if !gplan.feasible {
         return None;
     }
-    let rp = plan.as_recompute_plan();
+    let rp = gplan.as_recompute_plan();
 
     let link_bw = wafer.d2d_link_bw();
     let alpha = wafer.d2d_link_latency;
@@ -185,11 +263,10 @@ pub fn evaluate_multi_wafer_cached(
     let mut timings = Vec::with_capacity(pp);
     let mut w2w_boundaries = 0usize;
     for (s, sp) in stages.iter().enumerate() {
-        let (fwd_comm, bwd_comm) = stage_tp_comm(cache, shape, sp, link_bw, alpha);
-        // Stage boundary: W2W when the next stage lives on another wafer.
-        let this_wafer = s / per_wafer;
-        let next_wafer = (s + 1) / per_wafer;
-        let p2p = if s + 1 < pp && next_wafer != this_wafer {
+        let (fwd_comm, bwd_comm) = stage_tp_comm(cache, node, shape, span, sp, link_bw, alpha);
+        // Stage boundary: W2W when the next stage lives on another wafer
+        // group.
+        let p2p = if s + 1 < pp && assignment[s + 1] != assignment[s] {
             w2w_boundaries += 1;
             node.w2w_latency + boundary / node.w2w_bw
         } else if s + 1 < pp {
@@ -206,7 +283,7 @@ pub fn evaluate_multi_wafer_cached(
     let timing = simulate(&timings, n_mb);
     let mut iteration = timing.iteration;
     if dp > 1 {
-        iteration += dp_allreduce_time(node, job, tp, pp, dp, cache);
+        iteration += dp_allreduce_time(node, job, plan.tp, pp, dp, cache);
     }
     let useful = job.flops_per_iter();
     let fwd_total: f64 = stages.iter().map(|s| s.fwd_compute.as_secs()).sum();
@@ -214,7 +291,7 @@ pub fn evaluate_multi_wafer_cached(
     let recompute_flops = useful.scale((recomp_total / fwd_total.max(1e-12) * 0.3).min(1.0));
     Some(MultiWaferReport {
         parallel,
-        strategy,
+        plan: plan.clone().with_dp(dp),
         iteration,
         useful_throughput: useful / iteration,
         throughput: (useful + recompute_flops) / iteration,
@@ -227,34 +304,42 @@ pub fn evaluate_multi_wafer_cached(
 /// single pricing authority for the evaluator AND the lower bound —
 /// pruning soundness requires the bound to price collectives exactly as
 /// the evaluator does, so the agreement is structural, not manual.
+///
+/// `shape` is the per-wafer tile of `tp / span` dies. Intra-wafer TP
+/// (`span == 1`) prices a ring all-reduce over the whole group on the
+/// D2D mesh; a cross-wafer group (`span > 1`) additionally pays a
+/// hierarchical step per collective — a ring all-reduce over its `span`
+/// wafer segments at W2W bandwidth and latency, the same α–β model the
+/// seam carries for every other collective in this codebase.
+#[allow(clippy::too_many_arguments)]
 fn stage_tp_comm(
     cache: &ProfileCache,
+    node: &MultiWaferConfig,
     shape: GroupShape,
+    span: usize,
     sp: &StageProfile,
     link_bw: wsc_arch::units::Bandwidth,
     alpha: Time,
 ) -> (Time, Time) {
-    let fwd_coll = sp.fwd_collectives.max(1);
-    let bwd_coll = sp.bwd_collectives.max(1);
-    let fwd = cache
-        .all_reduce(
-            CollectiveAlgo::RingBi,
-            shape,
-            sp.fwd_comm_bytes / fwd_coll as u64,
-            link_bw,
-            alpha,
-        )
-        .scale(fwd_coll as f64);
-    let bwd = cache
-        .all_reduce(
-            CollectiveAlgo::RingBi,
-            shape,
-            sp.bwd_comm_bytes / bwd_coll as u64,
-            link_bw,
-            alpha,
-        )
-        .scale(bwd_coll as f64);
-    (fwd, bwd)
+    let price = |bytes: Bytes, coll: usize| {
+        let coll = coll.max(1);
+        let v = bytes / coll as u64;
+        let mut t = cache.all_reduce(CollectiveAlgo::RingBi, shape, v, link_bw, alpha);
+        if span > 1 {
+            t += cache.all_reduce(
+                CollectiveAlgo::RingBi,
+                GroupShape::new(span, 1),
+                v,
+                node.w2w_bw,
+                node.w2w_latency,
+            );
+        }
+        t.scale(coll as f64)
+    };
+    (
+        price(sp.fwd_comm_bytes, sp.fwd_collectives),
+        price(sp.bwd_comm_bytes, sp.bwd_collectives),
+    )
 }
 
 /// The data-parallel gradient all-reduce appended to the pipeline time
@@ -288,10 +373,12 @@ fn dp_allreduce_time(
 ///   and back: `Σ_s (fwd_s + bwd_s)`;
 /// * plus the DP gradient all-reduce, which the evaluator adds verbatim.
 ///
-/// Per-stage times use the evaluator's own collective formula, so the
-/// only dropped terms — recomputation and p2p transfers (D2D *and* W2W)
-/// — strictly add time: the bound never exceeds the true evaluation.
-/// `None` = statically infeasible ([`node_geometry`] rejects the point).
+/// Per-stage times use the evaluator's own collective formula
+/// (including the cross-wafer hierarchical step for `tp_span > 1`), so
+/// the only dropped terms — recomputation and p2p transfers (D2D *and*
+/// W2W) — strictly add time: the bound never exceeds the true
+/// evaluation. `None` = statically infeasible ([`node_geometry`]
+/// rejects the plan).
 fn node_lower_bound(
     node: &MultiWaferConfig,
     job: &TrainingJob,
@@ -299,36 +386,32 @@ fn node_lower_bound(
     cache: &ProfileCache,
 ) -> Option<f64> {
     let wafer = &node.wafer;
-    let geo = node_geometry(node, job, item.tp, item.pp, item.strategy)?;
-    let stages = cache.stage_profiles(wafer, job, geo.parallel, &geo.ctx, geo.n_mb);
+    let geo = node_geometry(node, job, &item.plan)?;
+    let stages = cache.stage_profiles(wafer, job, &item.plan, geo.n_mb);
     let link_bw = wafer.d2d_link_bw();
     let alpha = wafer.d2d_link_latency;
     let mut max_mb = 0.0f64;
     let mut sum_mb = 0.0f64;
     for sp in stages.iter() {
-        let (fwd_comm, bwd_comm) = stage_tp_comm(cache, geo.shape, sp, link_bw, alpha);
+        let (fwd_comm, bwd_comm) =
+            stage_tp_comm(cache, node, geo.shape, geo.span, sp, link_bw, alpha);
         let mb = (sp.fwd_compute + fwd_comm + sp.bwd_compute + bwd_comm).as_secs();
         max_mb = max_mb.max(mb);
         sum_mb += mb;
     }
     let mut bound = (geo.n_mb as f64 * max_mb).max(sum_mb);
     if geo.parallel.dp > 1 {
-        bound += dp_allreduce_time(node, job, item.tp, item.pp, geo.parallel.dp, cache).as_secs();
+        bound += dp_allreduce_time(
+            node,
+            job,
+            item.plan.tp,
+            item.plan.pp,
+            geo.parallel.dp,
+            cache,
+        )
+        .as_secs();
     }
     Some(bound)
-}
-
-/// Search (tp, pp) on a multi-wafer node, keeping the fastest schedule.
-///
-/// Deprecated entry point — add the node to [`crate::Explorer`] with
-/// `.multi_wafer(..)` and read the unified report instead. Runs with
-/// [`SchedulerOptions::default`] (both TP partition strategies).
-#[deprecated(
-    since = "0.1.0",
-    note = "use watos::Explorer::builder().multi_wafer(..) instead"
-)]
-pub fn explore_multi_wafer(node: &MultiWaferConfig, job: &TrainingJob) -> Option<MultiWaferReport> {
-    explore_multi_wafer_impl(node, job, &SchedulerOptions::default()).best
 }
 
 /// Outcome of one multi-wafer search: the winner plus instrumentation.
@@ -340,13 +423,41 @@ pub(crate) struct MultiWaferOutcome {
     pub stats: SearchStats,
 }
 
-/// Implementation of the multi-wafer search (shared by the deprecated
-/// [`explore_multi_wafer`] shim and [`crate::Explorer`]).
+/// The stage-map family one `(span, tp, pp)` point emits, as
+/// `(map, variant)` pairs; `variant` joins the span in the work-item's
+/// `pidx` so every plan in the work-list has a unique deterministic
+/// tie-break key. Variant 0 is always the balanced map; with uneven
+/// maps enabled and a remainder to place, variants `1..=groups` are the
+/// [`StageMap::remainder_shifted`] family. A shifted member whose
+/// resolved assignment coincides with the balanced layout (shift 0
+/// does, exactly when `pp % groups == groups - 1`) is skipped — it
+/// would be the same configuration evaluated twice.
+fn stage_map_family(pp: usize, groups: usize, filter: &PlanFilter) -> Vec<(StageMap, usize)> {
+    let balanced = StageMap::Balanced { wafers: groups };
+    let balanced_assignment = balanced.assignments(pp);
+    let mut family = vec![(balanced, 0usize)];
+    if filter.uneven_stage_maps && groups > 1 && pp > groups && !pp.is_multiple_of(groups) {
+        for shift in 0..groups {
+            let shifted = StageMap::remainder_shifted(pp, groups, shift);
+            if shifted.assignments(pp) != balanced_assignment {
+                family.push((shifted, shift + 1));
+            }
+        }
+    }
+    family
+}
+
+/// Implementation of the multi-wafer search (driven by
+/// [`crate::Explorer`]).
 ///
-/// The `TP × PP × strategy` space — TP degrees that embed in one wafer,
-/// PP in multiples of the wafer count so stages balance across seams,
-/// every strategy in `opts.strategies` — is flattened into a work-list
-/// and run through the shared bounded wave engine, honoring
+/// The baseline plan space — intra-wafer TP degrees that embed in one
+/// wafer, PP in multiples of the wafer count with balanced stage maps,
+/// every strategy in `opts.strategies` — is exactly the seed-era
+/// `TP × PP × strategy` sweep. `opts.plans` enlarges it: cross-wafer TP
+/// adds a `tp_span` axis over the divisors of the wafer count
+/// (per-wafer degrees scaled by the span), and uneven stage maps add
+/// every PP plus the remainder-shift family of explicit maps. The
+/// work-list is run through the shared bounded wave engine, honoring
 /// `opts.prune` / `opts.sequential` exactly like the single-wafer
 /// search. The result — winner *and* [`SearchStats`] — is identical to
 /// the exhaustive sequential sweep (`prune: false, sequential: true`) up
@@ -358,7 +469,7 @@ pub(crate) fn explore_multi_wafer_impl(
     opts: &SchedulerOptions,
 ) -> MultiWaferOutcome {
     // Aggregate-memory precheck at the node level: if modelP cannot fit
-    // the node's total DRAM, no (tp, pp) can help.
+    // the node's total DRAM, no plan can help.
     if model_p_total(&job.model).as_f64() > node.total_dram().as_f64() {
         return MultiWaferOutcome {
             best: None,
@@ -366,29 +477,63 @@ pub(crate) fn explore_multi_wafer_impl(
         };
     }
     let dies = node.total_dies();
-    let step = node.wafers.max(1);
+    let wafers = node.wafers.max(1);
+
+    // TP spans to explore: intra-wafer always; with cross-wafer TP
+    // enabled, every divisor of the wafer count (TP groups span whole
+    // wafers and wafer groups partition the node).
+    let spans: Vec<usize> = (1..=wafers)
+        .filter(|&k| k == 1 || (opts.plans.cross_wafer_tp && wafers.is_multiple_of(k)))
+        .collect();
 
     // ---- Flatten the search space. ----
     // `decided[i]` marks points the per-die aggregate-memory precheck
-    // alone decides; they are never profiled in either sweep mode.
+    // alone decides; they are never profiled in either sweep mode. The
+    // precheck quantity (`modelP / (tp·pp)` vs per-die DRAM) is
+    // independent of stage map and TP span, so one verdict decides the
+    // whole plan family of a `(tp, pp)` pair.
     let mut items: Vec<WorkItem> = Vec::new();
     let mut decided: Vec<bool> = Vec::new();
-    for tp in tp_candidates(&node.wafer, opts) {
-        let max_pp = (dies / tp).min(job.model.layers);
-        for pp in (step..=max_pp).step_by(step) {
-            // Skip configurations that strand more than half the node.
-            if tp * pp < dies / 2 {
-                continue;
-            }
-            let memory_decided = memory_precheck_fails(&node.wafer, job, tp, pp);
-            for (sidx, &strategy) in opts.strategies.iter().enumerate() {
-                items.push(WorkItem {
-                    tp,
-                    pp,
-                    sidx,
-                    strategy,
-                });
-                decided.push(memory_decided);
+    for span in spans {
+        let groups = wafers / span;
+        // Balanced-only sweeps keep PP in multiples of the group count
+        // (the seed-era shape); uneven maps open up every PP.
+        let step = if opts.plans.uneven_stage_maps {
+            1
+        } else {
+            groups
+        };
+        for tp_local in tp_candidates(&node.wafer, opts) {
+            let tp = tp_local * span;
+            let max_pp = (dies / tp.max(1)).min(job.model.layers);
+            for pp in (step..=max_pp).step_by(step) {
+                // Skip configurations that strand more than half the node.
+                if tp * pp < dies / 2 {
+                    continue;
+                }
+                let memory_decided = memory_precheck_fails(&node.wafer, job, tp, pp);
+                for (map, variant) in stage_map_family(pp, groups, &opts.plans) {
+                    // Unique per (tp, pp, sidx): spans collide on `tp`
+                    // (intra TP=4 vs 2×2 cross TP=4), so the span joins
+                    // the variant in the key. Lower spans and the
+                    // balanced map win ties.
+                    let pidx = span * (wafers + 1) + variant;
+                    for (sidx, &strategy) in opts.strategies.iter().enumerate() {
+                        items.push(WorkItem {
+                            plan: ParallelPlan {
+                                dp: 0,
+                                tp,
+                                pp,
+                                strategy,
+                                stage_map: map.clone(),
+                                tp_span: span,
+                            },
+                            sidx,
+                            pidx,
+                        });
+                        decided.push(memory_decided);
+                    }
+                }
             }
         }
     }
@@ -402,7 +547,7 @@ pub(crate) fn explore_multi_wafer_impl(
         opts.prune,
         opts.sequential,
         |it| node_lower_bound(node, job, it, &cache),
-        |it| evaluate_multi_wafer_cached(node, job, it.tp, it.pp, it.strategy, &cache),
+        |it| evaluate_multi_wafer_plan_cached(node, job, &it.plan, &cache),
         |r| r.iteration.as_secs(),
     );
     MultiWaferOutcome { best, stats }
@@ -464,8 +609,140 @@ mod tests {
     fn infeasible_pp_combo_rejected() {
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::gpt_175b());
+        assert!(evaluate_multi_wafer_plan(
+            &node,
+            &job,
+            &ParallelPlan::balanced(4, 1000, TpSplitStrategy::SequenceParallel, node.wafers)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tuple_shim_matches_balanced_plan() {
+        // The deprecated tuple entry point must agree with the plan API
+        // it maps onto, bit for bit.
+        let node = presets::multi_wafer_18();
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        #[allow(deprecated)]
+        let old = evaluate_multi_wafer(&node, &job, 4, 28, TpSplitStrategy::SequenceParallel);
+        let new = evaluate_multi_wafer_plan(
+            &node,
+            &job,
+            &ParallelPlan::balanced(4, 28, TpSplitStrategy::SequenceParallel, node.wafers),
+        );
+        assert_eq!(old, new);
+        assert!(new.is_some());
+    }
+
+    #[test]
+    fn stage_map_family_never_duplicates_balanced() {
+        // remainder_shifted(pp, g, 0) coincides with the Balanced layout
+        // exactly when pp % g == g - 1 (e.g. pp=15, g=4: both [4,4,4,3]);
+        // the family must not evaluate that configuration twice.
+        let all = PlanFilter::all();
+        for groups in 2..=4usize {
+            for pp in groups + 1..=32 {
+                let family = stage_map_family(pp, groups, &all);
+                let mut layouts: Vec<Vec<usize>> =
+                    family.iter().map(|(m, _)| m.assignments(pp)).collect();
+                let n = layouts.len();
+                layouts.sort();
+                layouts.dedup();
+                assert_eq!(
+                    layouts.len(),
+                    n,
+                    "duplicate layout at pp={pp} groups={groups}"
+                );
+            }
+        }
+        // pp=15 over 4 groups: balanced + 3 distinct shifts (shift 0
+        // collides with balanced and is skipped).
+        assert_eq!(stage_map_family(15, 4, &all).len(), 4);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_by_geometry() {
+        let node = presets::multi_wafer_18(); // 4 wafers
+        let job = TrainingJob::standard(zoo::gpt_175b());
+        // tp_span must divide tp.
+        let p = ParallelPlan::balanced(6, 8, TpSplitStrategy::SequenceParallel, 2).with_tp_span(4);
+        assert!(evaluate_multi_wafer_plan(&node, &job, &p).is_none());
+        // tp_span must divide the wafer count.
+        let p = ParallelPlan::balanced(9, 8, TpSplitStrategy::SequenceParallel, 1).with_tp_span(3);
+        assert!(evaluate_multi_wafer_plan(&node, &job, &p).is_none());
+        // Explicit map of the wrong length.
+        let p = ParallelPlan::intra(4, 8, TpSplitStrategy::SequenceParallel)
+            .with_stage_map(StageMap::Explicit(vec![0, 0, 1, 1]));
+        assert!(evaluate_multi_wafer_plan(&node, &job, &p).is_none());
+        // Explicit map using more groups than the node has.
+        let p = ParallelPlan::intra(4, 8, TpSplitStrategy::SequenceParallel)
+            .with_stage_map(StageMap::Explicit(vec![0, 0, 1, 1, 2, 2, 3, 4]));
+        assert!(evaluate_multi_wafer_plan(&node, &job, &p).is_none());
+    }
+
+    #[test]
+    fn cross_wafer_tp_prices_the_seam() {
+        // The same (tp, pp) with a 2-wafer TP span must pay the W2W link
+        // in its collectives: with a crippled seam the cross plan slows
+        // down while the intra plan is untouched.
+        let fast = presets::multi_wafer_18();
+        let mut slow = fast.clone();
+        slow.w2w_bw = wsc_arch::units::Bandwidth::gb_per_s(10.0);
+        slow.w2w_latency = Time::from_millis(1.0);
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let cross =
+            ParallelPlan::balanced(8, 28, TpSplitStrategy::SequenceParallel, 2).with_tp_span(2);
+        let intra = ParallelPlan::balanced(8, 28, TpSplitStrategy::SequenceParallel, 4);
+        let (cf, cs) = (
+            evaluate_multi_wafer_plan(&fast, &job, &cross).expect("cross feasible"),
+            evaluate_multi_wafer_plan(&slow, &job, &cross).expect("cross feasible"),
+        );
         assert!(
-            evaluate_multi_wafer(&node, &job, 4, 1000, TpSplitStrategy::SequenceParallel).is_none()
+            cs.iteration.as_secs() > cf.iteration.as_secs() * 1.01,
+            "cross-wafer TP must feel the seam: {} vs {}",
+            cs.iteration,
+            cf.iteration
+        );
+        let (ifa, isl) = (
+            evaluate_multi_wafer_plan(&fast, &job, &intra),
+            evaluate_multi_wafer_plan(&slow, &job, &intra),
+        );
+        // Intra-wafer TP collectives never touch the seam; only the
+        // (few) boundary p2p transfers do.
+        if let (Some(a), Some(b)) = (ifa, isl) {
+            let tp_penalty = cs.iteration.as_secs() / cf.iteration.as_secs();
+            let p2p_penalty = b.iteration.as_secs() / a.iteration.as_secs();
+            assert!(
+                tp_penalty > p2p_penalty,
+                "TP collectives must dominate the seam cost: {tp_penalty} vs {p2p_penalty}"
+            );
+        }
+    }
+
+    #[test]
+    fn enlarged_plan_space_never_loses_to_baseline() {
+        // The PlanFilter axes only ever add candidates, so the enlarged
+        // search can never return a slower winner.
+        let node = presets::multi_wafer_4();
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let base = explore_multi_wafer_impl(&node, &job, &SchedulerOptions::default())
+            .best
+            .expect("baseline feasible");
+        let enlarged = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions {
+                plans: PlanFilter::all(),
+                ..SchedulerOptions::default()
+            },
+        )
+        .best
+        .expect("enlarged feasible");
+        assert!(
+            enlarged.iteration.as_secs() <= base.iteration.as_secs(),
+            "superset search lost: {} vs {}",
+            enlarged.iteration,
+            base.iteration
         );
     }
 
@@ -565,9 +842,11 @@ mod tests {
         let mut evaluated = 0;
         for pp in [14, 27, 54] {
             // pp % 4 != 0 for any of these.
-            if let Some(r) =
-                evaluate_multi_wafer(&node, &job, 4, pp, TpSplitStrategy::SequenceParallel)
-            {
+            if let Some(r) = evaluate_multi_wafer_plan(
+                &node,
+                &job,
+                &ParallelPlan::balanced(4, pp, TpSplitStrategy::SequenceParallel, node.wafers),
+            ) {
                 evaluated += 1;
                 assert!(r.feasible);
                 assert!((0.0..=1.0).contains(&r.w2w_boundary_fraction), "pp={pp}");

@@ -33,6 +33,8 @@ use crate::scheduler::{evaluate_scheduled_cached, ScheduledConfig};
 use serde::{Deserialize, Serialize};
 use wsc_arch::fault::FaultMap;
 use wsc_arch::wafer::WaferConfig;
+#[cfg(test)]
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::training::TrainingJob;
 
 /// Which fault class a sweep injects.
@@ -55,27 +57,8 @@ pub struct FaultPoint {
     pub baseline: f64,
 }
 
-/// Run the Fig. 22 sweep for one fault kind.
-///
-/// Deprecated entry point — attach the sweep to [`crate::Explorer`] with
-/// `.with_faults(..)` and read the unified report instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use watos::Explorer::builder().with_faults(..) instead"
-)]
-pub fn fault_sweep(
-    wafer: &WaferConfig,
-    job: &TrainingJob,
-    cfg: &ScheduledConfig,
-    kind: FaultKind,
-    rates: &[f64],
-    seed: u64,
-) -> Vec<FaultPoint> {
-    fault_sweep_impl(wafer, job, cfg, kind, rates, seed)
-}
-
-/// Implementation of the fault sweep (shared by the deprecated
-/// [`fault_sweep`] shim and [`crate::Explorer`]).
+/// Implementation of the Fig. 22 fault sweep (driven by
+/// [`crate::Explorer`] via `.with_faults(..)`).
 pub(crate) fn fault_sweep_impl(
     wafer: &WaferConfig,
     job: &TrainingJob,
@@ -110,7 +93,7 @@ pub(crate) fn fault_sweep_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{schedule_fixed, SchedulerOptions};
+    use crate::scheduler::{schedule_plan, SchedulerOptions};
     use wsc_arch::presets;
     use wsc_workload::parallel::TpSplitStrategy;
     use wsc_workload::zoo;
@@ -123,8 +106,14 @@ mod tests {
             strategies: vec![TpSplitStrategy::Megatron],
             ..SchedulerOptions::default()
         };
-        let cfg = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &opts, None)
-            .expect("schedulable");
+        let cfg = schedule_plan(
+            &wafer,
+            &job,
+            &ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron),
+            &opts,
+            None,
+        )
+        .expect("schedulable");
         (wafer, job, cfg)
     }
 
@@ -178,12 +167,10 @@ mod tests {
             strategies: vec![TpSplitStrategy::SequenceParallel],
             ..SchedulerOptions::default()
         };
-        let cfg = schedule_fixed(
+        let cfg = schedule_plan(
             &wafer,
             &job,
-            2,
-            7,
-            TpSplitStrategy::SequenceParallel,
+            &ParallelPlan::intra(2, 7, TpSplitStrategy::SequenceParallel),
             &opts,
             None,
         )

@@ -35,7 +35,7 @@ use wsc_pipeline::gcmr::gcmr;
 use wsc_pipeline::recompute::{naive_recompute, overflow_and_spare, RecomputePlan};
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::memory::model_p_total;
-use wsc_workload::parallel::{ParallelSpec, TpSplitStrategy};
+use wsc_workload::parallel::{ParallelPlan, ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 
 /// Which recomputation scheduler to use.
@@ -49,16 +49,48 @@ pub enum RecomputeMode {
     Gcmr,
 }
 
+/// Which regions of the [`ParallelPlan`] space a search may emit, beyond
+/// the baseline intra-wafer-TP, balanced-stage-map plans. Both axes are
+/// off by default: the default search space is exactly the seed space,
+/// and each axis only ever *adds* candidate plans, so enabling one can
+/// never lose a winner (the equivalence proptests run with both on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanFilter {
+    /// Emit cross-wafer-TP plans on multi-wafer nodes: TP groups with
+    /// `tp_span > 1` place `tp / tp_span` dies on each spanned wafer and
+    /// pay the W2W seam in every TP collective, in exchange for TP
+    /// degrees (and per-die memory relief) no single wafer can host.
+    /// Ignored by the single-wafer search (a wafer has no seam to span).
+    pub cross_wafer_tp: bool,
+    /// Emit uneven stage→wafer maps on multi-wafer nodes: every `pp`
+    /// (not just wafer multiples) with the balanced map, plus the
+    /// deterministic
+    /// [`StageMap::remainder_shifted`](wsc_workload::parallel::StageMap::remainder_shifted)
+    /// family of explicit maps when `pp` does not divide evenly. Ignored
+    /// by the single-wafer search (one wafer has exactly one map).
+    pub uneven_stage_maps: bool,
+}
+
+impl PlanFilter {
+    /// Both axes enabled — the largest plan space the searches know.
+    pub fn all() -> Self {
+        PlanFilter {
+            cross_wafer_tp: true,
+            uneven_stage_maps: true,
+        }
+    }
+}
+
 /// Scheduler knobs (the ablation switches of Fig. 18 map directly here).
 ///
 /// The same option set is handed to both search engines behind
 /// [`crate::Explorer`]. The Alg. 1 single-wafer sweep honors every
 /// knob; the §VI-F multi-wafer sweep ([`crate::multiwafer`]) honors the
 /// search-shaping knobs (`strategies`, `tp_candidates`, `allow_odd_tp`,
-/// `prune`, `sequential`) but fixes its evaluator to ring collectives +
-/// GCMR with no placement/GA refinement (stages are pinned to wafers in
-/// pipeline order), so `collectives`, `recompute`, `memory_scheduler`,
-/// `ga`, `punish` and `seed` do not affect it.
+/// `plans`, `prune`, `sequential`) but fixes its evaluator to ring
+/// collectives + GCMR with no placement/GA refinement (stages are pinned
+/// to wafers in stage-map order), so `collectives`, `recompute`,
+/// `memory_scheduler`, `ga`, `punish` and `seed` do not affect it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerOptions {
     /// TP partition strategies to explore (the set `S` of Alg. 1).
@@ -96,8 +128,13 @@ pub struct SchedulerOptions {
     /// Explicit TP candidates (`None` = automatic: 1 and every even
     /// degree up to 16 that embeds as a rectangle). Set to pin the sweep
     /// to specific degrees, e.g. `Some(vec![4])` when reproducing a
-    /// fixed configuration.
+    /// fixed configuration. In the multi-wafer search these are the
+    /// *per-wafer* degrees; cross-wafer plans multiply them by the span.
     pub tp_candidates: Option<Vec<usize>>,
+    /// Which plan-space axes beyond the baseline the searches may emit
+    /// (cross-wafer TP, uneven stage maps). See [`PlanFilter`]; builder:
+    /// [`crate::ExplorerBuilder::plans`].
+    pub plans: PlanFilter,
     /// RNG seed for placement optimization and the GA. Reports are a
     /// pure function of this seed — rerunning with the same seed
     /// reproduces them byte-for-byte at any thread count.
@@ -134,6 +171,7 @@ impl Default for SchedulerOptions {
             ga: Some(GaParams::default()),
             punish: 4.0,
             tp_candidates: None,
+            plans: PlanFilter::default(),
             seed: DEFAULT_SEED,
             prune: true,
             sequential: false,
@@ -146,10 +184,11 @@ pub use crate::wave::SearchStats;
 /// One fully scheduled configuration plus its evaluation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledConfig {
-    /// Parallelism.
+    /// Parallelism (resolved DP).
     pub parallel: ParallelSpec,
-    /// TP partition strategy.
-    pub strategy: TpSplitStrategy,
+    /// The full parallel plan this schedule realizes (strategy, stage
+    /// map, TP span; `dp` resolved to the scheduled value).
+    pub plan: ParallelPlan,
     /// Chosen collective algorithm.
     pub collective: CollectiveAlgo,
     /// Stage placement.
@@ -162,10 +201,11 @@ pub struct ScheduledConfig {
     pub report: PerfReport,
 }
 
-/// TP degrees worth trying on `wafer`: explicit `opts.tp_candidates` if
-/// set, else 1 plus every (even, unless `allow_odd_tp`) degree up to 16
-/// that embeds as a rectangle. Shared with the multi-wafer search, where
-/// TP likewise stays inside one wafer.
+/// Per-wafer TP degrees worth trying on `wafer`: explicit
+/// `opts.tp_candidates` if set, else 1 plus every (even, unless
+/// `allow_odd_tp`) degree up to 16 that embeds as a rectangle. Shared
+/// with the multi-wafer search, where these are the degrees one wafer
+/// hosts (cross-wafer plans multiply them by the TP span).
 pub(crate) fn tp_candidates(wafer: &WaferConfig, opts: &SchedulerOptions) -> Vec<usize> {
     if let Some(c) = &opts.tp_candidates {
         return c.clone();
@@ -202,12 +242,13 @@ pub(crate) fn memory_precheck_fails(
     model_p_total(&job.model).as_f64() / (tp * pp) as f64 > wafer.dram.capacity.as_f64()
 }
 
-/// The derived geometry of one `(tp, pp, strategy)` point: TP tile
-/// shape, data parallelism, micro-batch count, sharding context. One
-/// function computes it for both the full scheduler and the lower-bound
-/// pruner, so the two can never disagree on what a point means.
-/// `None` = statically infeasible (bad pp, no tile embedding, or the
-/// Alg. 1 line 1–2 aggregate-memory precheck fails).
+/// The derived geometry of one single-wafer [`ParallelPlan`]: TP tile
+/// shape, resolved data parallelism, micro-batch count, sharding
+/// context. One function computes it for both the full scheduler and
+/// the lower-bound pruner, so the two can never disagree on what a plan
+/// means. `None` = statically infeasible (bad pp, a plan that is not
+/// single-wafer-shaped, no tile embedding, or the Alg. 1 line 1–2
+/// aggregate-memory precheck fails).
 struct ConfigGeometry {
     shape: GroupShape,
     parallel: ParallelSpec,
@@ -218,11 +259,15 @@ struct ConfigGeometry {
 fn config_geometry(
     wafer: &WaferConfig,
     job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
+    plan: &ParallelPlan,
 ) -> Option<ConfigGeometry> {
-    if pp == 0 || pp > job.model.layers {
+    let (tp, pp) = (plan.tp, plan.pp);
+    if plan.validate().is_err() || pp > job.model.layers {
+        return None;
+    }
+    // A single wafer has no seam: only intra-wafer TP with every stage
+    // on this wafer is schedulable here.
+    if plan.tp_span != 1 || plan.stage_map.wafer_count() != 1 {
         return None;
     }
     // Alg. 1 line 1–2: early pruning on aggregate modelP.
@@ -232,12 +277,16 @@ fn config_geometry(
     let (tile_w, tile_h) = placement::choose_tile(wafer.nx, wafer.ny, tp, pp)?;
     let slots = (wafer.nx / tile_w) * (wafer.ny / tile_h);
     let dp_max = (job.global_batch / job.micro_batch).max(1);
-    let dp = (slots / pp).clamp(1, dp_max);
+    let mut dp = (slots / pp).clamp(1, dp_max);
+    if plan.dp > 0 {
+        // A pinned DP can only narrow what the wafer supports.
+        dp = dp.min(plan.dp);
+    }
     Some(ConfigGeometry {
         shape: GroupShape::new(tile_w, tile_h),
         parallel: ParallelSpec::new(dp, tp, pp),
         n_mb: job.microbatches(dp),
-        ctx: ShardingCtx::new(job.micro_batch, job.seq, tp, strategy),
+        ctx: plan.sharding_ctx(job),
     })
 }
 
@@ -284,13 +333,30 @@ fn pick_collective(
     best.map(|(a, _)| a)
 }
 
-/// Schedule a *fixed* (TP, PP, strategy): run the downstream schedulers
-/// and evaluate. This is the Alg. 1 loop body, also used directly by the
+/// Schedule a fixed [`ParallelPlan`]: run the downstream schedulers and
+/// evaluate. This is the Alg. 1 loop body, also used directly by the
 /// ablation and baseline experiments.
 ///
-/// One-shot wrapper around [`schedule_fixed_cached`] with a private
+/// One-shot wrapper around [`schedule_plan_cached`] with a private
 /// cache; searches and sweeps that revisit configurations should hold a
 /// [`ProfileCache`] and call the cached variant.
+pub fn schedule_plan(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+    opts: &SchedulerOptions,
+    faults: Option<&FaultMap>,
+) -> Option<ScheduledConfig> {
+    let cache = ProfileCache::new();
+    schedule_plan_cached(wafer, job, plan, opts, faults, &cache)
+}
+
+/// Deprecated tuple shim: [`schedule_plan`] on the exactly-equivalent
+/// intra-wafer plan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use schedule_plan(wafer, job, &ParallelPlan::intra(tp, pp, strategy), ..) instead"
+)]
 pub fn schedule_fixed(
     wafer: &WaferConfig,
     job: &TrainingJob,
@@ -300,13 +366,21 @@ pub fn schedule_fixed(
     opts: &SchedulerOptions,
     faults: Option<&FaultMap>,
 ) -> Option<ScheduledConfig> {
-    let cache = ProfileCache::new();
-    schedule_fixed_cached(wafer, job, tp, pp, strategy, opts, faults, &cache)
+    schedule_plan(
+        wafer,
+        job,
+        &ParallelPlan::intra(tp, pp, strategy),
+        opts,
+        faults,
+    )
 }
 
-/// [`schedule_fixed`] with a shared [`ProfileCache`]: stage profiles and
-/// collective-time lookups are reused across every configuration the
-/// cache has seen for this `(wafer, job)` pair.
+/// Deprecated tuple shim: [`schedule_plan_cached`] on the
+/// exactly-equivalent intra-wafer plan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use schedule_plan_cached(wafer, job, &ParallelPlan::intra(tp, pp, strategy), ..) instead"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn schedule_fixed_cached(
     wafer: &WaferConfig,
@@ -318,19 +392,41 @@ pub fn schedule_fixed_cached(
     faults: Option<&FaultMap>,
     cache: &ProfileCache,
 ) -> Option<ScheduledConfig> {
+    schedule_plan_cached(
+        wafer,
+        job,
+        &ParallelPlan::intra(tp, pp, strategy),
+        opts,
+        faults,
+        cache,
+    )
+}
+
+/// [`schedule_plan`] with a shared [`ProfileCache`]: stage profiles and
+/// collective-time lookups are reused across every plan the cache has
+/// seen for this `(wafer, job)` pair.
+pub fn schedule_plan_cached(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+    opts: &SchedulerOptions,
+    faults: Option<&FaultMap>,
+    cache: &ProfileCache,
+) -> Option<ScheduledConfig> {
     let ConfigGeometry {
         shape,
         parallel,
         n_mb,
         ctx,
-    } = config_geometry(wafer, job, tp, pp, strategy)?;
+    } = config_geometry(wafer, job, plan)?;
+    let pp = plan.pp;
+    let stages = cache.stage_profiles(wafer, job, plan, n_mb);
     let cap = wafer.dram.capacity;
-    let stages = cache.stage_profiles(wafer, job, parallel, &ctx, n_mb);
     let inputs: Vec<_> = stages.iter().map(|s| s.as_recompute_input()).collect();
 
     // Recomputation scheduler.
     let quanta = (160 / pp).clamp(3, 16);
-    let (plan, mem_pairs) = match opts.recompute {
+    let (rplan, mem_pairs) = match opts.recompute {
         RecomputeMode::None => {
             let fits = inputs.iter().all(|i| i.full_memory() <= cap);
             let mut p = RecomputePlan::none(pp);
@@ -344,7 +440,7 @@ pub fn schedule_fixed_cached(
             (g.as_recompute_plan(), pairs)
         }
     };
-    if !plan.feasible {
+    if !rplan.feasible {
         return None;
     }
 
@@ -382,7 +478,7 @@ pub fn schedule_fixed_cached(
     };
 
     // Fine-grained DRAM allocation (Alg. 3): overflow/spare per stage.
-    let (overflow, spare) = overflow_and_spare(&inputs, &plan, cap);
+    let (overflow, spare) = overflow_and_spare(&inputs, &rplan, cap);
     let grants: Vec<DramGrant> = if opts.memory_scheduler {
         let alloc = allocate(&placement, &overflow, &spare);
         if !alloc.complete() {
@@ -410,14 +506,14 @@ pub fn schedule_fixed_cached(
         punish: opts.punish,
         robust: true,
     };
-    let eval_with = |placement: &Placement, plan: &RecomputePlan, grants: &[DramGrant]| {
+    let eval_with = |placement: &Placement, rplan: &RecomputePlan, grants: &[DramGrant]| {
         evaluate(&EvalInput {
             wafer,
             job,
             parallel,
             ctx,
             stages: &stages[..],
-            recompute: plan,
+            recompute: rplan,
             placement,
             grants,
             faults,
@@ -425,15 +521,15 @@ pub fn schedule_fixed_cached(
             cache: Some(cache),
         })
     };
-    let base_report = eval_with(&placement, &plan, &grants);
+    let base_report = eval_with(&placement, &rplan, &grants);
 
     // Optional GA refinement of placement + recomputation + pairing;
     // kept only when the full evaluation confirms the improvement.
-    let (placement, plan, grants, report) = if let Some(params) = &opts.ga {
+    let (placement, rplan, grants, report) = if let Some(params) = &opts.ga {
         let refined = ga::refine_with_model(
             &mesh,
             &stages[..],
-            &plan,
+            &rplan,
             &placement,
             &overflow,
             &spare,
@@ -453,37 +549,23 @@ pub fn schedule_fixed_cached(
                 refined_report,
             )
         } else {
-            (placement, plan, grants, base_report)
+            (placement, rplan, grants, base_report)
         }
     } else {
-        (placement, plan, grants, base_report)
+        (placement, rplan, grants, base_report)
     };
     if !report.feasible {
         return None;
     }
     Some(ScheduledConfig {
         parallel,
-        strategy,
+        plan: plan.clone().with_dp(parallel.dp),
         collective,
         placement,
-        recompute: plan,
+        recompute: rplan,
         grants,
         report,
     })
-}
-
-/// The full Alg. 1 exploration: iterate TP, PP and strategies, keep the
-/// configuration with the shortest iteration time.
-///
-/// Deprecated entry point — [`crate::Explorer`] drives this search (in
-/// parallel across candidates) and folds the result into one report.
-#[deprecated(since = "0.1.0", note = "use watos::Explorer::builder() instead")]
-pub fn explore(
-    wafer: &WaferConfig,
-    job: &TrainingJob,
-    opts: &SchedulerOptions,
-) -> Option<ScheduledConfig> {
-    explore_impl(wafer, job, opts).best
 }
 
 /// Outcome of one Alg. 1 search: the winner plus instrumentation.
@@ -516,14 +598,14 @@ fn config_lower_bound(
     opts: &SchedulerOptions,
     cache: &ProfileCache,
 ) -> Option<f64> {
-    let (tp, pp) = (item.tp, item.pp);
+    let (tp, pp) = (item.plan.tp, item.plan.pp);
     let ConfigGeometry {
         shape,
         parallel,
         n_mb,
-        ctx,
-    } = config_geometry(wafer, job, tp, pp, item.strategy)?;
-    let stages = cache.stage_profiles(wafer, job, parallel, &ctx, n_mb);
+        ctx: _,
+    } = config_geometry(wafer, job, &item.plan)?;
+    let stages = cache.stage_profiles(wafer, job, &item.plan, n_mb);
     let link_bw = wafer.d2d_link_bw();
     let alpha = wafer.d2d_link_latency;
     // Same collective the full scheduler will pick for this shape.
@@ -557,10 +639,11 @@ fn config_lower_bound(
     Some(bound)
 }
 
-/// Implementation of the Alg. 1 single-wafer search (shared by the
-/// deprecated [`explore`] shim and [`crate::Explorer`]).
+/// Implementation of the Alg. 1 single-wafer search (driven by
+/// [`crate::Explorer`]).
 ///
-/// The `TP × PP × strategy` space is flattened into a work-list,
+/// The intra-wafer [`ParallelPlan`] space (`TP × PP × strategy`, all
+/// stages on this wafer) is flattened into a work-list,
 /// lower-bounded analytically (memory-precheck-decided points are
 /// short-circuited without building stage profiles), sorted by bound,
 /// and evaluated in deterministic ramped parallel waves; after each wave
@@ -605,10 +688,9 @@ pub(crate) fn explore_impl(
             let memory_decided = memory_precheck_fails(wafer, job, tp, pp);
             for (sidx, &strategy) in opts.strategies.iter().enumerate() {
                 items.push(WorkItem {
-                    tp,
-                    pp,
+                    plan: ParallelPlan::intra(tp, pp, strategy),
                     sidx,
-                    strategy,
+                    pidx: 0,
                 });
                 decided.push(memory_decided);
             }
@@ -629,22 +711,13 @@ pub(crate) fn explore_impl(
         opts.prune,
         opts.sequential,
         |it| config_lower_bound(wafer, job, it, opts, &cache),
-        |it| schedule_fixed_cached(wafer, job, it.tp, it.pp, it.strategy, &inner, None, &cache),
+        |it| schedule_plan_cached(wafer, job, &it.plan, &inner, None, &cache),
         |cfg| cfg.report.iteration.as_secs(),
     );
 
     // GA refinement of the winner.
     if let (Some(b), Some(_)) = (&best, &opts.ga) {
-        if let Some(refined) = schedule_fixed_cached(
-            wafer,
-            job,
-            b.parallel.tp,
-            b.parallel.pp,
-            b.strategy,
-            opts,
-            None,
-            &cache,
-        ) {
+        if let Some(refined) = schedule_plan_cached(wafer, job, &b.plan, opts, None, &cache) {
             if refined.report.iteration.as_secs() <= b.report.iteration.as_secs() {
                 best = Some(refined);
             }
@@ -677,9 +750,9 @@ pub fn evaluate_scheduled_cached(
     robust: bool,
     cache: &ProfileCache,
 ) -> PerfReport {
-    let ctx = ShardingCtx::new(job.micro_batch, job.seq, cfg.parallel.tp, cfg.strategy);
+    let ctx = cfg.plan.sharding_ctx(job);
     let n_mb = job.microbatches(cfg.parallel.dp);
-    let stages = cache.stage_profiles(wafer, job, cfg.parallel, &ctx, n_mb);
+    let stages = cache.stage_profiles(wafer, job, &cfg.plan, n_mb);
     evaluate(&EvalInput {
         wafer,
         job,
@@ -717,12 +790,10 @@ mod tests {
     fn schedule_fixed_produces_feasible_config() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let cfg = schedule_fixed(
+        let cfg = schedule_plan(
             &wafer,
             &job,
-            4,
-            14,
-            TpSplitStrategy::Megatron,
+            &ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron),
             &quick_opts(),
             None,
         )
@@ -834,16 +905,30 @@ mod tests {
     }
 
     #[test]
+    fn malformed_plans_are_rejected() {
+        // A plan that fails its own validation (wrong-length explicit
+        // map, zero degree, indivisible span) must never schedule — the
+        // "every record carries a valid plan" property depends on it.
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        use wsc_workload::parallel::StageMap;
+        let bad_map = ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron)
+            .with_stage_map(StageMap::Explicit(vec![0]));
+        assert!(bad_map.validate().is_err());
+        assert!(schedule_plan(&wafer, &job, &bad_map, &quick_opts(), None).is_none());
+        let bad_span = ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron).with_tp_span(3);
+        assert!(schedule_plan(&wafer, &job, &bad_span, &quick_opts(), None).is_none());
+    }
+
+    #[test]
     fn infeasible_pp_returns_none() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
         // 61 stages on 56 dies with TP=4: no.
-        assert!(schedule_fixed(
+        assert!(schedule_plan(
             &wafer,
             &job,
-            4,
-            61,
-            TpSplitStrategy::Megatron,
+            &ParallelPlan::intra(4, 61, TpSplitStrategy::Megatron),
             &quick_opts(),
             None
         )
@@ -858,16 +943,9 @@ mod tests {
         with.memory_scheduler = true;
         let mut without = quick_opts();
         without.memory_scheduler = false;
-        let a = schedule_fixed(&wafer, &job, 4, 14, TpSplitStrategy::Megatron, &with, None);
-        let b = schedule_fixed(
-            &wafer,
-            &job,
-            4,
-            14,
-            TpSplitStrategy::Megatron,
-            &without,
-            None,
-        );
+        let plan = ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron);
+        let a = schedule_plan(&wafer, &job, &plan, &with, None);
+        let b = schedule_plan(&wafer, &job, &plan, &without, None);
         if let (Some(a), Some(b)) = (a, b) {
             assert!(a.report.iteration.as_secs() <= b.report.iteration.as_secs() * 1.05);
         }
@@ -881,26 +959,9 @@ mod tests {
         gcmr_opts.recompute = RecomputeMode::Gcmr;
         let mut naive_opts = quick_opts();
         naive_opts.recompute = RecomputeMode::Naive;
-        let g = schedule_fixed(
-            &wafer,
-            &job,
-            4,
-            14,
-            TpSplitStrategy::Megatron,
-            &gcmr_opts,
-            None,
-        )
-        .expect("gcmr feasible");
-        let n = schedule_fixed(
-            &wafer,
-            &job,
-            4,
-            14,
-            TpSplitStrategy::Megatron,
-            &naive_opts,
-            None,
-        )
-        .expect("naive feasible");
+        let plan = ParallelPlan::intra(4, 14, TpSplitStrategy::Megatron);
+        let g = schedule_plan(&wafer, &job, &plan, &gcmr_opts, None).expect("gcmr feasible");
+        let n = schedule_plan(&wafer, &job, &plan, &naive_opts, None).expect("naive feasible");
         assert!(
             g.report.iteration.as_secs() <= n.report.iteration.as_secs() * 1.001,
             "gcmr {} vs naive {}",

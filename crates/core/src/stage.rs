@@ -246,7 +246,7 @@ mod tests {
     fn setup(pp: usize) -> Vec<StageProfile> {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let ctx = crate::testutil::megatron_ctx(&job, 4);
         build_stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, pp), &ctx, 16)
     }
 
@@ -285,7 +285,7 @@ mod tests {
     fn moe_stages_have_shuffle_volume() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::gshard_137b());
-        let ctx = ShardingCtx::new(job.micro_batch, job.seq, 4, TpSplitStrategy::Megatron);
+        let ctx = crate::testutil::megatron_ctx(&job, 4);
         let stages =
             build_stage_profiles(&wafer, &job, ParallelSpec::model_parallel(4, 4), &ctx, 8);
         for s in &stages {

@@ -32,7 +32,7 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::parallel::ParallelPlan;
 
 /// Instrumentation of one bounded search: how much of the
 /// `TP × PP × strategy` space was actually scheduled.
@@ -67,22 +67,30 @@ impl SearchStats {
     }
 }
 
-/// One point of a flattened `TP × PP × strategy` work-list.
-#[derive(Debug, Clone, Copy)]
+/// One point of a flattened plan work-list: a [`ParallelPlan`] plus the
+/// tie-break indices that order it deterministically within the list.
+#[derive(Debug, Clone)]
 pub(crate) struct WorkItem {
-    pub tp: usize,
-    pub pp: usize,
+    /// The parallel configuration this point evaluates.
+    pub plan: ParallelPlan,
     /// Index into the options' strategy list (tie-break component).
     pub sidx: usize,
-    pub strategy: TpSplitStrategy,
+    /// Index within the plan family sharing this `(tp, pp, strategy)` —
+    /// 0 for the single-wafer search; the multi-wafer search encodes
+    /// `tp_span` and the stage-map variant here so plans that collide on
+    /// `(tp, pp)` (e.g. intra TP=4 vs 2×2 cross-wafer TP=4) still carry
+    /// distinct keys.
+    pub pidx: usize,
 }
 
 impl WorkItem {
-    /// Deterministic tie-break key: smallest `(tp, pp, strategy index)`
-    /// wins among equal iteration times, no matter in which order the
-    /// points were evaluated.
-    pub fn key(&self) -> (usize, usize, usize) {
-        (self.tp, self.pp, self.sidx)
+    /// Deterministic tie-break key: smallest `(tp, pp, strategy index,
+    /// plan-family index)` wins among equal iteration times, no matter
+    /// in which order the points were evaluated. Keys must be unique per
+    /// work-list — equal keys would let the winner depend on bound
+    /// order.
+    pub fn key(&self) -> (usize, usize, usize, usize) {
+        (self.plan.tp, self.plan.pp, self.sidx, self.pidx)
     }
 }
 
@@ -190,7 +198,7 @@ fn wave_search<C: Send>(
     });
 
     let mut best: Option<C> = None;
-    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+    let mut best_key = (usize::MAX, usize::MAX, usize::MAX, usize::MAX);
     let mut idx = 0;
     let mut wave_no = 0u32;
     while idx < order.len() {
@@ -245,14 +253,14 @@ fn wave_search<C: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsc_workload::parallel::TpSplitStrategy;
 
     fn items(n: usize) -> Vec<WorkItem> {
         (0..n)
             .map(|i| WorkItem {
-                tp: i,
-                pp: 0,
+                plan: ParallelPlan::intra(i, 1, TpSplitStrategy::Megatron),
                 sidx: 0,
-                strategy: TpSplitStrategy::Megatron,
+                pidx: 0,
             })
             .collect()
     }
@@ -265,7 +273,7 @@ mod tests {
             &its,
             &bounds,
             true,
-            |_, it| Some(it.tp as f64),
+            |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
         assert_eq!(best, Some(0.0));
@@ -285,7 +293,7 @@ mod tests {
             &its,
             &bounds,
             true,
-            |_, it| Some(it.tp as f64),
+            |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
         assert_eq!(best, Some(0.0));
@@ -302,7 +310,7 @@ mod tests {
             &its,
             &bounds,
             true,
-            |_, it| Some(it.tp as f64),
+            |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
         assert_eq!(best, Some(0.0));
@@ -321,7 +329,7 @@ mod tests {
             &its,
             &bounds,
             true,
-            |_, it| Some((it.tp, 7.0f64)),
+            |_, it| Some((it.plan.tp, 7.0f64)),
             |c: &(usize, f64)| c.1,
         );
         assert_eq!(best.map(|b| b.0), Some(0), "smallest key wins the tie");
@@ -335,12 +343,18 @@ mod tests {
         let its = items(6);
         let decided = vec![false, true, false, true, false, true];
         let bound = |it: &WorkItem| {
-            assert!(it.tp.is_multiple_of(2), "decided point reached bound phase");
-            Some(it.tp as f64)
+            assert!(
+                it.plan.tp.is_multiple_of(2),
+                "decided point reached bound phase"
+            );
+            Some(it.plan.tp as f64)
         };
         let eval = |it: &WorkItem| {
-            assert!(it.tp.is_multiple_of(2), "decided point reached eval phase");
-            Some(it.tp as f64)
+            assert!(
+                it.plan.tp.is_multiple_of(2),
+                "decided point reached eval phase"
+            );
+            Some(it.plan.tp as f64)
         };
         for prune in [true, false] {
             let (best, stats) =
@@ -363,7 +377,7 @@ mod tests {
     fn sequential_and_parallel_agree() {
         let its = items(50);
         let bounds: Vec<Option<f64>> = (0..50).map(|i| Some((i % 7) as f64)).collect();
-        let eval = |_: usize, it: &WorkItem| Some(((it.tp * 13) % 11) as f64);
+        let eval = |_: usize, it: &WorkItem| Some(((it.plan.tp * 13) % 11) as f64);
         let seq = wave_search(&its, &bounds, true, eval, |&c: &f64| c);
         let par = wave_search(&its, &bounds, false, eval, |&c: &f64| c);
         assert_eq!(seq.0, par.0);

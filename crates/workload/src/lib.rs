@@ -26,5 +26,5 @@ pub mod zoo;
 pub use crate::graph::{layer_input_bytes, layer_ops_at, summarize, LayerSummary, ShardingCtx};
 pub use crate::model::{LlmModel, ModelFamily};
 pub use crate::ops::{GemmShape, OpInstance, OpKind};
-pub use crate::parallel::{ParallelSpec, TpSplitStrategy};
+pub use crate::parallel::{ParallelPlan, ParallelSpec, PlanError, StageMap, TpSplitStrategy};
 pub use crate::training::TrainingJob;

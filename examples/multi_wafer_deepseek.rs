@@ -20,11 +20,17 @@ fn main() {
         job.model.total_params() * 16.0 / 1e12
     );
 
+    // The plan-based search space: cross-wafer TP (TP collectives may
+    // cross the W2W seam) and uneven stage→wafer maps, on top of the
+    // balanced intra-wafer baseline. Each winning record carries its
+    // full `ParallelPlan`.
     let report = Explorer::builder()
         .job(job)
         .wafer(presets::config(3))
         .multi_wafer(presets::multi_wafer_18())
         .multi_wafer(presets::multi_wafer_4())
+        .cross_wafer_tp()
+        .uneven_stage_maps()
         .no_ga()
         .build()
         .expect("valid configuration")
@@ -44,7 +50,7 @@ fn main() {
         match &node.best {
             Some(r) => println!(
                 "{label}: {} | iter {} | {} useful | {:.0}% of stage boundaries cross wafers",
-                r.parallel,
+                r.plan,
                 r.iteration,
                 r.useful_throughput,
                 r.w2w_boundary_fraction * 100.0

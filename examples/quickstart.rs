@@ -32,8 +32,7 @@ fn main() {
 
     println!("model       : {}", job.model.name);
     println!("wafer       : {} ({} dies)", record.arch, wafer.die_count());
-    println!("parallelism : {}", best.parallel);
-    println!("strategy    : {}", best.strategy);
+    println!("plan        : {}", best.plan);
     println!("collective  : {:?}", best.collective);
     println!("iteration   : {}", best.report.iteration);
     println!(

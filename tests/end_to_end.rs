@@ -2,11 +2,12 @@
 //! hardware template to evaluated schedule, driven through the `Explorer`
 //! facade.
 
-use watos::scheduler::{schedule_fixed, RecomputeMode, SchedulerOptions};
+use watos::scheduler::{schedule_plan, RecomputeMode, SchedulerOptions};
 use watos::Explorer;
 use wsc_arch::enumerate::Enumerator;
 use wsc_arch::presets;
 use wsc_arch::AreaModel;
+use wsc_workload::parallel::ParallelPlan;
 use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
@@ -121,12 +122,10 @@ fn recompute_ladder_is_consistent() {
             recompute: mode,
             ..quick_opts()
         };
-        schedule_fixed(
+        schedule_plan(
             &wafer,
             &job,
-            4,
-            14,
-            TpSplitStrategy::SequenceParallel,
+            &ParallelPlan::intra(4, 14, TpSplitStrategy::SequenceParallel),
             &opts,
             None,
         )

@@ -5,7 +5,7 @@
 //! writes (worker threads are joined before each `set_var`).
 
 use watos::ga::{refine, GaParams};
-use watos::{Explorer, FaultKind};
+use watos::{Explorer, FaultKind, PlanFilter};
 use wsc_arch::presets;
 use wsc_bench::util::{ga_refine_presets, ga_setup};
 use wsc_workload::parallel::TpSplitStrategy;
@@ -26,6 +26,9 @@ fn report_is_identical_across_thread_counts() {
             .wafer(presets::config(3))
             .wafer(presets::config(4))
             .multi_wafer(presets::multi_wafer_18())
+            // The node leg runs the enlarged plan space (cross-wafer TP
+            // + uneven stage maps) — determinism must survive it.
+            .plans(PlanFilter::all())
             .with_faults([FaultKind::Link], [0.0, 0.2])
             .seed(7)
             .build()

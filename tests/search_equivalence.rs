@@ -6,7 +6,7 @@
 //! same iteration time, same parallel spec.
 
 use proptest::prelude::*;
-use watos::{ExplorationReport, Explorer, SearchStats};
+use watos::{ExplorationReport, Explorer, PlanFilter, SearchStats};
 use wsc_arch::presets;
 use wsc_arch::units::{Bandwidth, Time};
 use wsc_arch::wafer::{MultiWaferConfig, WaferConfig};
@@ -93,10 +93,12 @@ fn run_node(
     job: &TrainingJob,
     seed: u64,
     exhaustive: bool,
+    filter: PlanFilter,
 ) -> ExplorationReport {
     let mut b = Explorer::builder()
         .job(job.clone())
         .multi_wafer(node.clone())
+        .plans(filter)
         .no_ga()
         .seed(seed)
         // Shrunken wafers need not satisfy the full floorplan model.
@@ -133,22 +135,32 @@ proptest! {
         model.layers = layers;
         let job = TrainingJob::with_batch(model, micro * batches, micro, 1024);
 
-        let pruned = run_node(&node, &job, seed, false);
-        let exhaustive = run_node(&node, &job, seed, true);
+        // Cover the enlarged plan space too: the filter axes vary with
+        // the seed (deterministically, so pruned and exhaustive agree on
+        // the work-list).
+        let filter = PlanFilter {
+            cross_wafer_tp: seed % 2 == 0,
+            uneven_stage_maps: seed % 3 != 2,
+        };
+        let pruned = run_node(&node, &job, seed, false, filter);
+        let exhaustive = run_node(&node, &job, seed, true, filter);
 
-        // Same winner, iteration time, parallel spec, strategy.
+        // Same winner, iteration time, parallel spec, plan.
         let pb = &pruned.multi_wafer[0];
         let eb = &exhaustive.multi_wafer[0];
         prop_assert_eq!(pb.best.is_some(), eb.best.is_some());
         if let (Some(p), Some(e)) = (&pb.best, &eb.best) {
             prop_assert_eq!(p.parallel, e.parallel, "parallel spec must match");
-            prop_assert_eq!(p.strategy, e.strategy, "strategy must match");
+            prop_assert_eq!(&p.plan, &e.plan, "winning plan must match");
             prop_assert_eq!(p.iteration, e.iteration, "iteration time must match");
             // §VI-F seam-accounting invariant: at most every boundary
-            // crosses a seam, and a 1-wafer node crosses none.
+            // crosses a seam, and a 1-wafer node crosses none — and a
+            // 1-wafer node must never emit a cross-wafer-TP plan, no
+            // matter the filter.
             prop_assert!((0.0..=1.0).contains(&p.w2w_boundary_fraction));
             if wafers == 1 {
                 prop_assert_eq!(p.w2w_boundary_fraction, 0.0);
+                prop_assert_eq!(p.plan.tp_span, 1, "wafers=1 cannot span");
             }
         }
         // Byte-identical report modulo instrumentation.
