@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Grid coordinate of a die on the wafer.
 pub type DiePos = (usize, usize);
@@ -25,8 +25,10 @@ fn canon(a: DiePos, b: DiePos) -> (DiePos, DiePos) {
 /// A map of injected faults over an `nx × ny` die grid.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultMap {
-    link_quality: HashMap<(DiePos, DiePos), f64>,
-    die_health: HashMap<DiePos, f64>,
+    // Ordered maps: `faulted_links`/`faulted_dies` iteration and the
+    // serialized form are deterministic (wsc-lint rule D001).
+    link_quality: BTreeMap<(DiePos, DiePos), f64>,
+    die_health: BTreeMap<DiePos, f64>,
 }
 
 impl FaultMap {

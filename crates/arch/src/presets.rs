@@ -59,6 +59,7 @@ pub fn config(idx: usize) -> WaferConfig {
         2 => ("Config 2", 7, 8, big_die(), 64, 1.5, 4.5),
         3 => ("Config 3", 7, 8, big_die(), 70, 2.0, 4.0),
         4 => ("Config 4", 6, 8, big_die(), 96, 2.5, 3.5),
+        // wsc-lint: allow(S001, "documented API contract: Table II defines exactly configs 1..=4 and callers pass literal indices")
         _ => panic!("Table II defines configs 1..=4, got {idx}"),
     };
     WaferConfig {

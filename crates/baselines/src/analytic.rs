@@ -65,7 +65,7 @@ pub fn estimate(wafer: &WaferConfig, job: &TrainingJob) -> AnalyticEstimate {
 pub fn rank<'a>(configs: &'a [WaferConfig], job: &TrainingJob) -> Vec<(&'a WaferConfig, Time)> {
     let mut out: Vec<(&WaferConfig, Time)> =
         configs.iter().map(|c| (c, estimate(c, job).time)).collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    out.sort_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()));
     out
 }
 

@@ -65,8 +65,10 @@ pub fn weight_streaming(wafer: &WaferConfig, job: &TrainingJob) -> CerebrasResul
     let mut weight_bytes_total = Bytes::ZERO;
     for l in 0..job.model.layers {
         let p = if graph::is_moe_layer(&job.model, l) {
+            // wsc-lint: allow(S001, "is_moe_layer(l) implies first_moe found layer l or earlier, so the MoE profile was built")
             moe.as_ref().expect("moe profile")
         } else {
+            // wsc-lint: allow(S001, "a non-MoE layer l implies first_dense found layer l or earlier, so the dense profile was built")
             dense.as_ref().expect("dense profile")
         };
         comp += (p.fwd_time() + p.bwd_time()).scale(microbatches / row_split);

@@ -125,9 +125,11 @@ pub fn evaluate_gpu(
         for l in lo..hi {
             let p = if graph::is_moe_layer(&job.model, l) {
                 moe_n += 1;
+                // wsc-lint: allow(S001, "is_moe_layer(l) implies first_moe found layer l or earlier, so the MoE profile was built")
                 moe.as_ref().expect("moe profile")
             } else {
                 dense_n += 1;
+                // wsc-lint: allow(S001, "a non-MoE layer l implies first_dense found layer l or earlier, so the dense profile was built")
                 dense.as_ref().expect("dense profile")
             };
             fwd += p.fwd_time();
@@ -141,17 +143,14 @@ pub fn evaluate_gpu(
             bwd += b_comm;
             comm += f_comm + b_comm;
         }
-        if dense_n > 0 {
-            menus.push(RecomputeMenu::from_layer_profile(
-                dense.as_ref().unwrap(),
-                dense_n,
-            ));
+        // `dense_n > 0` implies the stage saw a dense layer, which implies
+        // `dense` was profiled — expressed as a filter so no unwrap is
+        // needed (ditto MoE).
+        if let Some(p) = dense.as_ref().filter(|_| dense_n > 0) {
+            menus.push(RecomputeMenu::from_layer_profile(p, dense_n));
         }
-        if moe_n > 0 {
-            menus.push(RecomputeMenu::from_layer_profile(
-                moe.as_ref().unwrap(),
-                moe_n,
-            ));
+        if let Some(p) = moe.as_ref().filter(|_| moe_n > 0) {
+            menus.push(RecomputeMenu::from_layer_profile(p, moe_n));
         }
         let menu = RecomputeMenu::merged(menus);
         // Memory: modelP + in-flight checkpoints, per-GPU recomputation.

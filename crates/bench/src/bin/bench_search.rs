@@ -13,16 +13,19 @@
 //! cargo run -p wsc-bench --release --bin bench_search -- \
 //!     [--preset small|medium|large|multiwafer|all] \
 //!     [--output BENCH_search.json] \
-//!     [--require-pruning] [--min-speedup X] [--threads N]
+//!     [--require-pruning] [--min-speedup X] [--threads N[,M,...]]
 //! ```
 //!
 //! `--require-pruning` exits non-zero unless every preset pruned at
 //! least one configuration (the CI smoke contract); `--min-speedup`
 //! exits non-zero when the measured speedup falls below `X`.
-//! `--threads N` pins the rayon pool (the vendored rayon honors
-//! `RAYON_NUM_THREADS` at call time), and every JSON entry records the
-//! thread count it was measured with, so wave fan-out can be compared
-//! across `--threads` runs on real multi-core hardware.
+//! `--threads N[,M,...]` pins the rayon pool (the vendored rayon honors
+//! `RAYON_NUM_THREADS` at call time) and runs the whole sweep once per
+//! listed pool size in one process, so a single document carries every
+//! thread count's entries; the harness exits non-zero if any preset's
+//! winning plan differs between thread counts, so the byte-identity
+//! contract is measured on real multi-core hardware rather than
+//! assumed.
 
 use std::time::Instant;
 use watos::{ExplorationReport, Explorer, ParallelPlan, SearchStats};
@@ -57,7 +60,8 @@ struct BenchEntry {
 #[derive(Debug, Serialize)]
 struct BenchReport {
     benchmark: String,
-    threads: usize,
+    /// Every rayon pool size the sweep was run with (one pass each).
+    thread_counts: Vec<usize>,
     presets: Vec<BenchEntry>,
 }
 
@@ -218,6 +222,7 @@ fn main() {
     let mut output = "BENCH_search.json".to_string();
     let mut require_pruning = false;
     let mut min_speedup: Option<f64> = None;
+    let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -233,12 +238,14 @@ fn main() {
                 )
             }
             "--threads" => {
-                // Honored by the vendored rayon at call time; set before
-                // any parallel work starts.
-                std::env::set_var(
-                    "RAYON_NUM_THREADS",
-                    args.next().expect("--threads needs a value"),
-                );
+                // One sweep per comma-separated pool size; the vendored
+                // rayon honors RAYON_NUM_THREADS at call time.
+                thread_counts = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads must be numbers"))
+                    .collect();
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -247,9 +254,53 @@ fn main() {
         }
     }
 
+    if thread_counts.is_empty() {
+        thread_counts.push(rayon::current_num_threads());
+    }
+
     let mut entries = Vec::new();
     let mut failed = false;
-    let (single, multi) = presets_for(&preset_arg);
+    for &t in &thread_counts {
+        std::env::set_var("RAYON_NUM_THREADS", t.to_string());
+        failed |= run_sweep(&preset_arg, require_pruning, min_speedup, &mut entries);
+    }
+
+    // The determinism contract, measured: a preset's winning plan must
+    // not depend on the pool size it was searched with.
+    for e in &entries {
+        if let Some(first) = entries.iter().find(|o| o.preset == e.preset) {
+            if first.best_plan != e.best_plan {
+                eprintln!(
+                    "DIVERGENT WINNER for `{}`: {:?} (threads={}) vs {:?} (threads={})",
+                    e.preset, first.best_parallel, first.threads, e.best_parallel, e.threads
+                );
+                failed = true;
+            }
+        }
+    }
+
+    let report = BenchReport {
+        benchmark: "explore_impl: pruned+parallel vs sequential exhaustive".to_string(),
+        thread_counts,
+        presets: entries,
+    };
+    let json = serde::json::to_text(&report.to_value());
+    std::fs::write(&output, json + "\n").expect("write benchmark report");
+    println!("wrote {output}");
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// One full pass over the selected presets at the current pool size.
+fn run_sweep(
+    preset_arg: &str,
+    require_pruning: bool,
+    min_speedup: Option<f64>,
+    entries: &mut Vec<BenchEntry>,
+) -> bool {
+    let mut failed = false;
+    let (single, multi) = presets_for(preset_arg);
     for preset in single {
         let job = TrainingJob::standard(preset.model.clone());
         let (pruned_report, pruned_secs) = run_once(&preset, &job, false);
@@ -267,7 +318,7 @@ fn main() {
             },
             require_pruning,
             min_speedup,
-            &mut entries,
+            entries,
         );
     }
     for preset in multi {
@@ -287,19 +338,9 @@ fn main() {
             },
             require_pruning,
             min_speedup,
-            &mut entries,
+            entries,
         );
     }
 
-    let report = BenchReport {
-        benchmark: "explore_impl: pruned+parallel vs sequential exhaustive".to_string(),
-        threads: rayon::current_num_threads(),
-        presets: entries,
-    };
-    let json = serde::json::to_text(&report.to_value());
-    std::fs::write(&output, json + "\n").expect("write benchmark report");
-    println!("wrote {output}");
-    if failed {
-        std::process::exit(1);
-    }
+    failed
 }

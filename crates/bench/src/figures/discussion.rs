@@ -488,8 +488,8 @@ pub fn fig25(quick: bool) -> String {
             "best norm mem",
             "best objective",
         ]);
-        use std::collections::HashMap;
-        let mut by_class: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut by_class: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
         let mut max_tput: f64 = 1e-12;
         let mut max_mem: f64 = 1e-12;
         let mut evals = Vec::new();
@@ -530,8 +530,9 @@ pub fn fig25(quick: bool) -> String {
                 .or_default()
                 .push((tput / max_tput, mem / max_mem));
         }
-        let mut classes: Vec<_> = by_class.into_iter().collect();
-        classes.sort_by(|a, b| a.0.cmp(&b.0));
+        // BTreeMap drains in class order, so the figure rows are
+        // deterministic without a separate sort.
+        let classes: Vec<_> = by_class.into_iter().collect();
         let mut best_class = (String::new(), 0.0f64);
         for (class, pts) in &classes {
             let best = pts.iter().map(|(t, m)| (t * m, *t, *m)).fold(

@@ -30,13 +30,27 @@
 use crate::costmodel::PlacementCostModel;
 use crate::stage::{build_layer_data, build_stage_profiles_with, LayerData, StageProfile};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wsc_arch::units::{Bandwidth, Bytes, Time};
 use wsc_arch::wafer::WaferConfig;
 use wsc_mesh::collective::{all_reduce_time, CollectiveAlgo, GroupShape};
 use wsc_mesh::topology::Mesh2D;
 use wsc_workload::parallel::{ParallelPlan, ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
+
+/// Lock a memo map for reading, recovering from poison: every value a
+/// memo stores is a fully-built immutable entry installed by a single
+/// `entry().or_insert()` call, so a thread that panicked while holding
+/// the lock cannot have left a torn value behind and the guard is
+/// always safe to take over (wsc-lint rule S001).
+pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locking twin of [`read_recover`].
+pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 type LayerKey = (usize, TpSplitStrategy);
 type StageKey = (usize, usize, TpSplitStrategy, usize);
@@ -71,18 +85,12 @@ impl ProfileCache {
         plan: &ParallelPlan,
     ) -> Arc<LayerData> {
         let key = (plan.tp, plan.strategy);
-        if let Some(hit) = self.layers.read().expect("cache lock").get(&key) {
+        if let Some(hit) = read_recover(&self.layers).get(&key) {
             return Arc::clone(hit);
         }
         // Build outside the lock: racing misses compute identical values.
         let built = Arc::new(build_layer_data(wafer, job, &plan.sharding_ctx(job)));
-        Arc::clone(
-            self.layers
-                .write()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        Arc::clone(write_recover(&self.layers).entry(key).or_insert(built))
     }
 
     /// Stage profiles for `(plan.tp, plan.pp, plan.strategy,
@@ -97,7 +105,7 @@ impl ProfileCache {
         microbatches: usize,
     ) -> Arc<Vec<StageProfile>> {
         let key = (plan.tp, plan.pp, plan.strategy, microbatches);
-        if let Some(hit) = self.stages.read().expect("cache lock").get(&key) {
+        if let Some(hit) = read_recover(&self.stages).get(&key) {
             return Arc::clone(hit);
         }
         let layers = self.layer_data(wafer, job, plan);
@@ -108,13 +116,7 @@ impl ProfileCache {
             &plan.sharding_ctx(job),
             microbatches,
         ));
-        Arc::clone(
-            self.stages
-                .write()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        Arc::clone(write_recover(&self.stages).entry(key).or_insert(built))
     }
 
     /// Memoized [`all_reduce_time`].
@@ -134,16 +136,11 @@ impl ProfileCache {
             link_bw.as_bytes_per_s().to_bits(),
             alpha.as_secs().to_bits(),
         );
-        if let Some(hit) = self.collectives.read().expect("cache lock").get(&key) {
+        if let Some(hit) = read_recover(&self.collectives).get(&key) {
             return *hit;
         }
         let t = all_reduce_time(algo, shape, bytes, link_bw, alpha);
-        *self
-            .collectives
-            .write()
-            .expect("cache lock")
-            .entry(key)
-            .or_insert(t)
+        *write_recover(&self.collectives).entry(key).or_insert(t)
     }
 
     /// The shared Eq. 2 [`PlacementCostModel`] for a
@@ -158,32 +155,26 @@ impl ProfileCache {
         pp_volume: f64,
     ) -> Arc<PlacementCostModel> {
         let key = (mesh.nx, mesh.ny, tile_w, tile_h, pp_volume.to_bits());
-        if let Some(hit) = self.cost_models.read().expect("cache lock").get(&key) {
+        if let Some(hit) = read_recover(&self.cost_models).get(&key) {
             return Arc::clone(hit);
         }
         let built = Arc::new(PlacementCostModel::new(*mesh, tile_w, tile_h, pp_volume));
-        Arc::clone(
-            self.cost_models
-                .write()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        Arc::clone(write_recover(&self.cost_models).entry(key).or_insert(built))
     }
 
     /// Number of cached cost models (for tests/introspection).
     pub fn cost_model_entries(&self) -> usize {
-        self.cost_models.read().expect("cache lock").len()
+        read_recover(&self.cost_models).len()
     }
 
     /// Number of cached stage-profile vectors (for tests/introspection).
     pub fn stage_entries(&self) -> usize {
-        self.stages.read().expect("cache lock").len()
+        read_recover(&self.stages).len()
     }
 
     /// Number of cached layer-data entries (for tests/introspection).
     pub fn layer_entries(&self) -> usize {
-        self.layers.read().expect("cache lock").len()
+        read_recover(&self.layers).len()
     }
 }
 

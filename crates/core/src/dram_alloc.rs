@@ -91,7 +91,7 @@ pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> D
         q.sort_by(|&a, &b| {
             let da = placement.stages[s].dist(&placement.stages[a]);
             let db = placement.stages[s].dist(&placement.stages[b]);
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         });
         for h in q {
             if need == Bytes::ZERO {

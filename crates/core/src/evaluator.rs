@@ -427,7 +427,7 @@ pub fn evaluate(input: &EvalInput<'_>) -> PerfReport {
         .max_by(|a, b| {
             let ta = a.1 .0.as_secs() + a.1 .1.as_secs();
             let tb = b.1 .0.as_secs() + b.1 .1.as_secs();
-            ta.partial_cmp(&tb).expect("finite")
+            ta.total_cmp(&tb)
         })
         .map(|(i, _)| i)
         .unwrap_or(0);

@@ -189,12 +189,9 @@ impl ExplorationReport {
     pub fn best_multi_wafer(&self) -> Option<&MultiWaferRecord> {
         self.multi_wafer
             .iter()
-            .filter(|r| r.best.is_some())
-            .min_by(|a, b| {
-                let ia = a.best.as_ref().expect("filtered").iteration.as_secs();
-                let ib = b.best.as_ref().expect("filtered").iteration.as_secs();
-                ia.partial_cmp(&ib).expect("finite iteration times")
-            })
+            .filter_map(|r| r.best.as_ref().map(|b| (r, b.iteration.as_secs())))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(r, _)| r)
     }
 
     /// Aggregate search instrumentation across all single-wafer
@@ -568,6 +565,7 @@ impl Explorer {
                     let bi = single_wafer[b]
                         .best
                         .as_ref()
+                        // wsc-lint: allow(S001, "best_index is only ever set to the index of a record whose best is Some")
                         .expect("best_index only points at feasible records");
                     cfg.report.iteration.as_secs() < bi.report.iteration.as_secs()
                 }
@@ -594,6 +592,7 @@ impl Explorer {
         let mut fault_sweeps = Vec::new();
         if let (Some(spec), Some(bi)) = (&self.faults, best_index) {
             let rec = &single_wafer[bi];
+            // wsc-lint: allow(S001, "best_index is only ever set to the index of a record whose best is Some")
             let cfg = rec.best.as_ref().expect("best_index is feasible");
             for &kind in &spec.kinds {
                 fault_sweeps.push(FaultSweepRecord {
@@ -648,6 +647,7 @@ impl Explorer {
             rec.wafer.clone(),
             rec.best
                 .clone()
+                // wsc-lint: allow(S001, "best() filters on best.is_some() before returning a record")
                 .expect("best() only returns feasible records"),
         ))
     }

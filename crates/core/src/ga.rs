@@ -15,6 +15,7 @@
 //! (fraction ω) with binary tournament: ω → 1 converges fast but greedily,
 //! ω → 0 preserves diversity (the Fig. 24b trade-off).
 
+use crate::cache::{read_recover, write_recover};
 use crate::costmodel::PlacementCostModel;
 use crate::dram_alloc::DramGrant;
 use crate::placement::{global_cost, tile_slots, PairDemand, Placement, Rect};
@@ -131,19 +132,13 @@ struct PlanMemo {
 impl PlanMemo {
     fn get_or_build(&self, ctx: &GaCtx<'_>, extra: &[f64]) -> Arc<PlanEval> {
         let key: Vec<u64> = extra.iter().map(|e| e.to_bits()).collect();
-        if let Some(hit) = self.map.read().expect("plan memo lock").get(&key) {
+        if let Some(hit) = read_recover(&self.map).get(&key) {
             return Arc::clone(hit);
         }
         let (plan, overflow) = apply_extra(ctx, extra);
         let t_max = plan_t_max(ctx.stages, &plan);
         let built = Arc::new(PlanEval { overflow, t_max });
-        Arc::clone(
-            self.map
-                .write()
-                .expect("plan memo lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        Arc::clone(write_recover(&self.map).entry(key).or_insert(built))
     }
 }
 
@@ -171,11 +166,7 @@ fn biased_allocate(
         let mut q: Vec<usize> = (0..pp)
             .filter(|&h| h != s && remaining[h] > Bytes::ZERO)
             .collect();
-        q.sort_by(|&a, &b| {
-            dist(s, a)
-                .partial_cmp(&dist(s, b))
-                .expect("finite distances")
-        });
+        q.sort_by(|&a, &b| dist(s, a).total_cmp(&dist(s, b)));
         if !q.is_empty() {
             let rot = bias[s] % q.len();
             q.rotate_left(rot);
@@ -563,7 +554,7 @@ fn refine_engine(
     let mut history = Vec::with_capacity(params.steps);
 
     for step in 0..params.steps {
-        population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
         history.push(population[0].1);
         let pop = population.len();
         let elite: Vec<(Genome, f64)> = population[..2.min(pop)].to_vec();
@@ -607,7 +598,7 @@ fn refine_engine(
         next.extend(offspring);
         population = next;
     }
-    population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite-ish"));
+    population.sort_by(|a, b| a.1.total_cmp(&b.1));
     let best = population.remove(0);
     let (plan, grants, fitness) = decode_full(&ctx, &best.0);
     history.push(fitness);

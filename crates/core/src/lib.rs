@@ -45,13 +45,12 @@
 //! strategy, the stage→wafer [`StageMap`] and the TP span, and is the
 //! one type threaded through the scheduler, the wave engine, the
 //! profile cache, the multi-wafer search and every report record. The
-//! seed-era `(tp, pp, strategy)` entry points
-//! ([`scheduler::schedule_fixed`], [`multiwafer::evaluate_multi_wafer`]
-//! and their `_cached` variants) remain as deprecated shims for one
-//! release, mapping onto the exactly-equivalent intra-wafer plans. The
-//! PR 1 shims (`CoExplorationEngine`, `explore`, `explore_multi_wafer`,
-//! `fault_sweep`) have completed their deprecation release and are
-//! gone; their migration tables live in `docs/ARCHITECTURE.md`.
+//! seed-era `(tp, pp, strategy)` entry points (`schedule_fixed`,
+//! `evaluate_multi_wafer` and their `_cached` variants), like the PR 1
+//! facade shims before them, have completed their one-release
+//! deprecation window and are gone; their migration tables live in
+//! `docs/ARCHITECTURE.md`, and `wsc-lint` rule A001 now enforces the
+//! window mechanically for any future `#[deprecated]` item.
 
 pub mod cache;
 pub mod costmodel;

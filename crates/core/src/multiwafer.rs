@@ -70,7 +70,7 @@ use wsc_pipeline::gcmr::gcmr;
 use wsc_pipeline::onefb::{simulate, StageTiming};
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::memory::model_p_total;
-use wsc_workload::parallel::{ParallelPlan, ParallelSpec, StageMap, TpSplitStrategy};
+use wsc_workload::parallel::{ParallelPlan, ParallelSpec, StageMap};
 use wsc_workload::training::TrainingJob;
 
 /// Multi-wafer evaluation result.
@@ -182,48 +182,6 @@ pub fn evaluate_multi_wafer_plan(
 ) -> Option<MultiWaferReport> {
     let cache = ProfileCache::new();
     evaluate_multi_wafer_plan_cached(node, job, plan, &cache)
-}
-
-/// Deprecated tuple shim: [`evaluate_multi_wafer_plan`] on the
-/// exactly-equivalent balanced intra-wafer-TP plan.
-#[deprecated(
-    since = "0.2.0",
-    note = "use evaluate_multi_wafer_plan(node, job, &ParallelPlan::balanced(tp, pp, strategy, node.wafers)) instead"
-)]
-pub fn evaluate_multi_wafer(
-    node: &MultiWaferConfig,
-    job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
-) -> Option<MultiWaferReport> {
-    evaluate_multi_wafer_plan(
-        node,
-        job,
-        &ParallelPlan::balanced(tp, pp, strategy, node.wafers),
-    )
-}
-
-/// Deprecated tuple shim: [`evaluate_multi_wafer_plan_cached`] on the
-/// exactly-equivalent balanced intra-wafer-TP plan.
-#[deprecated(
-    since = "0.2.0",
-    note = "use evaluate_multi_wafer_plan_cached(node, job, &ParallelPlan::balanced(tp, pp, strategy, node.wafers), cache) instead"
-)]
-pub fn evaluate_multi_wafer_cached(
-    node: &MultiWaferConfig,
-    job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
-    cache: &ProfileCache,
-) -> Option<MultiWaferReport> {
-    evaluate_multi_wafer_plan_cached(
-        node,
-        job,
-        &ParallelPlan::balanced(tp, pp, strategy, node.wafers),
-        cache,
-    )
 }
 
 /// [`evaluate_multi_wafer_plan`] with a shared [`ProfileCache`]: layer
@@ -557,6 +515,7 @@ pub(crate) fn explore_multi_wafer_impl(
 mod tests {
     use super::*;
     use wsc_arch::presets;
+    use wsc_workload::parallel::TpSplitStrategy;
     use wsc_workload::zoo;
 
     /// The pre-engine search options: SequenceParallel only, matching the
@@ -615,23 +574,6 @@ mod tests {
             &ParallelPlan::balanced(4, 1000, TpSplitStrategy::SequenceParallel, node.wafers)
         )
         .is_none());
-    }
-
-    #[test]
-    fn tuple_shim_matches_balanced_plan() {
-        // The deprecated tuple entry point must agree with the plan API
-        // it maps onto, bit for bit.
-        let node = presets::multi_wafer_18();
-        let job = TrainingJob::standard(zoo::llama3_405b());
-        #[allow(deprecated)]
-        let old = evaluate_multi_wafer(&node, &job, 4, 28, TpSplitStrategy::SequenceParallel);
-        let new = evaluate_multi_wafer_plan(
-            &node,
-            &job,
-            &ParallelPlan::balanced(4, 28, TpSplitStrategy::SequenceParallel, node.wafers),
-        );
-        assert_eq!(old, new);
-        assert!(new.is_some());
     }
 
     #[test]

@@ -310,6 +310,7 @@ pub fn optimize_with(
     let n_slots = model.slot_count();
     let mut state = model
         .state(&base, pairs)
+        // wsc-lint: allow(S001, "the serpentine base placement is generated from the same tile grid the model was built with")
         .expect("serpentine slots lie on the model's tile grid");
     // The state tracks the incumbent best; rejected candidates are
     // undone, so `state` always equals the naive loop's `best`.

@@ -351,57 +351,6 @@ pub fn schedule_plan(
     schedule_plan_cached(wafer, job, plan, opts, faults, &cache)
 }
 
-/// Deprecated tuple shim: [`schedule_plan`] on the exactly-equivalent
-/// intra-wafer plan.
-#[deprecated(
-    since = "0.2.0",
-    note = "use schedule_plan(wafer, job, &ParallelPlan::intra(tp, pp, strategy), ..) instead"
-)]
-pub fn schedule_fixed(
-    wafer: &WaferConfig,
-    job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
-    opts: &SchedulerOptions,
-    faults: Option<&FaultMap>,
-) -> Option<ScheduledConfig> {
-    schedule_plan(
-        wafer,
-        job,
-        &ParallelPlan::intra(tp, pp, strategy),
-        opts,
-        faults,
-    )
-}
-
-/// Deprecated tuple shim: [`schedule_plan_cached`] on the
-/// exactly-equivalent intra-wafer plan.
-#[deprecated(
-    since = "0.2.0",
-    note = "use schedule_plan_cached(wafer, job, &ParallelPlan::intra(tp, pp, strategy), ..) instead"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn schedule_fixed_cached(
-    wafer: &WaferConfig,
-    job: &TrainingJob,
-    tp: usize,
-    pp: usize,
-    strategy: TpSplitStrategy,
-    opts: &SchedulerOptions,
-    faults: Option<&FaultMap>,
-    cache: &ProfileCache,
-) -> Option<ScheduledConfig> {
-    schedule_plan_cached(
-        wafer,
-        job,
-        &ParallelPlan::intra(tp, pp, strategy),
-        opts,
-        faults,
-        cache,
-    )
-}
-
 /// [`schedule_plan`] with a shared [`ProfileCache`]: stage profiles and
 /// collective-time lookups are reused across every plan the cache has
 /// seen for this `(wafer, job)` pair.
@@ -535,6 +484,7 @@ pub fn schedule_plan_cached(
             &spare,
             pp_volume,
             cap,
+            // wsc-lint: allow(S001, "cost_model is constructed above under the same opts.ga flag that guards this branch")
             cost_model.as_ref().expect("built when ga is enabled"),
             params,
         );

@@ -145,8 +145,10 @@ pub fn build_stage_profiles_with(
     let moe_profile = &layer_data.moe;
     let profile_of = |layer_idx: usize| -> &LayerProfile {
         if graph::is_moe_layer(model, layer_idx) {
+            // wsc-lint: allow(S001, "build_layer_data profiles the MoE layer kind whenever the model contains one")
             moe_profile.as_ref().expect("moe profile cached")
         } else {
+            // wsc-lint: allow(S001, "build_layer_data profiles the dense layer kind whenever the model contains one")
             dense_profile.as_ref().expect("dense profile cached")
         }
     };
@@ -194,17 +196,14 @@ pub fn build_stage_profiles_with(
                 fwd_flops += f;
                 bwd_flops += b;
             }
-            if dense_count > 0 {
-                menus.push(RecomputeMenu::from_layer_profile(
-                    dense_profile.as_ref().expect("dense profile cached"),
-                    dense_count,
-                ));
+            // `dense_count > 0` implies the stage saw a dense layer,
+            // which implies `dense_profile` was built — expressed as a
+            // filter so no unwrap is needed (ditto MoE).
+            if let Some(p) = dense_profile.as_ref().filter(|_| dense_count > 0) {
+                menus.push(RecomputeMenu::from_layer_profile(p, dense_count));
             }
-            if moe_count > 0 {
-                menus.push(RecomputeMenu::from_layer_profile(
-                    moe_profile.as_ref().expect("moe profile cached"),
-                    moe_count,
-                ));
+            if let Some(p) = moe_profile.as_ref().filter(|_| moe_count > 0) {
+                menus.push(RecomputeMenu::from_layer_profile(p, moe_count));
             }
             StageProfile {
                 stage: s,

@@ -188,12 +188,17 @@ fn wave_search<C: Send>(
         visited: items.len(),
         ..SearchStats::default()
     };
-    let mut order: Vec<usize> = (0..items.len()).filter(|&i| bounds[i].is_some()).collect();
+    // Pair each surviving index with its bound up front: past this point
+    // the bounds are plain `f64`s — no later lookup can miss, and
+    // `total_cmp` makes the sort total without a panicking unwrap.
+    let mut order: Vec<(usize, f64)> = bounds
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.map(|b| (i, b)))
+        .collect();
     stats.pruned += items.len() - order.len();
-    order.sort_by(|&a, &b| {
-        bounds[a]
-            .partial_cmp(&bounds[b])
-            .expect("bounds are not NaN")
+    order.sort_by(|&(a, ba), &(b, bb)| {
+        ba.total_cmp(&bb)
             .then_with(|| items[a].key().cmp(&items[b].key()))
     });
 
@@ -208,8 +213,7 @@ fn wave_search<C: Send>(
         // key, so it is never pruned.
         if let Some(b) = &best {
             let incumbent = score(b);
-            let survivors = order[idx..]
-                .partition_point(|&i| bounds[i].expect("ordered points have bounds") <= incumbent);
+            let survivors = order[idx..].partition_point(|&(_, b)| b <= incumbent);
             if survivors == 0 {
                 stats.pruned += order.len() - idx;
                 break;
@@ -220,11 +224,11 @@ fn wave_search<C: Send>(
         let wave_end = order.len().min(idx + width);
         let wave: Vec<usize> = order[idx..wave_end]
             .iter()
-            .copied()
-            .filter(|&i| match &best {
-                Some(b) => bounds[i].expect("ordered points have bounds") <= score(b),
+            .filter(|&&(_, b)| match &best {
+                Some(best) => b <= score(best),
                 None => true,
             })
+            .map(|&(i, _)| i)
             .collect();
         stats.pruned += (wave_end - idx) - wave.len();
         stats.evaluated += wave.len();

@@ -1,0 +1,19 @@
+// A001 fixture — #[deprecated] items past their one-release window.
+// The tests run with current_version = 0.3.0.
+
+// FIRING: deprecated one release ago — the window is closed.
+#[deprecated(since = "0.2.0", note = "use new_api")]
+fn firing_expired() {}
+
+// FIRING: no `since` at all — the window cannot be measured.
+#[deprecated]
+fn firing_no_since() {}
+
+// NON-FIRING: deprecated this release — the window is still open.
+#[deprecated(since = "0.3.0", note = "use new_api")]
+fn non_firing_current() {}
+
+// WAIVED: kept past the window deliberately.
+// wsc-lint: allow(A001, "kept one extra release for downstream fixture crates pinned to 0.1")
+#[deprecated(since = "0.1.0", note = "use new_api")]
+fn waived_legacy() {}

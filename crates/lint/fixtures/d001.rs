@@ -1,0 +1,33 @@
+// D001 fixture — HashMap/HashSet iteration in first-party code.
+// Scanned by `tests/rules.rs`, never compiled (the `fixtures/` segment
+// is out of scope for `classify`, so `wsc-lint` skips it too).
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+// FIRING: for-loop over a HashMap binding.
+fn firing_for_loop(map: &HashMap<u32, f64>) {
+    for (_k, _v) in map {}
+}
+
+// FIRING: iterator chain rooted at a HashSet.
+fn firing_chain(set: HashSet<u32>) -> usize {
+    set.iter().count()
+}
+
+// NON-FIRING: ordered containers and slices are fine. (The binding is
+// deliberately not named `map`: ident tracking is file-scoped, so a
+// name that is a HashMap anywhere in the file counts everywhere in it.)
+fn non_firing(ordered: &BTreeMap<u32, f64>, v: &[u32]) -> usize {
+    for (_k, _v) in ordered {}
+    v.iter().count()
+}
+
+// NON-FIRING: keyed lookup is not iteration.
+fn non_firing_lookup(map: &HashMap<u32, f64>) -> Option<&f64> {
+    map.get(&7)
+}
+
+// WAIVED: the result is order-insensitive (a max over values).
+fn waived(map: &HashMap<u32, u64>) -> u64 {
+    // wsc-lint: allow(D001, "max() over u64 values is order-insensitive")
+    map.values().copied().max().unwrap_or(0)
+}

@@ -1,0 +1,28 @@
+// D002 fixture — float accumulation fed by unordered iteration.
+use std::collections::HashMap;
+
+// FIRING: `.sum()` over HashMap values (also fires D001 for the
+// iteration itself).
+fn firing_sum(map: &HashMap<u32, f64>) -> f64 {
+    map.values().sum::<f64>()
+}
+
+// FIRING: compound assignment inside a for-loop over a HashMap.
+fn firing_loop(map: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in map {
+        total += v;
+    }
+    total
+}
+
+// NON-FIRING: accumulation over a slice is ordered.
+fn non_firing(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}
+
+// WAIVED: a single-entry map cannot reorder its own sum.
+fn waived(map: &HashMap<u32, f64>) -> f64 {
+    // wsc-lint: allow(D001, D002, "map holds exactly one entry by construction")
+    map.values().sum::<f64>()
+}

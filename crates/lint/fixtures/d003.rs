@@ -1,0 +1,22 @@
+// D003 fixture — parallel reductions outside the blessed wave engine.
+
+// FIRING: par_iter + reduce is an unordered parallel merge.
+fn firing_reduce(v: &[f64]) -> f64 {
+    v.par_iter().cloned().reduce(|| 0.0, |a, b| a + b)
+}
+
+// FIRING: par_iter + fold.
+fn firing_fold(v: &[f64]) -> f64 {
+    v.par_iter().fold(|| 0.0, |a, b| a + b).sum::<f64>()
+}
+
+// NON-FIRING: order-preserving map+collect keeps indexed order.
+fn non_firing(v: &[u32]) -> Vec<u32> {
+    v.par_iter().map(|x| x + 1).collect()
+}
+
+// WAIVED: a reduction whose operator is associative and commutative.
+fn waived(v: &[u64]) -> u64 {
+    // wsc-lint: allow(D003, "bitwise OR is associative and commutative, so the merge order cannot change the result")
+    v.par_iter().cloned().reduce(|| 0, |a, b| a | b)
+}

@@ -1,0 +1,23 @@
+// D004 fixture — wall-clock and entropy sources outside bench/tests.
+use std::time::Instant;
+
+// FIRING: wall-clock timing in library code.
+fn firing_clock() -> Instant {
+    Instant::now()
+}
+
+// FIRING: entropy-seeded RNG.
+fn firing_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+// NON-FIRING: explicitly seeded RNG is reproducible.
+fn non_firing(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// WAIVED: timing used only for a log line, never a result.
+fn waived() {
+    // wsc-lint: allow(D004, "elapsed time feeds a progress log only, never a computed result")
+    let _t0 = Instant::now();
+}

@@ -1,0 +1,34 @@
+// S001 fixture — unwrap/expect/panic! in library code.
+
+// FIRING: all three panic forms.
+fn firing(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    a + b
+}
+
+// NON-FIRING: fallible combinators and typed errors.
+fn non_firing(x: Option<u32>) -> Result<u32, String> {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    x.ok_or_else(|| "missing".to_string()).map(|v| v + a + b)
+}
+
+// WAIVED: invariant-backed expect with the invariant in the reason.
+fn waived(v: &[u32]) -> u32 {
+    // wsc-lint: allow(S001, "caller guarantees v is non-empty")
+    *v.first().expect("non-empty")
+}
+
+// NON-FIRING: test code is exempt from the whole catalog.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+// Waiver meta-rule fixture — L001 (malformed) and L002 (unused).
+use std::collections::HashMap;
+
+// L001 FIRING: a waiver without a reason is rejected.
+fn missing_reason(map: &HashMap<u32, u32>) -> usize {
+    // wsc-lint: allow(D001)
+    map.keys().count()
+}
+
+// L001 FIRING: unknown rule id.
+// wsc-lint: allow(D999, "no such rule")
+fn unknown_rule() {}
+
+// L002 FIRING: the waived rule never fires on the next line.
+fn unused_waiver(v: &[u32]) -> usize {
+    // wsc-lint: allow(D001, "slices are ordered so this cannot fire")
+    v.iter().count()
+}
+
+// NON-FIRING: a well-formed waiver consumed by a real finding.
+fn used_waiver(map: &HashMap<u32, u32>) -> usize {
+    // wsc-lint: allow(D001, "count() is order-insensitive")
+    map.keys().count()
+}

@@ -1,0 +1,437 @@
+//! A minimal Rust lexer: just enough tokenization for the `wsc-lint`
+//! rule set, in the same spirit as the vendored hand-parsed derive
+//! macros (no `syn`, no external parser — the build image has no
+//! network).
+//!
+//! The lexer produces a flat token stream (identifiers, lifetimes,
+//! literals, single-character punctuation) annotated with line and
+//! column, plus the list of `//` line comments so the waiver pass can
+//! read `// wsc-lint: allow(...)` directives. It understands the parts
+//! of Rust's lexical grammar that would otherwise corrupt a token-level
+//! scan: nested block comments, ordinary/raw/byte string literals,
+//! char literals vs lifetimes, and raw identifiers.
+
+/// Token classification. Punctuation is emitted one character at a
+/// time; multi-character operators (`::`, `+=`, `->`) are recognized by
+/// the rule passes via [`Tok::col`] adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `in`, `HashMap`, ...).
+    Ident,
+    /// Lifetime such as `'a` (the leading `'` is stripped).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String, raw-string, byte-string or char literal. The text holds
+    /// the literal's *contents* (delimiters stripped) so rules like
+    /// A001 can read `since = "0.2.0"` directly.
+    Str,
+    /// One character of punctuation.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line, 0-based
+/// byte column of its first character).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `//` line comment (text after the `//`, untrimmed) with the line
+/// it sits on. Block comments are skipped; waiver directives must be
+/// line comments so they bind to an unambiguous line.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lex `src` into tokens and line comments. The lexer never fails:
+/// unterminated constructs simply run to end of file, which is the
+/// right degradation for a lint that must not crash on in-progress
+/// code.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, counting newlines as we go.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                let (content, next, newlines, new_line_start) = scan_raw_string(src, i);
+                line += newlines;
+                if let Some(ls) = new_line_start {
+                    line_start = ls;
+                }
+                i = next;
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    col,
+                });
+            }
+            b'"' => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                let (content, next, newlines, new_line_start) = scan_string(src, i);
+                line += newlines;
+                if let Some(ls) = new_line_start {
+                    line_start = ls;
+                }
+                i = next;
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    col,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                let (content, next, newlines, new_line_start) = scan_string(src, i + 1);
+                line += newlines;
+                if let Some(ls) = new_line_start {
+                    line_start = ls;
+                }
+                i = next;
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                // Lifetime (`'a` not followed by a closing quote) vs
+                // char literal (`'x'`, `'\n'`, `'\''`).
+                if is_lifetime(b, i) {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line: tok_line,
+                        col,
+                    });
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2; // skip the escape lead and escaped char
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1; // \u{...} etc.
+                        }
+                    } else {
+                        while i < b.len() && b[i] != b'\'' {
+                            if b[i] == b'\n' {
+                                break; // stray quote; do not swallow the file
+                            }
+                            i += 1;
+                        }
+                    }
+                    let end = i.min(b.len());
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: src[start..end].to_string(),
+                        line: tok_line,
+                        col,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                // Raw identifier `r#name` lexes as the plain name.
+                let mut start = i;
+                if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' && ident_follows(b, i + 2) {
+                    start = i + 2;
+                    i += 2;
+                }
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part: `1.5` but not the range `0..n` and
+                // not a method call `1.max(x)`.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                    col,
+                });
+            }
+            _ => {
+                let (tok_line, col) = (line, (i - line_start) as u32);
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line: tok_line,
+                    col,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does position `i` start a raw (possibly byte) string: `r"`, `r#"`,
+/// `br"`, `br##"`...?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Scan a raw string starting at `i`; returns (content, next index,
+/// newline count, byte index of the last line start if any newline was
+/// crossed).
+fn scan_raw_string(src: &str, i: usize) -> (String, usize, u32, Option<usize>) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let mut newlines = 0u32;
+    let mut last_line_start = None;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            newlines += 1;
+            last_line_start = Some(j + 1);
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (src[start..j].to_string(), k, newlines, last_line_start);
+            }
+        }
+        j += 1;
+    }
+    (src[start..j].to_string(), j, newlines, last_line_start)
+}
+
+/// Scan an ordinary `"..."` string starting at the quote at `i`.
+fn scan_string(src: &str, i: usize) -> (String, usize, u32, Option<usize>) {
+    let b = src.as_bytes();
+    let start = i + 1;
+    let mut j = start;
+    let mut newlines = 0u32;
+    let mut last_line_start = None;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                last_line_start = Some(j + 1);
+                j += 1;
+            }
+            b'"' => return (src[start..j].to_string(), j + 1, newlines, last_line_start),
+            _ => j += 1,
+        }
+    }
+    (
+        src[start..j.min(b.len())].to_string(),
+        j,
+        newlines,
+        last_line_start,
+    )
+}
+
+/// After a `'`, is this a lifetime rather than a char literal? A
+/// lifetime is an identifier start NOT followed (after the identifier
+/// run) by a closing `'`.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= b.len() || !(b[j].is_ascii_alphabetic() || b[j] == b'_') {
+        return false;
+    }
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+fn ident_follows(b: &[u8], i: usize) -> bool {
+    i < b.len() && (b[i].is_ascii_alphabetic() || b[i] == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_lines() {
+        let l = lex("let x = a.iter();\nfor y in &m {}");
+        let iter = l.toks.iter().find(|t| t.text == "iter").map(|t| t.line);
+        let for_tok = l.toks.iter().find(|t| t.text == "for").map(|t| t.line);
+        assert_eq!(iter, Some(1));
+        assert_eq!(for_tok, Some(2));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        assert_eq!(
+            texts(r#"a "iter() // not a comment" b"#),
+            vec!["a", "iter() // not a comment", "b"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let v = texts(r###"x r#"quote " inside"# y"###);
+        assert_eq!(v, vec!["x", "quote \" inside", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(c: char) { let q = 'x'; let nl = '\\n'; }");
+        let kinds: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Lifetime | TokKind::Str))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(kinds.len(), 3);
+        assert_eq!(kinds[0].0, TokKind::Lifetime);
+        assert_eq!(kinds[0].1, "a");
+        assert_eq!(kinds[1].0, TokKind::Str);
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let l = lex("code(); // trailing\n// own line\nmore();");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[1].text.contains("own line"));
+    }
+
+    #[test]
+    fn nested_block_comment_line_tracking() {
+        let l = lex("a /* one\n /* two */ still\n */ b");
+        assert_eq!(l.toks[1].text, "b");
+        assert_eq!(l.toks[1].line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(
+            texts("0..n 1.5 2.max(x)"),
+            vec!["0", ".", ".", "n", "1.5", "2", ".", "max", "(", "x", ")"]
+        );
+    }
+}

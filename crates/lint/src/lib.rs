@@ -1,0 +1,390 @@
+//! `wsc-lint` — the WATOS in-repo determinism & soundness static
+//! analyzer.
+//!
+//! Every equivalence claim this repository makes (pruned ≡ exhaustive
+//! winners, bit-identical incremental refactors, byte-identical reports
+//! across thread counts) rests on a determinism contract that the
+//! proptests can only *sample*. This crate makes the underlying hazards
+//! unmergeable instead: a lightweight lexer plus token-tree scanner
+//! (no `syn` — the build image has no network) checks every first-party
+//! source against the rule catalog in [`rules`], with reasoned inline
+//! waivers ([`waiver`]) for sites that are sound for reasons the
+//! analyzer cannot see.
+//!
+//! The binary (`cargo run -p wsc-lint --release -- --deny`) gates CI;
+//! the library entry points ([`analyze_source`], [`analyze_tree`]) are
+//! what the fixture corpus and the self-check test drive.
+//!
+//! ```
+//! use wsc_lint::{analyze_source, Config, FileClass};
+//!
+//! let cfg = Config::default();
+//! let report = analyze_source(
+//!     "crates/demo/src/lib.rs",
+//!     "fn f(m: &std::collections::HashMap<u32, u32>) { for x in m {} }",
+//!     FileClass::Library,
+//!     &cfg,
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "D001");
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+use serde::Serialize;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A semantic version, ordered lexicographically by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Version(pub u64, pub u64, pub u64);
+
+impl Version {
+    /// Parse `"0.3.0"`; returns `None` on anything that is not three
+    /// dot-separated integers (a leading `v` is tolerated).
+    pub fn parse(s: &str) -> Option<Version> {
+        let s = s.trim().trim_start_matches('v');
+        let mut parts = s.split('.');
+        let major = parts.next()?.parse().ok()?;
+        let minor = parts.next()?.parse().ok()?;
+        let patch = parts.next().unwrap_or("0").parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Version(major, minor, patch))
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.0, self.1, self.2)
+    }
+}
+
+/// How a first-party file is held to the catalog (see
+/// [`rules::rule_applies`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library sources: the full catalog, including S001.
+    Library,
+    /// First-party binary entry points (`src/main.rs`, `src/bin/*`):
+    /// top-level panics are acceptable UX, determinism rules still
+    /// apply.
+    Bin,
+    /// The measurement harness (`crates/bench`): additionally exempt
+    /// from D004 — measuring wall-clock time is its job.
+    Bench,
+}
+
+/// One diagnostic at a `path:line`.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A finding suppressed by a reasoned waiver (kept in the report so
+/// `--format json` consumers can audit the waiver inventory).
+#[derive(Debug, Clone, Serialize)]
+pub struct WaivedFinding {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The workspace's current version, against which A001 measures
+    /// the one-release deprecation window.
+    pub current_version: Version,
+    /// Path suffixes whose rayon reductions are the blessed
+    /// deterministic-merge entry points (D003).
+    pub blessed_par_suffixes: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            current_version: Version(0, 0, 0),
+            blessed_par_suffixes: vec!["crates/core/src/wave.rs".to_string()],
+        }
+    }
+}
+
+impl Config {
+    /// Configuration for the workspace rooted at `root`: reads
+    /// `version = ".."` from the root `Cargo.toml`'s
+    /// `[workspace.package]` table.
+    pub fn for_tree(root: &Path) -> std::io::Result<Config> {
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+        let mut cfg = Config::default();
+        let mut in_workspace_package = false;
+        for line in manifest.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_workspace_package = line == "[workspace.package]";
+                continue;
+            }
+            if in_workspace_package {
+                if let Some(rest) = line.strip_prefix("version") {
+                    let rest = rest.trim_start().trim_start_matches('=').trim();
+                    let v = rest.trim_matches('"');
+                    if let Some(parsed) = Version::parse(v) {
+                        cfg.current_version = parsed;
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Analysis result for one file.
+#[derive(Debug, Default, Serialize)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub waived: Vec<WaivedFinding>,
+}
+
+/// Analysis result for a whole tree.
+#[derive(Debug, Default, Serialize)]
+pub struct TreeReport {
+    pub findings: Vec<Finding>,
+    pub waived: Vec<WaivedFinding>,
+    pub files_scanned: usize,
+}
+
+/// Classify a workspace-relative path; `None` means the file is out of
+/// scope (vendored code, test trees, the lint fixture corpus).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    let rel = rel.replace('\\', "/");
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/fixtures/") {
+        return None;
+    }
+    if !rel.starts_with("crates/") || !rel.contains("/src/") {
+        return None;
+    }
+    if rel.starts_with("crates/bench/") {
+        return Some(FileClass::Bench);
+    }
+    if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        return Some(FileClass::Bin);
+    }
+    Some(FileClass::Library)
+}
+
+/// Analyze one source file: run the catalog, then apply waivers. The
+/// `path` is used verbatim in diagnostics and for D003's blessed-file
+/// check.
+pub fn analyze_source(path: &str, source: &str, class: FileClass, cfg: &Config) -> FileReport {
+    let lexed = lexer::lex(source);
+    let ctx = rules::RuleCtx::new(
+        path,
+        class,
+        &lexed.toks,
+        cfg.current_version,
+        &cfg.blessed_par_suffixes,
+    );
+    let raw = rules::run_rules(&ctx);
+
+    let (waivers, malformed) = waiver::parse_waivers(&lexed.comments, rules::RULE_IDS);
+    // A waiver binds to its own line (trailing comment) and to the
+    // next line that carries code (own-line comment above the site).
+    let next_code_line = |after: u32| -> Option<u32> {
+        lexed
+            .toks
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > after)
+            .min()
+    };
+    let mut used = vec![false; waivers.len()];
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in raw {
+        let mut matched = None;
+        for (wi, w) in waivers.iter().enumerate() {
+            if !w.ids.iter().any(|id| id == &f.rule) {
+                continue;
+            }
+            let covers = w.line == f.line || next_code_line(w.line) == Some(f.line);
+            if covers {
+                matched = Some(wi);
+                break;
+            }
+        }
+        match matched {
+            Some(wi) => {
+                used[wi] = true;
+                waived.push(WaivedFinding {
+                    finding: f,
+                    reason: waivers[wi].reason.clone(),
+                });
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // Meta-rules: malformed directives (L001) and waivers that
+    // suppress nothing (L002) — both outside test regions only, and
+    // never themselves waivable.
+    for m in malformed {
+        if !ctx.in_test_region(m.line) {
+            findings.push(Finding {
+                rule: "L001".to_string(),
+                path: path.to_string(),
+                line: m.line,
+                message: format!("malformed wsc-lint directive: {}", m.message),
+            });
+        }
+    }
+    for (wi, w) in waivers.iter().enumerate() {
+        if !used[wi] && !ctx.in_test_region(w.line) {
+            findings.push(Finding {
+                rule: "L002".to_string(),
+                path: path.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for {} suppresses nothing — delete it (stale waivers hide future \
+                     regressions)",
+                    w.ids.join(", ")
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    FileReport { findings, waived }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze every in-scope first-party source under `root`.
+pub fn analyze_tree(root: &Path, cfg: &Config) -> std::io::Result<TreeReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        rust_files(&crates_dir, &mut files)?;
+    }
+    let mut report = TreeReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path)?;
+        let file = analyze_source(&rel, &source, class, cfg);
+        report.findings.extend(file.findings);
+        report.waived.extend(file.waived);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report.waived.sort_by(|a, b| {
+        (&a.finding.path, a.finding.line, &a.finding.rule).cmp(&(
+            &b.finding.path,
+            b.finding.line,
+            &b.finding.rule,
+        ))
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_parse_and_order() {
+        assert_eq!(Version::parse("0.3.0"), Some(Version(0, 3, 0)));
+        assert_eq!(Version::parse("1.2"), Some(Version(1, 2, 0)));
+        assert_eq!(Version::parse("x.y.z"), None);
+        assert!(Version(0, 2, 0) < Version(0, 3, 0));
+        assert!(Version(0, 2, 9) < Version(0, 10, 0));
+    }
+
+    #[test]
+    fn classify_scopes() {
+        assert_eq!(classify("crates/core/src/ga.rs"), Some(FileClass::Library));
+        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileClass::Bin));
+        assert_eq!(
+            classify("crates/bench/src/bin/bench_search.rs"),
+            Some(FileClass::Bench)
+        );
+        assert_eq!(classify("crates/bench/src/util.rs"), Some(FileClass::Bench));
+        assert_eq!(classify("vendor/rayon/src/lib.rs"), None);
+        assert_eq!(classify("crates/core/tests/properties.rs"), None);
+        assert_eq!(classify("crates/lint/fixtures/d001.rs"), None);
+        assert_eq!(classify("tests/end_to_end.rs"), None);
+    }
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let cfg = Config::default();
+        let src = "fn f(m: &HashMap<u32, u32>) {\n\
+                   // wsc-lint: allow(D001, \"keyed lookup only\")\n\
+                   for x in m {}\n\
+                   for y in m {} // wsc-lint: allow(D001, \"second site\")\n\
+                   }\n";
+        let r = analyze_source("crates/x/src/lib.rs", src, FileClass::Library, &cfg);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waived.len(), 2);
+        assert_eq!(r.waived[0].reason, "keyed lookup only");
+    }
+
+    #[test]
+    fn unused_waiver_is_l002() {
+        let cfg = Config::default();
+        let src = "// wsc-lint: allow(D001, \"nothing here fires\")\nfn f() {}\n";
+        let r = analyze_source("crates/x/src/lib.rs", src, FileClass::Library, &cfg);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "L002");
+    }
+
+    #[test]
+    fn malformed_waiver_is_l001_and_does_not_suppress() {
+        let cfg = Config::default();
+        let src = "fn f(m: &HashMap<u32, u32>) {\n\
+                   // wsc-lint: allow(D001)\n\
+                   for x in m {}\n\
+                   }\n";
+        let r = analyze_source("crates/x/src/lib.rs", src, FileClass::Library, &cfg);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"L001"), "{rules:?}");
+        assert!(rules.contains(&"D001"), "{rules:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! `wsc-lint` CLI — the CI gate.
+//!
+//! ```text
+//! cargo run -p wsc-lint --release -- [--root PATH] [--deny] [--format text|json]
+//! ```
+//!
+//! Scans every first-party source (`crates/*/src`, vendored crates and
+//! test trees excluded) against the determinism & soundness catalog in
+//! `docs/LINTS.md`. With `--deny` (the CI configuration) any
+//! unwaived finding makes the process exit non-zero; `--format json`
+//! emits a machine-readable report including the audited waiver
+//! inventory.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wsc_lint::{analyze_tree, Config, Finding, TreeReport, WaivedFinding};
+
+/// The `--format json` document.
+#[derive(Serialize)]
+struct JsonReport {
+    version: String,
+    root: String,
+    files_scanned: usize,
+    findings: Vec<Finding>,
+    waived: Vec<WaivedFinding>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: wsc-lint [--root PATH] [--deny] [--format text|json]");
+    std::process::exit(2);
+}
+
+/// Walk upward from `start` to the workspace root (the first directory
+/// whose Cargo.toml declares `[workspace]`).
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let root = root
+        .or_else(|| find_workspace_root(std::env::current_dir().unwrap_or_default()))
+        .unwrap_or_else(|| {
+            eprintln!("wsc-lint: no workspace root found (pass --root)");
+            std::process::exit(2);
+        });
+
+    let cfg = match Config::for_tree(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!(
+                "wsc-lint: cannot read {}: {e}",
+                root.join("Cargo.toml").display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report: TreeReport = match analyze_tree(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wsc-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let doc = JsonReport {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            root: root.display().to_string(),
+            files_scanned: report.files_scanned,
+            findings: report.findings.clone(),
+            waived: report.waived.clone(),
+        };
+        println!("{}", serde::json::to_text(&doc.to_value()));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "wsc-lint: {} file(s) scanned, {} finding(s), {} waived",
+            report.files_scanned,
+            report.findings.len(),
+            report.waived.len()
+        );
+    }
+
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,174 @@
+//! Inline waiver directives.
+//!
+//! A finding is suppressed by a *reasoned* line comment either trailing
+//! the offending line or on its own line directly above it:
+//!
+//! ```text
+//! // wsc-lint: allow(D001, "keyed lookup only")
+//! for (k, v) in &self.map { ... }
+//!
+//! let t = map.values().sum::<f64>(); // wsc-lint: allow(D001, D002, "sorted upstream")
+//! ```
+//!
+//! The reason string is mandatory and must be non-empty: an
+//! unexplained suppression is itself a soundness hazard, so a
+//! malformed directive is reported as [`L001`](crate::rules) and an
+//! unmatched one as `L002`. Waivers never apply to the `L` meta-rules.
+
+use crate::lexer::LineComment;
+
+/// One parsed `wsc-lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// Rule IDs this directive waives (e.g. `["D001", "D002"]`).
+    pub ids: Vec<String>,
+    /// The mandatory human reason.
+    pub reason: String,
+}
+
+/// A directive that could not be parsed into a valid [`Waiver`].
+#[derive(Debug, Clone)]
+pub struct MalformedWaiver {
+    pub line: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "wsc-lint:";
+
+/// Extract every waiver directive from a file's line comments.
+/// Comments without the `wsc-lint:` marker are ignored.
+pub fn parse_waivers(
+    comments: &[LineComment],
+    known_ids: &[&str],
+) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow(rest.trim(), known_ids) {
+            Ok((ids, reason)) => waivers.push(Waiver {
+                line: c.line,
+                ids,
+                reason,
+            }),
+            Err(message) => malformed.push(MalformedWaiver {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (waivers, malformed)
+}
+
+/// Parse `allow(ID[, ID...], "reason")`.
+fn parse_allow(s: &str, known_ids: &[&str]) -> Result<(Vec<String>, String), String> {
+    let Some(body) = s.strip_prefix("allow") else {
+        return Err(format!("expected `allow(...)` after `{MARKER}`, got `{s}`"));
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(body) = body.trim_end().strip_suffix(')') else {
+        return Err("unclosed `allow(` directive".to_string());
+    };
+
+    // Split off the trailing quoted reason first so commas inside the
+    // reason text stay intact.
+    let body = body.trim();
+    let Some(body) = body.strip_suffix('"') else {
+        return Err("waiver needs a quoted reason: allow(ID, \"why this is sound\")".to_string());
+    };
+    let Some(quote) = body.rfind('"') else {
+        return Err("unterminated reason string in waiver".to_string());
+    };
+    let reason = body[quote + 1..].to_string();
+    if reason.trim().is_empty() {
+        return Err("waiver reason must not be empty".to_string());
+    }
+    let ids_part = body[..quote].trim().trim_end_matches(',').trim();
+    if ids_part.is_empty() {
+        return Err("waiver names no rule IDs".to_string());
+    }
+    let mut ids = Vec::new();
+    for id in ids_part.split(',').map(str::trim) {
+        if id.is_empty() {
+            return Err("empty rule ID in waiver".to_string());
+        }
+        if !known_ids.contains(&id) {
+            return Err(format!("unknown rule ID `{id}` in waiver"));
+        }
+        if id.starts_with('L') {
+            return Err(format!("meta-rule `{id}` cannot be waived"));
+        }
+        ids.push(id.to_string());
+    }
+    Ok((ids, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["D001", "D002", "S001", "L001"];
+
+    fn parse(src: &str) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+        parse_waivers(&lex(src).comments, KNOWN)
+    }
+
+    #[test]
+    fn well_formed_single_and_multi_id() {
+        let (w, m) = parse(
+            "// wsc-lint: allow(D001, \"keyed lookup only\")\n\
+             x(); // wsc-lint: allow(D001, D002, \"sorted, upstream\")\n",
+        );
+        assert!(m.is_empty());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].ids, vec!["D001"]);
+        assert_eq!(w[0].reason, "keyed lookup only");
+        assert_eq!(w[1].ids, vec!["D001", "D002"]);
+        assert_eq!(w[1].reason, "sorted, upstream");
+        assert_eq!(w[1].line, 2);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (w, m) = parse("// wsc-lint: allow(D001)\n");
+        assert!(w.is_empty());
+        assert_eq!(m.len(), 1);
+        assert!(m[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let (_, m) = parse("// wsc-lint: allow(D001, \"  \")\n");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unknown_id_is_malformed() {
+        let (_, m) = parse("// wsc-lint: allow(D999, \"nope\")\n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].message.contains("D999"));
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_waived() {
+        let (_, m) = parse("// wsc-lint: allow(L001, \"silence the linter\")\n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].message.contains("cannot be waived"));
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let (w, m) = parse("// plain comment mentioning allow(D001)\n");
+        assert!(w.is_empty());
+        assert!(m.is_empty());
+    }
+}

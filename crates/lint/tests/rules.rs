@@ -1,0 +1,163 @@
+//! Fixture-corpus tests: every rule has a firing, a non-firing and a
+//! waived case under `fixtures/`, and this suite pins the analyzer's
+//! verdict on each. The fixtures are scanned as source text only — the
+//! `fixtures/` path segment is out of scope for [`wsc_lint::classify`],
+//! so neither cargo nor `wsc-lint --deny` ever sees them as first-party
+//! code.
+
+use wsc_lint::{analyze_source, Config, FileClass, FileReport, Version};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn analyze(name: &str, class: FileClass) -> FileReport {
+    let cfg = Config {
+        current_version: Version(0, 3, 0),
+        ..Config::default()
+    };
+    analyze_source(
+        &format!("crates/lint/fixtures/{name}"),
+        &fixture(name),
+        class,
+        &cfg,
+    )
+}
+
+/// The rule IDs of `report.findings`, in emission order.
+fn rules(report: &FileReport) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+/// The rule IDs of `report.waived`, in emission order.
+fn waived_rules(report: &FileReport) -> Vec<&str> {
+    report
+        .waived
+        .iter()
+        .map(|w| w.finding.rule.as_str())
+        .collect()
+}
+
+#[test]
+fn d001_firing_non_firing_waived() {
+    let r = analyze("d001.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["D001", "D001"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["D001"], "{:#?}", r.waived);
+    // The two live findings are the for-loop and the HashSet chain; the
+    // ordered-container and keyed-lookup cases stay silent.
+    assert!(r.findings.iter().all(|f| f.line < 20), "{:#?}", r.findings);
+}
+
+#[test]
+fn d002_firing_non_firing_waived() {
+    let r = analyze("d002.rs", FileClass::Library);
+    let d002: Vec<_> = r.findings.iter().filter(|f| f.rule == "D002").collect();
+    assert_eq!(d002.len(), 2, "{:#?}", r.findings);
+    // The unordered sources also fire D001 — the ordered slice sum must
+    // not fire anything.
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| f.rule == "D001" || f.rule == "D002"));
+    assert!(waived_rules(&r).contains(&"D002"), "{:#?}", r.waived);
+}
+
+#[test]
+fn d003_firing_non_firing_waived() {
+    let r = analyze("d003.rs", FileClass::Library);
+    let d003: Vec<_> = r.findings.iter().filter(|f| f.rule == "D003").collect();
+    assert_eq!(d003.len(), 2, "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["D003"], "{:#?}", r.waived);
+}
+
+#[test]
+fn d003_blessed_file_is_exempt() {
+    let cfg = Config {
+        current_version: Version(0, 3, 0),
+        ..Config::default()
+    };
+    let r = analyze_source(
+        "crates/core/src/wave.rs",
+        &fixture("d003.rs"),
+        FileClass::Library,
+        &cfg,
+    );
+    assert!(
+        r.findings.iter().all(|f| f.rule != "D003"),
+        "{:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn d004_firing_non_firing_waived() {
+    let r = analyze("d004.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["D004", "D004"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["D004"], "{:#?}", r.waived);
+    // The bench harness is allowed to measure wall-clock time, but its
+    // unused waiver then surfaces as L002.
+    let bench = analyze("d004.rs", FileClass::Bench);
+    assert_eq!(rules(&bench), ["L002"], "{:#?}", bench.findings);
+}
+
+#[test]
+fn s001_firing_non_firing_waived() {
+    let r = analyze("s001.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["S001", "S001", "S001"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["S001"], "{:#?}", r.waived);
+    // Bin and Bench classes are S001-exempt, leaving only the now-unused
+    // waiver to report.
+    let bin = analyze("s001.rs", FileClass::Bin);
+    assert_eq!(rules(&bin), ["L002"], "{:#?}", bin.findings);
+}
+
+#[test]
+fn a001_firing_non_firing_waived() {
+    let r = analyze("a001.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["A001", "A001"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["A001"], "{:#?}", r.waived);
+}
+
+#[test]
+fn waiver_meta_rules() {
+    let r = analyze("waivers.rs", FileClass::Library);
+    let ids = rules(&r);
+    // Two malformed waivers (missing reason, unknown rule), one unused
+    // waiver, and the D001 the reason-less waiver failed to cover.
+    assert_eq!(
+        ids.iter().filter(|r| **r == "L001").count(),
+        2,
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(
+        ids.iter().filter(|r| **r == "L002").count(),
+        1,
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(
+        ids.iter().filter(|r| **r == "D001").count(),
+        1,
+        "{:#?}",
+        r.findings
+    );
+    assert_eq!(waived_rules(&r), ["D001"], "{:#?}", r.waived);
+}
+
+#[test]
+fn findings_are_span_accurate() {
+    let r = analyze("d001.rs", FileClass::Library);
+    let src = fixture("d001.rs");
+    for f in &r.findings {
+        let line = src
+            .lines()
+            .nth(f.line as usize - 1)
+            .unwrap_or_else(|| panic!("finding line {} out of range", f.line));
+        assert!(
+            line.contains("map") || line.contains("set"),
+            "finding {f} points at an unrelated line: {line:?}"
+        );
+    }
+}

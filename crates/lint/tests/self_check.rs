@@ -1,0 +1,42 @@
+//! The gate behind the gate: `wsc-lint` must run clean on the
+//! repository's own tree. CI enforces this through `wsc-lint --deny`;
+//! this test enforces it through `cargo test`, so a finding introduced
+//! together with code that passes the build still fails tier-1.
+
+use std::path::Path;
+use wsc_lint::{analyze_tree, Config};
+
+#[test]
+fn repo_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let cfg = Config::for_tree(&root).expect("workspace manifest is readable");
+    let report = analyze_tree(&root, &cfg).expect("tree walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "wsc-lint found {} unwaived finding(s) on the repo tree:\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every waiver in the tree carries a reason by construction (L001
+    // rejects reason-less waivers); sanity-check the invariant held.
+    assert!(report.waived.iter().all(|w| !w.reason.is_empty()));
+}

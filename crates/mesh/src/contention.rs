@@ -9,7 +9,7 @@
 use crate::routing::{path_links, shortest_paths};
 use crate::topology::{DirLink, Mesh2D, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::{Bandwidth, Bytes, Time};
 
@@ -64,7 +64,10 @@ pub struct TrafficAssigner {
     punish: f64,
     max_paths: usize,
     faults: FaultMap,
-    link_bytes: HashMap<DirLink, f64>,
+    // Ordered so the f64 accumulations in `max_link_time` and
+    // `mean_relative_utilization` see a deterministic iteration order
+    // (wsc-lint rules D001/D002).
+    link_bytes: BTreeMap<DirLink, f64>,
     routed: Vec<RoutedTask>,
 }
 
@@ -77,7 +80,7 @@ impl TrafficAssigner {
             punish,
             max_paths: 16,
             faults: FaultMap::none(),
-            link_bytes: HashMap::new(),
+            link_bytes: BTreeMap::new(),
             routed: Vec::new(),
         }
     }
@@ -141,6 +144,7 @@ impl TrafficAssigner {
             *self.link_bytes.entry(l).or_insert(0.0) += bytes;
         }
         self.routed.push(RoutedTask { task, path });
+        // wsc-lint: allow(S001, "the push on the previous line guarantees the vec is non-empty")
         self.routed.last().expect("just pushed")
     }
 
@@ -166,7 +170,7 @@ impl TrafficAssigner {
     /// Number of links that carry both pipeline and activation-balance
     /// traffic (the conflict count γ of Eq. 2).
     pub fn conflict_links(&self) -> usize {
-        let mut usage: HashMap<DirLink, (bool, bool)> = HashMap::new();
+        let mut usage: BTreeMap<DirLink, (bool, bool)> = BTreeMap::new();
         for rt in &self.routed {
             for l in path_links(&rt.path) {
                 let e = usage.entry(l).or_insert((false, false));

@@ -191,8 +191,8 @@ pub fn gcmr(stages: &[StageRecomputeInput], capacity: Bytes, quanta_per_die: usi
         }
     }
     // DescendSort by memory pressure / spare capacity.
-    senders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    helpers.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    senders.sort_by(|a, b| b.1.total_cmp(&a.1));
+    helpers.sort_by(|a, b| b.1.total_cmp(&a.1));
     let sender_ids: Vec<usize> = senders.iter().map(|s| s.0).collect();
     let helper_ids: Vec<usize> = helpers.iter().map(|h| h.0).collect();
 
@@ -212,7 +212,7 @@ pub fn gcmr(stages: &[StageRecomputeInput], capacity: Bytes, quanta_per_die: usi
             let left = spare - take;
             if left > 1.0 {
                 hq.push((h, left));
-                hq.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                hq.sort_by(|a, b| a.1.total_cmp(&b.1));
             }
         }
     }

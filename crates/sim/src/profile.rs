@@ -134,7 +134,7 @@ impl RecomputeMenu {
         items.sort_by(|a, b| {
             let ea = a.recompute_time.as_secs() / a.bytes_saved.as_f64();
             let eb = b.recompute_time.as_secs() / b.bytes_saved.as_f64();
-            ea.partial_cmp(&eb).expect("finite efficiency")
+            ea.total_cmp(&eb)
         });
         RecomputeMenu { items }
     }
@@ -146,7 +146,7 @@ impl RecomputeMenu {
         items.sort_by(|a, b| {
             let ea = a.recompute_time.as_secs() / a.bytes_saved.as_f64();
             let eb = b.recompute_time.as_secs() / b.bytes_saved.as_f64();
-            ea.partial_cmp(&eb).expect("finite efficiency")
+            ea.total_cmp(&eb)
         });
         RecomputeMenu { items }
     }

@@ -317,6 +317,49 @@ impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for Hash
     }
 }
 
+// Same representation for ordered maps, so a field can migrate
+// HashMap -> BTreeMap (e.g. for deterministic iteration) without
+// changing its serialized form: still a key-text-sorted pair array.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (json::to_text(&kv), kv, v.to_value())
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(_, k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected [k, v] pair, got {other:?}"
+                    ))),
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected array of pairs, got {other:?}"
+            ))),
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
