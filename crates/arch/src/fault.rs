@@ -84,53 +84,134 @@ impl FaultMap {
     }
 
     /// Inject link faults: each mesh link of the `nx × ny` grid fails with
-    /// probability `rate`. A failed link's quality is drawn uniformly from
-    /// [0, 0.7]; with probability 0.2 it is completely broken (quality 0).
+    /// probability `rate` (clamped to [0, 1]). A failed link's quality is
+    /// drawn uniformly from [0, 0.7]; with probability 0.2 it is completely
+    /// broken (quality 0).
+    ///
+    /// Every link consumes the same number of RNG draws whether or not it
+    /// fails, so for a fixed seed the set of faulted links at rate `r1` is
+    /// a subset of the set at `r2 >= r1` — injection counts are monotone
+    /// in the rate (property-tested below).
     pub fn inject_link_faults(nx: usize, ny: usize, rate: f64, seed: u64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x11a7_f00d);
         let mut map = FaultMap::none();
+        let link = |rng: &mut StdRng, map: &mut FaultMap, a: DiePos, b: DiePos| {
+            let hit = rng.gen::<f64>() < rate;
+            let dead = rng.gen::<f64>() < 0.2;
+            let q = rng.gen::<f64>() * 0.7;
+            if hit {
+                map.set_link_quality(a, b, if dead { 0.0 } else { q });
+            }
+        };
         for y in 0..ny {
             for x in 0..nx {
-                if x + 1 < nx && rng.gen::<f64>() < rate {
-                    let q = if rng.gen::<f64>() < 0.2 {
-                        0.0
-                    } else {
-                        rng.gen::<f64>() * 0.7
-                    };
-                    map.set_link_quality((x, y), (x + 1, y), q);
+                if x + 1 < nx {
+                    link(&mut rng, &mut map, (x, y), (x + 1, y));
                 }
-                if y + 1 < ny && rng.gen::<f64>() < rate {
-                    let q = if rng.gen::<f64>() < 0.2 {
-                        0.0
-                    } else {
-                        rng.gen::<f64>() * 0.7
-                    };
-                    map.set_link_quality((x, y), (x, y + 1), q);
+                if y + 1 < ny {
+                    link(&mut rng, &mut map, (x, y), (x, y + 1));
                 }
             }
         }
         map
     }
 
-    /// Inject die faults: each die fails with probability `rate`. A failed
-    /// die's health is drawn uniformly from [0.3, 0.9]; with probability
-    /// 0.15 the die is dead (health 0).
+    /// Inject die faults: each die fails with probability `rate` (clamped
+    /// to [0, 1]). A failed die's health is drawn uniformly from
+    /// [0.3, 0.9]; with probability 0.15 the die is dead (health 0).
+    ///
+    /// Like [`FaultMap::inject_link_faults`], each die consumes a fixed
+    /// number of RNG draws, so fault counts are monotone in the rate for
+    /// a fixed seed.
     pub fn inject_die_faults(nx: usize, ny: usize, rate: f64, seed: u64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xd1e_fa11);
         let mut map = FaultMap::none();
         for y in 0..ny {
             for x in 0..nx {
-                if rng.gen::<f64>() < rate {
-                    let h = if rng.gen::<f64>() < 0.15 {
-                        0.0
-                    } else {
-                        0.3 + rng.gen::<f64>() * 0.6
-                    };
-                    map.set_die_health((x, y), h);
+                let hit = rng.gen::<f64>() < rate;
+                let dead = rng.gen::<f64>() < 0.15;
+                let h = 0.3 + rng.gen::<f64>() * 0.6;
+                if hit {
+                    map.set_die_health((x, y), if dead { 0.0 } else { h });
                 }
             }
         }
         map
+    }
+
+    /// Inject spatially *clustered* defects: real wafer defects arrive in
+    /// radial blobs (contamination, lithography hot spots), not i.i.d.
+    /// per-die coin flips. Blobs of Manhattan radius 1–3 are dropped at
+    /// random centers until roughly `rate` of the dies are degraded;
+    /// severity decays radially from each blob center, dies at the core
+    /// may be dead, and the links inside a blob degrade alongside the
+    /// dies.
+    ///
+    /// The sampler is seeded and purely additive: for a fixed seed a
+    /// higher rate replays the identical blob sequence and then keeps
+    /// going, so the fault map at rate `r1` is a subset (pointwise
+    /// no-healthier) of the map at `r2 >= r1`.
+    pub fn inject_clustered_faults(nx: usize, ny: usize, rate: f64, seed: u64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb10b_fa11);
+        let mut map = FaultMap::none();
+        let total = nx * ny;
+        let target = (rate * total as f64).round() as usize;
+        // Blob drops overlap, so cap the attempts; the bound is generous
+        // enough that any reachable target is reached in practice.
+        let mut attempts = 0usize;
+        while map.die_fault_count() < target && attempts < 8 * total + 8 {
+            attempts += 1;
+            let cx = rng.gen_range(0..nx.max(1)) as isize;
+            let cy = rng.gen_range(0..ny.max(1)) as isize;
+            let radius = rng.gen_range(1..4usize) as isize;
+            let severity = 0.5 + rng.gen::<f64>() * 0.5;
+            for y in (cy - radius).max(0)..(cy + radius + 1).min(ny as isize) {
+                for x in (cx - radius).max(0)..(cx + radius + 1).min(nx as isize) {
+                    let dist = (x - cx).abs() + (y - cy).abs();
+                    if dist > radius {
+                        continue;
+                    }
+                    let decay = 1.0 - dist as f64 / (radius + 1) as f64;
+                    let d = (x as usize, y as usize);
+                    // Worst value wins when blobs overlap; a full-severity
+                    // core kills the die outright.
+                    let health = (1.0 - severity * decay).max(0.0);
+                    let health = if severity * decay >= 0.95 {
+                        0.0
+                    } else {
+                        health
+                    };
+                    if health < map.die_health(d) {
+                        map.set_die_health(d, health);
+                    }
+                    // Links leaving a degraded die degrade too, a bit less
+                    // than the silicon itself.
+                    let linkq = (1.0 - 0.8 * severity * decay).max(0.0);
+                    for n in [(x + 1, y), (x, y + 1)] {
+                        if n.0 < nx as isize && n.1 < ny as isize {
+                            let np = (n.0 as usize, n.1 as usize);
+                            if linkq < map.link_quality(d, np) {
+                                map.set_link_quality(d, np, linkq);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Fraction of grid sites (dies + internal links) this map degrades on
+    /// an `nx × ny` grid — the scalar "how broken is this wafer" knob the
+    /// goodput model feeds into its MTBF derating.
+    pub fn fault_fraction(&self, nx: usize, ny: usize) -> f64 {
+        let dies = nx * ny;
+        let links = nx.saturating_sub(1) * ny + ny.saturating_sub(1) * nx;
+        let sites = (dies + links).max(1);
+        (self.die_fault_count() + self.link_fault_count()) as f64 / sites as f64
     }
 
     /// Merge another fault map into this one (worst value wins).
@@ -212,5 +293,138 @@ mod tests {
         assert_eq!(m.link_quality((0, 0), (0, 1)), 1.0);
         m.set_die_health((0, 0), -0.3);
         assert_eq!(m.die_health((0, 0)), 0.0);
+    }
+
+    #[test]
+    fn clustered_injection_is_deterministic_and_spatially_correlated() {
+        let a = FaultMap::inject_clustered_faults(8, 7, 0.2, 9);
+        let b = FaultMap::inject_clustered_faults(8, 7, 0.2, 9);
+        assert_eq!(a, b);
+        assert!(a.die_fault_count() > 0);
+        assert!(a.link_fault_count() > 0, "blobs must degrade links too");
+        // Spatial correlation: every faulted die has a faulted die at
+        // Manhattan distance 1 (blobs of radius >= 1 never inject an
+        // isolated die, unlike the i.i.d. injector).
+        for (&(x, y), _) in a.faulted_dies() {
+            let neighbors = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            assert!(
+                neighbors.iter().any(|&n| a.die_health(n) < 1.0),
+                "die ({x},{y}) is an isolated defect"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_injection_hits_target_density() {
+        let m = FaultMap::inject_clustered_faults(10, 10, 0.2, 3);
+        let frac = m.die_fault_count() as f64 / 100.0;
+        assert!(
+            (0.15..=0.45).contains(&frac),
+            "20% target produced {frac} (blob overlap may overshoot a bit)"
+        );
+        assert_eq!(
+            FaultMap::inject_clustered_faults(10, 10, 0.0, 3).die_fault_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn fault_fraction_counts_dies_and_links() {
+        let mut m = FaultMap::none();
+        assert_eq!(m.fault_fraction(4, 4), 0.0);
+        m.set_die_health((0, 0), 0.5);
+        m.set_link_quality((0, 0), (1, 0), 0.5);
+        // 16 dies + 24 internal links = 40 sites, 2 degraded.
+        assert!((m.fault_fraction(4, 4) - 2.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_map() {
+        let mut m = FaultMap::inject_clustered_faults(6, 6, 0.3, 17);
+        m.merge(&FaultMap::inject_link_faults(6, 6, 0.2, 5));
+        let text = serde::json::to_text(&m.to_value());
+        let back =
+            FaultMap::from_value(&serde::json::from_text(&text).expect("parse")).expect("decode");
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fixed seed, growing rate: every injector consumes a fixed
+        /// number of RNG draws per site (or replays an identical blob
+        /// prefix), so fault counts are monotone in the rate.
+        #[test]
+        fn injection_count_is_monotone_in_rate(
+            nx in 2usize..10,
+            ny in 2usize..10,
+            r1 in 0.0f64..1.0,
+            r2 in 0.0f64..1.0,
+            seed in 0u64..1_000_000,
+        ) {
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            prop_assert!(
+                FaultMap::inject_link_faults(nx, ny, lo, seed).link_fault_count()
+                    <= FaultMap::inject_link_faults(nx, ny, hi, seed).link_fault_count()
+            );
+            prop_assert!(
+                FaultMap::inject_die_faults(nx, ny, lo, seed).die_fault_count()
+                    <= FaultMap::inject_die_faults(nx, ny, hi, seed).die_fault_count()
+            );
+            prop_assert!(
+                FaultMap::inject_clustered_faults(nx, ny, lo, seed).die_fault_count()
+                    <= FaultMap::inject_clustered_faults(nx, ny, hi, seed).die_fault_count()
+            );
+        }
+
+        /// Rates outside [0, 1] behave exactly like the clamped rate.
+        #[test]
+        fn injection_rate_is_clamped(
+            nx in 2usize..8,
+            ny in 2usize..8,
+            seed in 0u64..1_000_000,
+        ) {
+            prop_assert_eq!(
+                FaultMap::inject_link_faults(nx, ny, 1.7, seed),
+                FaultMap::inject_link_faults(nx, ny, 1.0, seed)
+            );
+            prop_assert_eq!(
+                FaultMap::inject_die_faults(nx, ny, -0.4, seed),
+                FaultMap::inject_die_faults(nx, ny, 0.0, seed)
+            );
+            prop_assert_eq!(
+                FaultMap::inject_clustered_faults(nx, ny, 2.5, seed),
+                FaultMap::inject_clustered_faults(nx, ny, 1.0, seed)
+            );
+        }
+
+        /// All injected values stay inside [0, 1] and injection is pure:
+        /// same arguments, same map.
+        #[test]
+        fn injected_values_in_unit_range(
+            nx in 2usize..8,
+            ny in 2usize..8,
+            rate in 0.0f64..1.0,
+            seed in 0u64..1_000_000,
+        ) {
+            let mut m = FaultMap::inject_clustered_faults(nx, ny, rate, seed);
+            m.merge(&FaultMap::inject_link_faults(nx, ny, rate, seed));
+            m.merge(&FaultMap::inject_die_faults(nx, ny, rate, seed));
+            for (_, &q) in m.faulted_links() {
+                prop_assert!((0.0..=1.0).contains(&q));
+            }
+            for (_, &h) in m.faulted_dies() {
+                prop_assert!((0.0..=1.0).contains(&h));
+            }
+        }
     }
 }

@@ -1,0 +1,238 @@
+//! Measured-benchmark harness for fault-aware co-exploration.
+//!
+//! Per preset, runs the single-wafer search twice in one process — once
+//! fault-oblivious (candidates ranked by clean iteration time, the
+//! seed-era behavior) and once fault-aware (ranked by ensemble
+//! effective time under a clustered yield ensemble via
+//! `Explorer::builder().fault_aware(..)`) — then scores *both* winners'
+//! ensemble goodput against the same ensemble and records the
+//! robust-search win in `BENCH_fault.json`. A fault-oblivious search
+//! ships the plan that is fastest on a perfect wafer; the gap measured
+//! here is what that plan gives up on the wafers the fab actually
+//! yields.
+//!
+//! ```text
+//! cargo run -p wsc-bench --release --bin bench_fault -- \
+//!     [--preset small|medium|large|all] \
+//!     [--output BENCH_fault.json] \
+//!     [--rate 0.2] [--samples 4] [--seed 7] \
+//!     [--objective mean|worst|p95] [--min-gap X]
+//! ```
+//!
+//! `--min-gap X` exits non-zero unless at least one selected preset's
+//! fault-aware winner beats the fault-oblivious winner's ensemble
+//! goodput by the fraction `X` (the CI smoke contract, and the
+//! acceptance criterion of the fault-aware co-exploration PR).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use watos::{
+    ensemble_goodput, ExplorationReport, Explorer, FaultEnsemble, ParallelPlan, ProfileCache,
+    RobustObjective, ScheduledConfig,
+};
+use wsc_bench::util::{search_presets, SearchPreset};
+use wsc_workload::training::TrainingJob;
+
+/// One preset's measurements.
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    preset: String,
+    model: String,
+    wafer: String,
+    /// Clustered-defect rate of the scoring ensemble.
+    rate: f64,
+    /// Monte-Carlo wafer samples per candidate score.
+    samples: usize,
+    /// Ensemble base seed.
+    seed: u64,
+    /// Robust objective the fault-aware search optimized.
+    objective: String,
+    /// Winning plan of the fault-oblivious search.
+    oblivious_plan: Option<ParallelPlan>,
+    /// Winning plan of the fault-aware search.
+    aware_plan: Option<ParallelPlan>,
+    /// Clean iteration seconds of each winner.
+    oblivious_clean_secs: Option<f64>,
+    aware_clean_secs: Option<f64>,
+    /// Ensemble goodput (useful FLOP/s) of each winner under the *same*
+    /// ensemble + objective.
+    oblivious_goodput: f64,
+    aware_goodput: f64,
+    /// Fractional goodput win of the fault-aware winner
+    /// (`aware/oblivious − 1`); `0.0` when the searches agree.
+    goodput_gap: f64,
+    /// Search wall times.
+    oblivious_search_secs: f64,
+    aware_search_secs: f64,
+}
+
+/// The whole `BENCH_fault.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    presets: Vec<BenchEntry>,
+}
+
+fn objective_of(name: &str) -> RobustObjective {
+    match name {
+        "mean" => RobustObjective::Mean,
+        "worst" => RobustObjective::Worst,
+        "p95" => RobustObjective::P95,
+        other => {
+            eprintln!("unknown objective `{other}` (mean|worst|p95)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn presets_for(which: &str) -> Vec<SearchPreset> {
+    let all = search_presets();
+    if which == "all" {
+        return all;
+    }
+    let selected: Vec<SearchPreset> = all.into_iter().filter(|p| p.name == which).collect();
+    if selected.is_empty() {
+        eprintln!("unknown preset `{which}` (small|medium|large|all)");
+        std::process::exit(2);
+    }
+    selected
+}
+
+fn run_once(
+    preset: &SearchPreset,
+    job: &TrainingJob,
+    fault_aware: Option<(&FaultEnsemble, RobustObjective)>,
+) -> (ExplorationReport, f64) {
+    let mut b = Explorer::builder()
+        .job(job.clone())
+        .wafer(preset.wafer.clone())
+        .strategies(preset.strategies.clone())
+        .no_ga();
+    if let Some((ensemble, objective)) = fault_aware {
+        b = b.fault_aware(ensemble.clone(), objective);
+    }
+    let explorer = b.build().expect("valid benchmark configuration");
+    let t0 = Instant::now();
+    let report = explorer.run();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn winner(report: &ExplorationReport) -> Option<&ScheduledConfig> {
+    report
+        .best()
+        .ok()
+        .and_then(|rec| rec.best.as_ref())
+        .filter(|cfg| cfg.report.feasible)
+}
+
+fn main() {
+    let mut preset_arg = "all".to_string();
+    let mut output = "BENCH_fault.json".to_string();
+    let mut rate = 0.2f64;
+    let mut samples = 4usize;
+    let mut seed = 7u64;
+    let mut objective_arg = "worst".to_string();
+    let mut min_gap: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--preset" => preset_arg = take("--preset"),
+            "--output" => output = take("--output"),
+            "--rate" => rate = take("--rate").parse().expect("--rate must be a number"),
+            "--samples" => {
+                samples = take("--samples")
+                    .parse()
+                    .expect("--samples must be an integer")
+            }
+            "--seed" => seed = take("--seed").parse().expect("--seed must be an integer"),
+            "--objective" => objective_arg = take("--objective"),
+            "--min-gap" => {
+                min_gap = Some(
+                    take("--min-gap")
+                        .parse()
+                        .expect("--min-gap must be a number"),
+                )
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let objective = objective_of(&objective_arg);
+
+    let mut entries = Vec::new();
+    let mut best_gap = f64::NEG_INFINITY;
+    for preset in presets_for(&preset_arg) {
+        let job = TrainingJob::standard(preset.model.clone());
+        let ensemble = FaultEnsemble::clustered(rate, samples, seed);
+        let (oblivious_report, oblivious_secs) = run_once(&preset, &job, None);
+        let (aware_report, aware_secs) = run_once(&preset, &job, Some((&ensemble, objective)));
+
+        // Score both winners against the SAME wafer population. A fresh
+        // cache per preset: goodput numbers must not depend on which
+        // search ran first.
+        let cache = ProfileCache::new();
+        let score = |cfg: Option<&ScheduledConfig>| -> f64 {
+            cfg.map_or(0.0, |c| {
+                ensemble_goodput(&preset.wafer, &job, c, &ensemble, objective, &cache)
+            })
+        };
+        let (ow, aw) = (winner(&oblivious_report), winner(&aware_report));
+        let (og, ag) = (score(ow), score(aw));
+        let gap = if og > 0.0 { ag / og - 1.0 } else { 0.0 };
+        best_gap = best_gap.max(gap);
+        println!(
+            "[{:8}] {:12} oblivious {:>10.3e} FLOP/s  aware {:>10.3e} FLOP/s  gap {:+6.2}%  \
+             ({} vs {})",
+            preset.name,
+            preset.model.name,
+            og,
+            ag,
+            gap * 100.0,
+            ow.map_or_else(|| "-".into(), |c| c.plan.to_string()),
+            aw.map_or_else(|| "-".into(), |c| c.plan.to_string()),
+        );
+        entries.push(BenchEntry {
+            preset: preset.name.to_string(),
+            model: preset.model.name.clone(),
+            wafer: preset.wafer.name.clone(),
+            rate,
+            samples,
+            seed,
+            objective: objective_arg.clone(),
+            oblivious_plan: ow.map(|c| c.plan.clone()),
+            aware_plan: aw.map(|c| c.plan.clone()),
+            oblivious_clean_secs: ow.map(|c| c.report.iteration.as_secs()),
+            aware_clean_secs: aw.map(|c| c.report.iteration.as_secs()),
+            oblivious_goodput: og,
+            aware_goodput: ag,
+            goodput_gap: gap,
+            oblivious_search_secs: oblivious_secs,
+            aware_search_secs: aware_secs,
+        });
+    }
+
+    let report = BenchReport {
+        benchmark: "fault-aware search vs fault-oblivious winner, ensemble goodput".to_string(),
+        presets: entries,
+    };
+    let json = serde::json::to_text(&report.to_value());
+    std::fs::write(&output, json + "\n").expect("write benchmark report");
+    println!("wrote {output}");
+
+    if let Some(min) = min_gap {
+        if best_gap < min {
+            eprintln!(
+                "FAULT-AWARE GAP CONTRACT FAILED: best goodput gap {:.4} below required {min}",
+                best_gap
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -177,6 +177,7 @@ pub fn fig22(quick: bool) -> String {
         let label = match sweep.kind {
             FaultKind::Link => "link",
             FaultKind::Die => "die",
+            FaultKind::Wafer => "wafer",
         };
         let pts = &sweep.points;
         let mut t = TextTable::new(vec!["fault rate", "WATOS", "baseline"]);

@@ -25,9 +25,10 @@
 //! pins the equivalence across random meshes, overflows and seeds, and
 //! `bench_ga` measures the win.
 
-use crate::placement::{tile_slots, PairDemand, Placement, Rect};
+use crate::placement::{degraded_rect_dist, slot_is_dead, tile_slots, PairDemand, Placement, Rect};
 use std::fmt;
 use std::sync::OnceLock;
+use wsc_arch::fault::FaultMap;
 use wsc_mesh::routing::{path_links, xy_path};
 use wsc_mesh::topology::{DirLink, Mesh2D};
 
@@ -127,10 +128,16 @@ pub struct PlacementCostModel {
     rows: usize,
     pp_volume: f64,
     slots: Vec<Rect>,
-    /// `dist[a * slots + b]` = `slots[a].dist(&slots[b])`, exact bits.
+    /// `dist[a * slots + b]` = `slots[a].dist(&slots[b])`, exact bits —
+    /// or [`degraded_rect_dist`] bits when built [`Self::with_faults`].
     dist: Vec<f64>,
     /// `frags[a * slots + b]` = XY route a→b, filled on first use.
     frags: Vec<OnceLock<PathFrag>>,
+    /// `masked[s]` — slot `s` contains a dead die and must not host a
+    /// stage (all-false for clean models).
+    masked: Vec<bool>,
+    /// Whether the model was built against a non-empty [`FaultMap`].
+    faulted: bool,
 }
 
 impl fmt::Debug for PlacementCostModel {
@@ -149,14 +156,48 @@ impl PlacementCostModel {
     /// Build the model for a tile grid on `mesh` with the Eq. 2
     /// inter-stage pipeline volume `pp_volume`.
     pub fn new(mesh: Mesh2D, tile_w: usize, tile_h: usize, pp_volume: f64) -> Self {
+        Self::build(mesh, tile_w, tile_h, pp_volume, None)
+    }
+
+    /// [`Self::new`] against a degraded wafer: every distance-table
+    /// entry is the [`degraded_rect_dist`] quality-weighted distance
+    /// (clean links leave it untouched), and slots containing a dead die
+    /// are masked out of the search space ([`Self::is_masked`]). Route
+    /// fragments (and so the γ conflict counts) are unchanged — faults
+    /// re-price links, they do not re-route the XY paths.
+    pub fn with_faults(
+        mesh: Mesh2D,
+        tile_w: usize,
+        tile_h: usize,
+        pp_volume: f64,
+        faults: &FaultMap,
+    ) -> Self {
+        Self::build(mesh, tile_w, tile_h, pp_volume, Some(faults))
+    }
+
+    fn build(
+        mesh: Mesh2D,
+        tile_w: usize,
+        tile_h: usize,
+        pp_volume: f64,
+        faults: Option<&FaultMap>,
+    ) -> Self {
         let slots = tile_slots(mesh.nx, mesh.ny, tile_w, tile_h);
         let n = slots.len();
         let mut dist = vec![0.0; n * n];
         for a in 0..n {
             for b in 0..n {
-                dist[a * n + b] = slots[a].dist(&slots[b]);
+                dist[a * n + b] = match faults {
+                    None => slots[a].dist(&slots[b]),
+                    Some(f) => degraded_rect_dist(&mesh, f, &slots[a], &slots[b]),
+                };
             }
         }
+        let masked = match faults {
+            None => vec![false; n],
+            Some(f) => slots.iter().map(|s| slot_is_dead(&mesh, f, s)).collect(),
+        };
+        let faulted = faults.is_some_and(|f| !f.is_empty());
         PlacementCostModel {
             mesh,
             tile_w,
@@ -167,7 +208,30 @@ impl PlacementCostModel {
             slots,
             dist,
             frags: (0..n * n).map(|_| OnceLock::new()).collect(),
+            masked,
+            faulted,
         }
+    }
+
+    /// Whether slot `id` contains a dead die and is excluded from
+    /// placement (always `false` on clean models).
+    pub fn is_masked(&self, id: u32) -> bool {
+        self.masked[id as usize]
+    }
+
+    /// The per-slot dead-die mask, indexed by slot id.
+    pub fn masked(&self) -> &[bool] {
+        &self.masked
+    }
+
+    /// Whether any slot is masked.
+    pub fn has_masked(&self) -> bool {
+        self.masked.iter().any(|&m| m)
+    }
+
+    /// Whether the model was built against a non-empty fault map.
+    pub fn faulted(&self) -> bool {
+        self.faulted
     }
 
     /// The mesh the model routes on.
@@ -638,6 +702,51 @@ mod tests {
                 }
             }
             let naive = global_cost(&mesh, &state.placement(), 1.0, &pairs);
+            assert_eq!(
+                state.cost().to_bits(),
+                naive.to_bits(),
+                "divergence at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_state_cost_matches_naive_through_random_mutations() {
+        use crate::placement::degraded_global_cost;
+        let mesh = Mesh2D::new(8, 4);
+        let mut faults = FaultMap::none();
+        faults.set_link_quality((3, 0), (4, 0), 0.3);
+        faults.set_link_quality((1, 2), (1, 3), 0.0);
+        faults.set_die_health((6, 3), 0.0);
+        let model = PlacementCostModel::with_faults(mesh, 2, 2, 1.5, &faults);
+        let base = serpentine(8, 4, 6, 2, 2).unwrap();
+        let pairs = vec![
+            PairDemand {
+                sender: 0,
+                helper: 5,
+                volume: 2.5,
+            },
+            PairDemand {
+                sender: 1,
+                helper: 4,
+                volume: 1.0,
+            },
+        ];
+        let mut state = model.state(&base, &pairs).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for step in 0..200 {
+            if rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..6);
+                let j = rng.gen_range(0..6);
+                state.apply_swap(i, j);
+            } else {
+                let i = rng.gen_range(0..6);
+                let slot = rng.gen_range(0..model.slot_count()) as u32;
+                if !state.stage_slots().contains(&slot) {
+                    state.apply_move(i, slot);
+                }
+            }
+            let naive = degraded_global_cost(&mesh, &state.placement(), 1.5, &pairs, &faults);
             assert_eq!(
                 state.cost().to_bits(),
                 naive.to_bits(),

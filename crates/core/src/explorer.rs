@@ -13,7 +13,9 @@
 //! the thread count (candidate order is preserved and every stochastic
 //! component is seeded per candidate).
 
-use crate::multiwafer::{explore_multi_wafer_impl, MultiWaferReport};
+use crate::cache::ProfileCache;
+use crate::goodput::{ensemble_effective_secs, FaultAwareSpec, FaultEnsemble, RobustObjective};
+use crate::multiwafer::{explore_multi_wafer_impl, wafer_loss_sweep_impl, MultiWaferReport};
 use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
 use crate::scheduler::{
     explore_impl, PlanFilter, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
@@ -269,6 +271,7 @@ pub struct ExplorerBuilder {
     nodes: Vec<MultiWaferConfig>,
     options: Option<SchedulerOptions>,
     faults: Option<FaultSweepSpec>,
+    fault_aware: Option<FaultAwareSpec>,
     baselines: Vec<Box<dyn BaselineModel>>,
     sequential: bool,
     skip_validation: bool,
@@ -364,6 +367,22 @@ impl ExplorerBuilder {
         self
     }
 
+    /// Make the single-wafer search fault-aware: candidates are ranked
+    /// by their checkpoint-aware effective iteration time over the
+    /// ensemble's Monte-Carlo wafer population (folded by `objective`)
+    /// instead of the clean iteration time, so the winner is the plan
+    /// that trains fastest on the wafers the fab actually yields. The
+    /// clean analytic bound stays a true lower bound of the ensemble
+    /// score, so pruning semantics (and the pruned ≡ exhaustive
+    /// equivalence) are unchanged.
+    pub fn fault_aware(mut self, ensemble: FaultEnsemble, objective: RobustObjective) -> Self {
+        self.fault_aware = Some(FaultAwareSpec {
+            ensemble,
+            objective,
+        });
+        self
+    }
+
     /// Sweep fault injection over the run's best configuration.
     pub fn with_faults(
         mut self,
@@ -450,6 +469,18 @@ impl ExplorerBuilder {
                 punish: options.punish,
             });
         }
+        if let Some(fa) = &self.fault_aware {
+            if !(0.0..=1.0).contains(&fa.ensemble.rate) {
+                return Err(ExplorationError::InvalidFaultRate {
+                    rate: fa.ensemble.rate,
+                });
+            }
+            if fa.ensemble.samples == 0 {
+                return Err(ExplorationError::EmptyOptionList {
+                    list: "fault ensemble samples".into(),
+                });
+            }
+        }
         if let Some(spec) = &self.faults {
             if spec.kinds.is_empty() {
                 return Err(ExplorationError::EmptyOptionList {
@@ -488,6 +519,7 @@ impl ExplorerBuilder {
             nodes: self.nodes,
             options,
             faults: self.faults,
+            fault_aware: self.fault_aware,
             baselines: self.baselines,
             sequential: self.sequential,
         })
@@ -504,6 +536,7 @@ pub struct Explorer {
     nodes: Vec<MultiWaferConfig>,
     options: SchedulerOptions,
     faults: Option<FaultSweepSpec>,
+    fault_aware: Option<FaultAwareSpec>,
     baselines: Vec<Box<dyn BaselineModel>>,
     sequential: bool,
 }
@@ -516,6 +549,7 @@ impl std::fmt::Debug for Explorer {
             .field("nodes", &self.nodes.len())
             .field("options", &self.options)
             .field("faults", &self.faults)
+            .field("fault_aware", &self.fault_aware)
             .field("baselines", &self.baselines.len())
             .field("sequential", &self.sequential)
             .finish()
@@ -542,7 +576,7 @@ impl Explorer {
     /// cheap by comparison. Results are deterministic in the seed and
     /// independent of thread count.
     pub fn run(&self) -> ExplorationReport {
-        let single_wafer: Vec<ArchRecord> = if self.sequential {
+        let outcomes: Vec<(ArchRecord, ProfileCache)> = if self.sequential {
             self.wafers.iter().map(|w| self.explore_one(w)).collect()
         } else {
             self.wafers
@@ -550,25 +584,38 @@ impl Explorer {
                 .map(|w| self.explore_one(w))
                 .collect()
         };
+        let (single_wafer, caches): (Vec<ArchRecord>, Vec<ProfileCache>) =
+            outcomes.into_iter().unzip();
 
-        // Fastest feasible candidate; ties keep the earliest index so the
-        // winner does not depend on evaluation order.
+        // The ranking key per feasible candidate: clean iteration
+        // seconds, or — fault-aware — the ensemble-aggregated effective
+        // seconds (re-using each candidate's own search cache). Lowest
+        // key wins; ties keep the earliest index so the winner does not
+        // depend on evaluation order.
+        let keys: Vec<Option<f64>> = single_wafer
+            .iter()
+            .zip(&caches)
+            .map(|(rec, cache)| {
+                let cfg = rec.best.as_ref().filter(|c| c.report.feasible)?;
+                Some(match &self.fault_aware {
+                    Some(fa) => ensemble_effective_secs(
+                        &rec.wafer,
+                        &self.job,
+                        cfg,
+                        &fa.ensemble,
+                        fa.objective,
+                        cache,
+                    ),
+                    None => cfg.report.iteration.as_secs(),
+                })
+            })
+            .collect();
         let mut best_index: Option<usize> = None;
-        for (i, rec) in single_wafer.iter().enumerate() {
-            let Some(cfg) = &rec.best else { continue };
-            if !cfg.report.feasible {
-                continue;
-            }
-            let better = match best_index {
+        for (i, key) in keys.iter().enumerate() {
+            let Some(key) = key else { continue };
+            let better = match best_index.and_then(|b| keys[b]) {
                 None => true,
-                Some(b) => {
-                    let bi = single_wafer[b]
-                        .best
-                        .as_ref()
-                        // wsc-lint: allow(S001, "best_index is only ever set to the index of a record whose best is Some")
-                        .expect("best_index only points at feasible records");
-                    cfg.report.iteration.as_secs() < bi.report.iteration.as_secs()
-                }
+                Some(best_key) => *key < best_key,
             };
             if better {
                 best_index = Some(i);
@@ -590,23 +637,48 @@ impl Explorer {
             .collect();
 
         let mut fault_sweeps = Vec::new();
-        if let (Some(spec), Some(bi)) = (&self.faults, best_index) {
-            let rec = &single_wafer[bi];
-            // wsc-lint: allow(S001, "best_index is only ever set to the index of a record whose best is Some")
-            let cfg = rec.best.as_ref().expect("best_index is feasible");
-            for &kind in &spec.kinds {
-                fault_sweeps.push(FaultSweepRecord {
-                    kind,
-                    arch: rec.arch.clone(),
-                    points: fault_sweep_impl(
-                        &rec.wafer,
-                        &self.job,
-                        cfg,
+        if let Some(spec) = &self.faults {
+            if let Some(bi) = best_index {
+                let rec = &single_wafer[bi];
+                // wsc-lint: allow(S001, "best_index is only ever set to the index of a record whose best is Some")
+                let cfg = rec.best.as_ref().expect("best_index is feasible");
+                for &kind in &spec.kinds {
+                    fault_sweeps.push(FaultSweepRecord {
                         kind,
-                        &spec.rates,
-                        self.options.seed,
-                    ),
-                });
+                        arch: rec.arch.clone(),
+                        // The winner's own search cache carries the stage
+                        // profiles the sweep re-evaluates against.
+                        points: fault_sweep_impl(
+                            &rec.wafer,
+                            &self.job,
+                            cfg,
+                            kind,
+                            &spec.rates,
+                            &self.options,
+                            &caches[bi],
+                        ),
+                    });
+                }
+            }
+            // Whole-wafer loss on the best multi-wafer node: the robust
+            // leg re-balances the winning pipeline onto the survivors
+            // via explicit stage maps (exact binomial expectation over
+            // survivor counts — no Monte Carlo).
+            if spec.kinds.contains(&FaultKind::Wafer) {
+                let best_node = multi_wafer
+                    .iter()
+                    .filter_map(|r| r.best.as_ref().map(|b| (r, b.iteration.as_secs())))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(r, _)| r);
+                if let Some(rec) = best_node {
+                    // wsc-lint: allow(S001, "best_node is filtered on best.is_some() above")
+                    let best = rec.best.as_ref().expect("filtered on Some");
+                    fault_sweeps.push(FaultSweepRecord {
+                        kind: FaultKind::Wafer,
+                        arch: rec.name.clone(),
+                        points: wafer_loss_sweep_impl(&rec.node, &self.job, best, &spec.rates),
+                    });
+                }
             }
         }
 
@@ -652,14 +724,17 @@ impl Explorer {
         ))
     }
 
-    fn explore_one(&self, wafer: &WaferConfig) -> ArchRecord {
-        let outcome = explore_impl(wafer, &self.job, &self.options);
-        ArchRecord {
-            arch: wafer.name.clone(),
-            wafer: wafer.clone(),
-            best: outcome.best,
-            stats: outcome.stats,
-        }
+    fn explore_one(&self, wafer: &WaferConfig) -> (ArchRecord, ProfileCache) {
+        let outcome = explore_impl(wafer, &self.job, &self.options, self.fault_aware.as_ref());
+        (
+            ArchRecord {
+                arch: wafer.name.clone(),
+                wafer: wafer.clone(),
+                best: outcome.best,
+                stats: outcome.stats,
+            },
+            outcome.cache,
+        )
     }
 }
 

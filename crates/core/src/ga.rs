@@ -464,6 +464,17 @@ pub fn refine_with_model(
         base_t_max: plan_t_max(stages, base_plan),
         memo: PlanMemo::default(),
     };
+    // On a fault-aware model the Op3 free-slot pool is the *healthy*
+    // slots only — dead-die tiles never enter the genome. Clean models
+    // mask nothing, so this is the full grid (bit-identical to
+    // `refine_naive`).
+    let slots: Vec<Rect> = model
+        .slots()
+        .iter()
+        .enumerate()
+        .filter(|&(id, _)| !model.is_masked(id as u32))
+        .map(|(_, s)| *s)
+        .collect();
     refine_engine(
         mesh,
         stages,
@@ -474,6 +485,7 @@ pub fn refine_with_model(
         pp_volume,
         params,
         engine,
+        slots,
     )
 }
 
@@ -494,6 +506,8 @@ pub fn refine_naive(
     _capacity: Bytes,
     params: &GaParams,
 ) -> GaResult {
+    let tile = base_placement.stages[0];
+    let slots = tile_slots(mesh.nx, mesh.ny, tile.w, tile.h);
     refine_engine(
         mesh,
         stages,
@@ -504,6 +518,7 @@ pub fn refine_naive(
         pp_volume,
         params,
         Engine::Naive,
+        slots,
     )
 }
 
@@ -518,9 +533,9 @@ fn refine_engine(
     pp_volume: f64,
     params: &GaParams,
     engine: Engine<'_>,
+    slots: Vec<Rect>,
 ) -> GaResult {
     let pp = stages.len();
-    let tile = base_placement.stages[0];
     let ctx = GaCtx {
         mesh,
         stages,
@@ -528,7 +543,7 @@ fn refine_engine(
         overflow,
         spare,
         pp_volume,
-        slots: tile_slots(mesh.nx, mesh.ny, tile.w, tile.h),
+        slots,
         engine,
     };
     let seed_genome = Genome {

@@ -58,6 +58,7 @@ pub mod dram_alloc;
 pub mod evaluator;
 pub mod explorer;
 pub mod ga;
+pub mod goodput;
 pub mod multiwafer;
 pub mod placement;
 pub mod robust;
@@ -75,6 +76,10 @@ pub use crate::explorer::{
     MultiWaferRecord,
 };
 pub use crate::ga::{GaParams, GaResult};
+pub use crate::goodput::{
+    ensemble_effective_secs, ensemble_goodput, CheckpointSpec, FaultAwareSpec, FaultEnsemble,
+    RobustObjective,
+};
 pub use crate::multiwafer::{
     evaluate_multi_wafer_plan, evaluate_multi_wafer_plan_cached, MultiWaferReport,
 };

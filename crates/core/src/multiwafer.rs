@@ -511,6 +511,126 @@ pub(crate) fn explore_multi_wafer_impl(
     MultiWaferOutcome { best, stats }
 }
 
+/// Binomial coefficient `C(n, k)` as an f64 (exact for the wafer counts
+/// a node can have — well inside the 2^53 integer range).
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k.min(n));
+    let mut c = 1.0f64;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c
+}
+
+/// The [`FaultKind::Wafer`](crate::robust::FaultKind) sweep over a
+/// multi-wafer winner: whole-wafer loss with graceful degradation.
+///
+/// Each wafer independently survives with probability `1 − rate`. The
+/// baseline policy needs every wafer of the winning plan alive — its
+/// expected normalized throughput is `(1 − rate)^wafers`. The robust
+/// policy re-balances the winner's pipeline onto each possible survivor
+/// count `k`: the winner's `pp` plus proportionally shrunken depths
+/// (`pp·k/wafers`, both roundings — a winner that saturates its
+/// per-wafer stage slots cannot keep its full depth on fewer wafers),
+/// each over the balanced map plus the
+/// [`StageMap::remainder_shifted`] family of explicit maps, best kept.
+/// The expectation is taken *exactly* over the binomial survivor
+/// distribution — no Monte Carlo, so the sweep is trivially
+/// deterministic. Wafer identity never matters: every candidate map is
+/// identity-agnostic, only the survivor count enters the evaluation.
+pub(crate) fn wafer_loss_sweep_impl(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    best: &MultiWaferReport,
+    rates: &[f64],
+) -> Vec<crate::robust::FaultPoint> {
+    let cache = ProfileCache::new();
+    let wafers = node.wafers.max(1);
+    let clean_tp = best.useful_throughput.as_f64().max(1e-9);
+    let clean_secs = best.iteration.as_secs();
+    let all = PlanFilter::all();
+    // Best rebalanced normalized throughput on k surviving wafers,
+    // computed once per k and shared by every rate. `survivors[k - 1]`
+    // is 0.0 when no re-balanced plan fits k wafers.
+    let survivors: Vec<f64> = (1..=wafers)
+        .map(|k| {
+            if k == wafers {
+                return 1.0;
+            }
+            let mut sub = node.clone();
+            sub.wafers = k;
+            let pp = best.plan.pp;
+            // Keep the winner's depth when it still fits, and offer the
+            // proportionally shrunken depths: a winner that saturates
+            // its per-wafer stage slots (e.g. TP=14/PP=16 on 4 Config-3
+            // wafers — exactly 4 tile slots per wafer) cannot host
+            // `pp` stages on fewer wafers under *any* stage map.
+            let mut pps = vec![pp, (pp * k).div_ceil(wafers), (pp * k) / wafers];
+            pps.sort_unstable();
+            pps.dedup();
+            // Keep the winner's TP span when it still divides the
+            // survivor count; an intra-wafer fallback is always tried.
+            let mut spans = vec![1usize];
+            if best.plan.tp_span > 1 && k.is_multiple_of(best.plan.tp_span) {
+                spans.push(best.plan.tp_span);
+            }
+            let mut best_tp = 0.0f64;
+            for &pp_k in &pps {
+                if pp_k == 0 {
+                    continue;
+                }
+                for &span in &spans {
+                    let groups = k / span;
+                    for (map, _) in stage_map_family(pp_k, groups, &all) {
+                        let plan = ParallelPlan {
+                            pp: pp_k,
+                            stage_map: map,
+                            tp_span: span,
+                            ..best.plan.clone()
+                        };
+                        if let Some(r) = evaluate_multi_wafer_plan_cached(&sub, job, &plan, &cache)
+                        {
+                            best_tp = best_tp.max(r.useful_throughput.as_f64() / clean_tp);
+                        }
+                    }
+                }
+            }
+            best_tp
+        })
+        .collect();
+    rates
+        .iter()
+        .map(|&rate| {
+            let q = (1.0 - rate).clamp(0.0, 1.0);
+            let mut robust = 0.0f64;
+            for (k, &tp_k) in survivors.iter().enumerate() {
+                let k = k + 1;
+                let p =
+                    binomial(wafers, k) * q.powi(k as i32) * (1.0 - q).powi((wafers - k) as i32);
+                robust += p * tp_k;
+            }
+            let baseline = q.powi(wafers as i32);
+            crate::robust::FaultPoint {
+                rate,
+                robust,
+                baseline,
+                robust_iteration_secs: if robust > 0.0 {
+                    clean_secs / robust
+                } else {
+                    0.0
+                },
+                baseline_iteration_secs: if baseline > 0.0 {
+                    clean_secs / baseline
+                } else {
+                    0.0
+                },
+                link_faults: 0,
+                die_faults: 0,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,6 +918,35 @@ mod tests {
         // The remainder-stage path must actually be reachable, or this
         // test is vacuous.
         assert!(evaluated > 0, "no non-divisible pp evaluated at all");
+    }
+
+    #[test]
+    fn wafer_loss_sweep_degrades_gracefully() {
+        let node = presets::multi_wafer_18(); // 4 wafers
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let best = best_of(&node, &job).expect("feasible");
+        let pts = wafer_loss_sweep_impl(&node, &job, &best, &[0.0, 0.1, 0.3]);
+        // Zero loss: both policies at the clean throughput.
+        assert!((pts[0].robust - 1.0).abs() < 1e-12);
+        assert_eq!(pts[0].robust, pts[0].baseline);
+        for p in &pts {
+            assert!(p.robust >= p.baseline - 1e-12, "rate {}", p.rate);
+            assert!((0.0..=1.0 + 1e-9).contains(&p.robust), "rate {}", p.rate);
+            assert!(p.baseline >= 0.0);
+            assert_eq!(p.link_faults, 0);
+            assert_eq!(p.die_faults, 0);
+        }
+        // The model spans two wafers' worth of memory, so 3 (and maybe 2)
+        // survivors still host a re-balanced pipeline: at a 30% loss rate
+        // the graceful-degradation curve clearly beats all-or-nothing.
+        assert!(
+            pts[2].robust > pts[2].baseline * 1.05,
+            "robust {} vs baseline {}",
+            pts[2].robust,
+            pts[2].baseline
+        );
+        // Expected effective seconds grow as the loss rate climbs.
+        assert!(pts[2].robust_iteration_secs > pts[0].robust_iteration_secs);
     }
 
     #[test]

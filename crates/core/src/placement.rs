@@ -17,8 +17,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use wsc_arch::fault::FaultMap;
 use wsc_mesh::routing::{path_links, xy_path};
 use wsc_mesh::topology::{DirLink, Mesh2D, NodeId};
+
+/// Link qualities are floored here when inverting, so a dead link prices
+/// as a `1/0.05 = 20×` detour incentive instead of an infinity that
+/// would poison every downstream sum.
+pub const MIN_LINK_QUALITY: f64 = 0.05;
 
 /// An axis-aligned rectangle of dies assigned to one pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -269,6 +275,117 @@ pub fn global_cost(
     cost
 }
 
+/// Quality-weighted center distance between two stage rectangles: the
+/// plain [`Rect::dist`] inflated by the *mean inverse link quality*
+/// along the XY route between the rectangle centers. Clean links
+/// (quality 1) leave the distance untouched; a route whose links average
+/// half quality doubles it. Qualities are floored at
+/// [`MIN_LINK_QUALITY`].
+///
+/// This is the one definition of "degraded distance" in the crate: the
+/// fault-aware [`PlacementCostModel`]
+/// fills its distance table from this exact function, so the incremental
+/// engine and the naive [`degraded_global_cost`] reference read the same
+/// `f64` bits.
+pub fn degraded_rect_dist(mesh: &Mesh2D, faults: &FaultMap, a: &Rect, b: &Rect) -> f64 {
+    let base = a.dist(b);
+    let links = path_links(&xy_path(mesh, a.center_node(mesh), b.center_node(mesh)));
+    if links.is_empty() {
+        return base;
+    }
+    let mut inv = 0.0;
+    for l in &links {
+        let q = faults
+            .link_quality(mesh.pos(l.from), mesh.pos(l.to))
+            .max(MIN_LINK_QUALITY);
+        inv += 1.0 / q;
+    }
+    base * (inv / links.len() as f64)
+}
+
+/// Whether a stage slot contains a dead die (health 0) and must be
+/// masked out of the placement search space.
+pub fn slot_is_dead(mesh: &Mesh2D, faults: &FaultMap, slot: &Rect) -> bool {
+    slot.nodes(mesh)
+        .iter()
+        .any(|&n| faults.die_health(mesh.pos(n)) <= 0.0)
+}
+
+/// The Eq. 2 global cost on a degraded wafer: [`global_cost`] with every
+/// distance term replaced by [`degraded_rect_dist`]. The γ conflict
+/// counts are unchanged — faults re-price links, they do not re-route
+/// the XY paths.
+pub fn degraded_global_cost(
+    mesh: &Mesh2D,
+    placement: &Placement,
+    pp_volume: f64,
+    pairs: &[PairDemand],
+    faults: &FaultMap,
+) -> f64 {
+    let mut cost = 0.0;
+    for w in placement.stages.windows(2) {
+        cost += degraded_rect_dist(mesh, faults, &w[0], &w[1]) * pp_volume;
+    }
+    if pairs.is_empty() {
+        return cost;
+    }
+    let pipeline_links = pipeline_link_set(mesh, placement);
+    for pair in pairs {
+        let gamma = pair_conflicts(mesh, placement, &pipeline_links, pair) as f64;
+        cost += degraded_rect_dist(
+            mesh,
+            faults,
+            &placement.stages[pair.sender],
+            &placement.stages[pair.helper],
+        ) * pair.volume
+            * (1.0 + gamma);
+    }
+    cost
+}
+
+/// Spare-die remapping: move every stage sitting on a masked slot to the
+/// nearest free healthy slot (clean [`Rect::dist`], ties broken by
+/// lowest slot id), in stage order. Returns `false` when the healthy
+/// slots run out — the pipeline does not fit this wafer.
+///
+/// Shared verbatim by the incremental and naive fault-aware hill climbs
+/// so both start from the identical seed placement.
+pub(crate) fn remap_dead_slots(slots: &[Rect], masked: &[bool], placement: &mut Placement) -> bool {
+    let mut used = vec![false; slots.len()];
+    for st in &placement.stages {
+        if let Some(id) = slots.iter().position(|s| s == st) {
+            used[id] = true;
+        }
+    }
+    for i in 0..placement.stages.len() {
+        let cur = match slots.iter().position(|s| *s == placement.stages[i]) {
+            Some(id) => id,
+            None => continue,
+        };
+        if !masked[cur] {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (id, slot) in slots.iter().enumerate() {
+            if used[id] || masked[id] {
+                continue;
+            }
+            let d = slots[cur].dist(slot);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((id, d));
+            }
+        }
+        match best {
+            Some((id, _)) => {
+                used[id] = true;
+                placement.stages[i] = slots[id];
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
 /// Location-aware placement (§IV-C-1): start from serpentine and
 /// hill-climb over stage↔slot swaps to minimize [`global_cost`], keeping
 /// the pipeline path intact as a first-class cost term.
@@ -301,10 +418,16 @@ pub fn optimize_with(
     seed: u64,
 ) -> Option<Placement> {
     let mesh = model.mesh();
-    let base = serpentine(mesh.nx, mesh.ny, pp, model.tile_w(), model.tile_h())?;
-    if pairs.is_empty() {
+    let mut base = serpentine(mesh.nx, mesh.ny, pp, model.tile_w(), model.tile_h())?;
+    if model.has_masked() && !remap_dead_slots(model.slots(), model.masked(), &mut base) {
+        // Dead dies leave fewer healthy slots than pipeline stages.
+        return None;
+    }
+    if pairs.is_empty() && !model.faulted() {
         // No balance traffic: the boustrophedon layout already minimizes
-        // the pipeline term (all consecutive stages adjacent).
+        // the pipeline term (all consecutive stages adjacent). On a
+        // degraded wafer that no longer holds (link quality re-prices
+        // the pipeline term), so faulted models always climb.
         return Some(base);
     }
     let n_slots = model.slot_count();
@@ -327,7 +450,9 @@ pub fn optimize_with(
             for &s in state.stage_slots() {
                 used[s as usize] = true;
             }
-            let free: Vec<u32> = (0..n_slots as u32).filter(|&s| !used[s as usize]).collect();
+            let free: Vec<u32> = (0..n_slots as u32)
+                .filter(|&s| !used[s as usize] && !model.is_masked(s))
+                .collect();
             if let Some(&slot) = free.get(
                 rng.gen_range(0..free.len().max(1))
                     .min(free.len().saturating_sub(1)),
@@ -412,6 +537,74 @@ pub fn optimize_naive(
             cand.stages.swap(i, j);
         }
         let c = global_cost(mesh, &cand, pp_volume, pairs);
+        if c < best_cost {
+            best_cost = c;
+            best = cand;
+        }
+    }
+    Some(best)
+}
+
+/// The naive fault-aware reference hill climb: [`optimize_with`] on a
+/// [`PlacementCostModel::with_faults`](crate::costmodel::PlacementCostModel::with_faults)
+/// model must retrace this exactly — same `remap_dead_slots` seed,
+/// same RNG stream, same masked-slot exclusions, same
+/// [`degraded_global_cost`] acceptance bits (pinned by
+/// `tests/ga_cost_equivalence.rs` and the placement unit tests). Every
+/// candidate recomputes the degraded Eq. 2 sum from scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_naive_with_faults(
+    mesh: &Mesh2D,
+    pp: usize,
+    tile_w: usize,
+    tile_h: usize,
+    pp_volume: f64,
+    pairs: &[PairDemand],
+    faults: &FaultMap,
+    seed: u64,
+) -> Option<Placement> {
+    let slots = tile_slots(mesh.nx, mesh.ny, tile_w, tile_h);
+    let masked: Vec<bool> = slots
+        .iter()
+        .map(|s| slot_is_dead(mesh, faults, s))
+        .collect();
+    let mut base = serpentine(mesh.nx, mesh.ny, pp, tile_w, tile_h)?;
+    if masked.iter().any(|&m| m) && !remap_dead_slots(&slots, &masked, &mut base) {
+        return None;
+    }
+    if pairs.is_empty() && faults.is_empty() {
+        return Some(base);
+    }
+    let mut best = base;
+    let mut best_cost = degraded_global_cost(mesh, &best, pp_volume, pairs, faults);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a1e_77a7);
+    let iters = 60 + 40 * pp;
+    for _ in 0..iters {
+        let mut cand = best.clone();
+        if slots.len() > pp && rng.gen_bool(0.3) {
+            let used: HashSet<Rect> = cand.stages.iter().copied().collect();
+            let free: Vec<Rect> = slots
+                .iter()
+                .enumerate()
+                .filter(|&(id, s)| !used.contains(s) && !masked[id])
+                .map(|(_, s)| *s)
+                .collect();
+            if let Some(&slot) = free.get(
+                rng.gen_range(0..free.len().max(1))
+                    .min(free.len().saturating_sub(1)),
+            ) {
+                let idx = rng.gen_range(0..pp);
+                cand.stages[idx] = slot;
+            }
+        } else {
+            let i = rng.gen_range(0..pp);
+            let j = rng.gen_range(0..pp);
+            if i == j {
+                continue;
+            }
+            cand.stages.swap(i, j);
+        }
+        let c = degraded_global_cost(mesh, &cand, pp_volume, pairs, faults);
         if c < best_cost {
             best_cost = c;
             best = cand;
@@ -548,6 +741,89 @@ mod tests {
         let a = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
         let b = optimize(&mesh, 8, 2, 2, 1.0, &pairs, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degraded_dist_inflates_and_clean_map_is_identity() {
+        let mesh = Mesh2D::new(8, 4);
+        let a = Rect {
+            x: 0,
+            y: 0,
+            w: 2,
+            h: 2,
+        };
+        let b = Rect {
+            x: 6,
+            y: 2,
+            w: 2,
+            h: 2,
+        };
+        let clean = FaultMap::none();
+        assert_eq!(
+            degraded_rect_dist(&mesh, &clean, &a, &b).to_bits(),
+            a.dist(&b).to_bits(),
+            "clean map must not re-price distances"
+        );
+        let mut faults = FaultMap::none();
+        faults.set_link_quality((3, 1), (4, 1), 0.25);
+        // Inverse-quality weighting can only inflate (qualities ≤ 1).
+        assert!(degraded_rect_dist(&mesh, &faults, &a, &b) >= a.dist(&b));
+    }
+
+    #[test]
+    fn remap_moves_stages_off_dead_slots() {
+        let mesh = Mesh2D::new(8, 4);
+        let mut faults = FaultMap::none();
+        faults.set_die_health((0, 0), 0.0); // kills tile slot 0
+        let model = PlacementCostModel::with_faults(mesh, 2, 2, 1.0, &faults);
+        assert!(model.is_masked(0) && model.has_masked() && model.faulted());
+        // 6 stages on 8 slots: the stage seeded on slot 0 must move.
+        let p = optimize_with(&model, 6, &[], 7).unwrap();
+        for st in &p.stages {
+            assert!(
+                !slot_is_dead(&mesh, &faults, st),
+                "stage {st:?} sits on a dead die"
+            );
+        }
+        // 8 stages need 8 healthy slots but only 7 remain.
+        assert!(optimize_with(&model, 8, &[], 7).is_none());
+    }
+
+    #[test]
+    fn fault_aware_optimize_matches_naive_reference() {
+        let mesh = Mesh2D::new(8, 4);
+        let mut faults = FaultMap::none();
+        faults.set_die_health((0, 0), 0.0); // masks slot 0
+        faults.set_die_health((5, 1), 0.4); // degraded but alive
+        faults.set_link_quality((2, 1), (3, 1), 0.2);
+        faults.set_link_quality((6, 2), (6, 3), 0.0);
+        for seed in [0, 7, 42, 1234] {
+            for pp in [4usize, 6, 7] {
+                let pairs = vec![
+                    PairDemand {
+                        sender: 0,
+                        helper: pp - 1,
+                        volume: 1.0,
+                    },
+                    PairDemand {
+                        sender: 1,
+                        helper: pp - 2,
+                        volume: 2.5,
+                    },
+                ];
+                let model = PlacementCostModel::with_faults(mesh, 2, 2, 1.0, &faults);
+                let inc = optimize_with(&model, pp, &pairs, seed).unwrap();
+                let naive = optimize_naive_with_faults(&mesh, pp, 2, 2, 1.0, &pairs, &faults, seed)
+                    .unwrap();
+                assert_eq!(inc, naive, "seed {seed} pp {pp}");
+                // Empty pair sets still climb (and still agree) on a
+                // degraded wafer.
+                let inc0 = optimize_with(&model, pp, &[], seed).unwrap();
+                let naive0 =
+                    optimize_naive_with_faults(&mesh, pp, 2, 2, 1.0, &[], &faults, seed).unwrap();
+                assert_eq!(inc0, naive0, "seed {seed} pp {pp} empty pairs");
+            }
+        }
     }
 
     #[test]

@@ -19,13 +19,16 @@
 //! byte-identical across thread counts and vs the exhaustive sweep.
 
 use crate::cache::ProfileCache;
+use crate::costmodel::PlacementCostModel;
 use crate::dram_alloc::{allocate, DramGrant};
 use crate::evaluator::{self, evaluate, EvalInput, EvalOptions, PerfReport};
 use crate::ga::{self, GaParams};
+use crate::goodput::{ensemble_effective_secs, FaultAwareSpec};
 use crate::placement::{self, PairDemand, Placement};
 use crate::stage::{boundary_bytes, StageProfile};
 use crate::wave::{bounded_search, WorkItem};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::Bytes;
 use wsc_arch::wafer::WaferConfig;
@@ -412,8 +415,20 @@ pub fn schedule_plan_cached(
     // without touching Eq. 2, so the common fits-in-DRAM point skips the
     // O(slots²) table build entirely.
     let mesh = Mesh2D::new(wafer.nx, wafer.ny);
-    let cost_model = ((opts.memory_scheduler && !pair_demands.is_empty()) || opts.ga.is_some())
-        .then(|| cache.cost_model(&mesh, shape.w, shape.h, pp_volume));
+    let faulted = faults.is_some_and(|f| !f.is_empty());
+    let cost_model = ((opts.memory_scheduler && (!pair_demands.is_empty() || faulted))
+        || opts.ga.is_some())
+    .then(|| match faults {
+        // A degraded wafer gets a fresh fault-aware model (quality-
+        // weighted distances, dead-die slots masked) and NEVER goes
+        // through the cache: the cache key carries no fault state, so a
+        // cached faulted model would poison every clean lookup of the
+        // same tile shape (and vice versa).
+        Some(f) if !f.is_empty() => Arc::new(PlacementCostModel::with_faults(
+            mesh, shape.w, shape.h, pp_volume, f,
+        )),
+        _ => cache.cost_model(&mesh, shape.w, shape.h, pp_volume),
+    });
     let placement = if opts.memory_scheduler {
         match &cost_model {
             Some(model) => placement::optimize_with(model, pp, &pair_demands, opts.seed)?,
@@ -519,12 +534,16 @@ pub fn schedule_plan_cached(
 }
 
 /// Outcome of one Alg. 1 search: the winner plus instrumentation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub(crate) struct SearchOutcome {
     /// Best feasible configuration, if any.
     pub best: Option<ScheduledConfig>,
     /// How much of the space was scheduled vs pruned.
     pub stats: SearchStats,
+    /// The search's own profile cache, handed back so downstream sweeps
+    /// (fault sweeps, ensemble scoring, baselines) reuse the winner's
+    /// stage profiles instead of rebuilding them from scratch.
+    pub cache: ProfileCache,
 }
 
 /// Analytic lower bound (seconds) on the iteration time any feasible
@@ -602,10 +621,20 @@ fn config_lower_bound(
 /// [`SearchStats`] — is identical to the exhaustive sequential sweep
 /// (`prune: false`, `sequential: true`) up to the instrumentation
 /// counters, and byte-identical across thread counts.
+///
+/// With `fault_aware` set, candidates are ranked by
+/// [`ensemble_effective_secs`] — the checkpoint-aware effective
+/// iteration time over the spec's Monte-Carlo wafer population — instead
+/// of the clean iteration time. The analytic bound stays the *clean*
+/// lower bound, which remains sound because every fault/checkpoint
+/// transformation only ever adds time (`crate::goodput` module docs);
+/// the pruned ≡ exhaustive equivalence therefore holds unchanged, and
+/// the `search_equivalence` proptests pin it with the fault axes on.
 pub(crate) fn explore_impl(
     wafer: &WaferConfig,
     job: &TrainingJob,
     opts: &SchedulerOptions,
+    fault_aware: Option<&FaultAwareSpec>,
 ) -> SearchOutcome {
     // Alg. 1 line 1–2 at the wafer level.
     let dies = wafer.die_count();
@@ -613,6 +642,7 @@ pub(crate) fn explore_impl(
         return SearchOutcome {
             best: None,
             stats: SearchStats::default(),
+            cache: ProfileCache::new(),
         };
     }
 
@@ -649,6 +679,15 @@ pub(crate) fn explore_impl(
 
     let cache = ProfileCache::new();
 
+    // The score the incumbent competes on: clean iteration seconds, or —
+    // fault-aware — the ensemble-aggregated effective seconds. Computed
+    // once per evaluated candidate and carried alongside it, so the wave
+    // loop's repeated incumbent reads never re-run the ensemble.
+    let score_of = |cfg: &ScheduledConfig| match fault_aware {
+        Some(fa) => ensemble_effective_secs(wafer, job, cfg, &fa.ensemble, fa.objective, &cache),
+        None => cfg.report.iteration.as_secs(),
+    };
+
     // Bound-ordered evaluation waves on the shared engine. The loop body
     // runs without the GA; the GA refines the winner once.
     let inner = SchedulerOptions {
@@ -661,19 +700,38 @@ pub(crate) fn explore_impl(
         opts.prune,
         opts.sequential,
         |it| config_lower_bound(wafer, job, it, opts, &cache),
-        |it| schedule_plan_cached(wafer, job, &it.plan, &inner, None, &cache),
-        |cfg| cfg.report.iteration.as_secs(),
+        |it| {
+            let cfg = schedule_plan_cached(wafer, job, &it.plan, &inner, None, &cache)?;
+            let score = score_of(&cfg);
+            Some((cfg, score))
+        },
+        |(_, score)| *score,
     );
 
-    // GA refinement of the winner.
-    if let (Some(b), Some(_)) = (&best, &opts.ga) {
-        if let Some(refined) = schedule_plan_cached(wafer, job, &b.plan, opts, None, &cache) {
-            if refined.report.iteration.as_secs() <= b.report.iteration.as_secs() {
-                best = Some(refined);
-            }
+    // GA refinement of the winner, kept only when it wins on the same
+    // score the search ranked by.
+    if opts.ga.is_some() {
+        if let Some((b, bscore)) = best.take() {
+            best = Some(
+                match schedule_plan_cached(wafer, job, &b.plan, opts, None, &cache) {
+                    Some(refined) => {
+                        let rscore = score_of(&refined);
+                        if rscore <= bscore {
+                            (refined, rscore)
+                        } else {
+                            (b, bscore)
+                        }
+                    }
+                    None => (b, bscore),
+                },
+            );
         }
     }
-    SearchOutcome { best, stats }
+    SearchOutcome {
+        best: best.map(|(cfg, _)| cfg),
+        stats,
+        cache,
+    }
 }
 
 /// Re-evaluate a scheduled configuration under faults (Fig. 22) or with a
@@ -760,7 +818,9 @@ mod tests {
         // 3.92 TB wafer: every candidate must be pruned.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::deepseek_v3());
-        assert!(explore_impl(&wafer, &job, &quick_opts()).best.is_none());
+        assert!(explore_impl(&wafer, &job, &quick_opts(), None)
+            .best
+            .is_none());
     }
 
     #[test]
@@ -768,7 +828,7 @@ mod tests {
         // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let best = explore_impl(&wafer, &job, &quick_opts())
+        let best = explore_impl(&wafer, &job, &quick_opts(), None)
             .best
             .expect("feasible");
         assert!(
@@ -786,7 +846,7 @@ mod tests {
         // changes the instrumentation counters.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let pruned = explore_impl(&wafer, &job, &quick_opts());
+        let pruned = explore_impl(&wafer, &job, &quick_opts(), None);
         let pruned_seq = explore_impl(
             &wafer,
             &job,
@@ -794,6 +854,7 @@ mod tests {
                 sequential: true,
                 ..quick_opts()
             },
+            None,
         );
         let exhaustive = explore_impl(
             &wafer,
@@ -803,6 +864,7 @@ mod tests {
                 sequential: true,
                 ..quick_opts()
             },
+            None,
         );
         assert_eq!(pruned.best, pruned_seq.best);
         assert_eq!(pruned.stats, pruned_seq.stats);
@@ -814,10 +876,44 @@ mod tests {
     }
 
     #[test]
+    fn fault_aware_search_matches_exhaustive_sweep() {
+        // Clean-bound pruning stays sound when candidates are ranked by
+        // ensemble effective seconds: the pruned fault-aware search and
+        // the exhaustive one return the identical winner.
+        use crate::goodput::{FaultEnsemble, RobustObjective};
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let fa = FaultAwareSpec {
+            ensemble: FaultEnsemble::clustered(0.2, 3, 11),
+            objective: RobustObjective::Mean,
+        };
+        let pruned = explore_impl(&wafer, &job, &quick_opts(), Some(&fa));
+        let exhaustive = explore_impl(
+            &wafer,
+            &job,
+            &SchedulerOptions {
+                prune: false,
+                sequential: true,
+                ..quick_opts()
+            },
+            Some(&fa),
+        );
+        assert_eq!(pruned.best, exhaustive.best);
+        assert_eq!(pruned.stats.visited, exhaustive.stats.visited);
+        assert!(pruned.stats.pruned > 0, "{:?}", pruned.stats);
+        let best = pruned.best.expect("feasible");
+        // The ensemble score the winner was ranked by dominates its
+        // clean iteration time (the pruning-soundness inequality).
+        let cache = ProfileCache::new();
+        let s = ensemble_effective_secs(&wafer, &job, &best, &fa.ensemble, fa.objective, &cache);
+        assert!(s >= best.report.iteration.as_secs());
+    }
+
+    #[test]
     fn search_stats_are_consistent() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let out = explore_impl(&wafer, &job, &quick_opts());
+        let out = explore_impl(&wafer, &job, &quick_opts(), None);
         let s = out.stats;
         assert!(s.visited > 0);
         assert_eq!(s.visited, s.pruned + s.evaluated);
@@ -833,12 +929,12 @@ mod tests {
         // parallel.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let plain = explore_impl(&wafer, &job, &quick_opts());
+        let plain = explore_impl(&wafer, &job, &quick_opts(), None);
         let dup_opts = SchedulerOptions {
             strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::Megatron],
             ..quick_opts()
         };
-        let dup_par = explore_impl(&wafer, &job, &dup_opts);
+        let dup_par = explore_impl(&wafer, &job, &dup_opts, None);
         let dup_seq = explore_impl(
             &wafer,
             &job,
@@ -846,6 +942,7 @@ mod tests {
                 sequential: true,
                 ..dup_opts
             },
+            None,
         );
         assert_eq!(dup_par.best, dup_seq.best);
         assert_eq!(dup_par.stats, dup_seq.stats);

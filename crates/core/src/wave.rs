@@ -101,8 +101,10 @@ impl WorkItem {
 pub(crate) const SEARCH_WAVE: usize = 16;
 
 /// Map `items` through `f`, sequentially or with the rayon fan-out.
-/// Output order matches input order either way.
-fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+/// Output order matches input order either way. Shared with the fault
+/// sweeps in `crate::robust`, which evaluate their rate grids on this
+/// exact primitive so sweep determinism is the engine's determinism.
+pub(crate) fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     items: &[T],
     sequential: bool,
     f: F,

@@ -1,0 +1,39 @@
+// D004 fixture — clocks/entropy in goodput-style code. The goodput
+// module converts iteration time into checkpoint-aware training goodput
+// under Monte-Carlo yield ensembles; every temptation it offers (wall
+// clocks for MTBF arithmetic, OS entropy for "random" wafer samples) is
+// a determinism bug, because ensemble scores must be a pure function of
+// the (seed, sample index, grid) triple.
+use std::time::{Instant, SystemTime};
+
+// FIRING: deriving an MTBF observation from the wall clock — failure
+// processes are modeled, never measured, in library code.
+fn firing_mtbf_from_clock(t0: SystemTime) -> f64 {
+    SystemTime::now()
+        .duration_since(t0)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+// FIRING: entropy-seeded ensemble sampling — two runs would score the
+// same candidate against different wafer populations.
+fn firing_entropy_ensemble() -> StdRng {
+    StdRng::from_entropy()
+}
+
+// NON-FIRING: splitmix-style per-sample streams from one base seed keep
+// the ensemble a pure function of its parameters.
+fn non_firing_sample_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+// WAIVED: wall time around a sweep feeds a progress line only; the
+// goodput numbers themselves never see it.
+fn waived_sweep_progress() {
+    // wsc-lint: allow(D004, "elapsed time feeds the sweep progress log only, never a goodput value")
+    let _t0 = Instant::now();
+}

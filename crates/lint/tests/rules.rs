@@ -102,6 +102,20 @@ fn d004_firing_non_firing_waived() {
 }
 
 #[test]
+fn d004_goodput_paths_stay_clean() {
+    // The goodput/ensemble code is exactly the kind of module D004
+    // exists for: MTBF arithmetic and Monte-Carlo wafer sampling must
+    // come from modeled time and seeded streams, never the wall clock
+    // or OS entropy. The fixture mirrors those code paths.
+    let r = analyze("d004_goodput.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["D004", "D004"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["D004"], "{:#?}", r.waived);
+    // The seeded splitmix sampler must stay silent — determinism by
+    // construction is the blessed pattern, not a waiver case.
+    assert!(r.findings.iter().all(|f| f.line < 25), "{:#?}", r.findings);
+}
+
+#[test]
 fn s001_firing_non_firing_waived() {
     let r = analyze("s001.rs", FileClass::Library);
     assert_eq!(rules(&r), ["S001", "S001", "S001"], "{:#?}", r.findings);

@@ -32,6 +32,7 @@ fn main() {
         let label = match sweep.kind {
             FaultKind::Link => "link",
             FaultKind::Die => "die",
+            FaultKind::Wafer => "wafer",
         };
         println!("\n== {label} faults (normalized throughput) ==");
         println!(

@@ -5,7 +5,7 @@
 //! writes (worker threads are joined before each `set_var`).
 
 use watos::ga::{refine, GaParams};
-use watos::{Explorer, FaultKind, PlanFilter};
+use watos::{Explorer, FaultEnsemble, FaultKind, PlanFilter, RobustObjective};
 use wsc_arch::presets;
 use wsc_bench::util::{ga_refine_presets, ga_setup};
 use wsc_workload::parallel::TpSplitStrategy;
@@ -29,7 +29,11 @@ fn report_is_identical_across_thread_counts() {
             // The node leg runs the enlarged plan space (cross-wafer TP
             // + uneven stage maps) — determinism must survive it.
             .plans(PlanFilter::all())
-            .with_faults([FaultKind::Link], [0.0, 0.2])
+            .with_faults([FaultKind::Link, FaultKind::Wafer], [0.0, 0.2])
+            // Fault-aware ranking runs a seeded Monte-Carlo ensemble per
+            // candidate — its sample maps and aggregation must also be a
+            // pure function of the seed, never of the thread count.
+            .fault_aware(FaultEnsemble::clustered(0.2, 3, 7), RobustObjective::Mean)
             .seed(7)
             .build()
             .expect("valid")
