@@ -14,11 +14,15 @@
 //!     [--preset small|medium|large|multiwafer|all] \
 //!     [--output BENCH_search.json] \
 //!     [--require-pruning] [--min-speedup X] [--threads N[,M,...]]
+//!     [--no-node-placement]
 //! ```
 //!
 //! `--require-pruning` exits non-zero unless every preset pruned at
 //! least one configuration (the CI smoke contract); `--min-speedup`
-//! exits non-zero when the measured speedup falls below `X`.
+//! exits non-zero when the measured speedup falls below `X`;
+//! `--no-node-placement` is the escape hatch that strips the node-level
+//! Alg. 3 pass from multi-wafer presets that enable it, reproducing the
+//! seed-era baseline sweep.
 //! `--threads N[,M,...]` pins the rayon pool (the vendored rayon honors
 //! `RAYON_NUM_THREADS` at call time) and runs the whole sweep once per
 //! listed pool size in one process, so a single document carries every
@@ -104,6 +108,7 @@ fn run_once_multi(
     preset: &MultiWaferSearchPreset,
     job: &TrainingJob,
     exhaustive: bool,
+    node_placement: bool,
 ) -> (ExplorationReport, f64) {
     let mut b = Explorer::builder()
         .job(job.clone())
@@ -111,6 +116,9 @@ fn run_once_multi(
         .strategies(preset.strategies.clone())
         .plans(preset.plans)
         .no_ga();
+    if node_placement {
+        b = b.node_placement();
+    }
     if exhaustive {
         b = b.sequential().no_prune();
     }
@@ -221,6 +229,7 @@ fn main() {
     let mut preset_arg = "all".to_string();
     let mut output = "BENCH_search.json".to_string();
     let mut require_pruning = false;
+    let mut no_node_placement = false;
     let mut min_speedup: Option<f64> = None;
     let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -229,6 +238,7 @@ fn main() {
             "--preset" => preset_arg = args.next().expect("--preset needs a value"),
             "--output" => output = args.next().expect("--output needs a value"),
             "--require-pruning" => require_pruning = true,
+            "--no-node-placement" => no_node_placement = true,
             "--min-speedup" => {
                 min_speedup = Some(
                     args.next()
@@ -262,7 +272,13 @@ fn main() {
     let mut failed = false;
     for &t in &thread_counts {
         std::env::set_var("RAYON_NUM_THREADS", t.to_string());
-        failed |= run_sweep(&preset_arg, require_pruning, min_speedup, &mut entries);
+        failed |= run_sweep(
+            &preset_arg,
+            require_pruning,
+            no_node_placement,
+            min_speedup,
+            &mut entries,
+        );
     }
 
     // The determinism contract, measured: a preset's winning plan must
@@ -296,6 +312,7 @@ fn main() {
 fn run_sweep(
     preset_arg: &str,
     require_pruning: bool,
+    no_node_placement: bool,
     min_speedup: Option<f64>,
     entries: &mut Vec<BenchEntry>,
 ) -> bool {
@@ -323,8 +340,9 @@ fn run_sweep(
     }
     for preset in multi {
         let job = TrainingJob::standard(preset.model.clone());
-        let (pruned_report, pruned_secs) = run_once_multi(&preset, &job, false);
-        let (exhaustive_report, exhaustive_secs) = run_once_multi(&preset, &job, true);
+        let placed = preset.node_placement && !no_node_placement;
+        let (pruned_report, pruned_secs) = run_once_multi(&preset, &job, false, placed);
+        let (exhaustive_report, exhaustive_secs) = run_once_multi(&preset, &job, true, placed);
         failed |= record(
             Measured {
                 preset: preset.name.to_string(),

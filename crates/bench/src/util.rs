@@ -72,12 +72,17 @@ pub struct MultiWaferSearchPreset {
     pub strategies: Vec<TpSplitStrategy>,
     /// Plan-space axes to enable (cross-wafer TP, uneven stage maps).
     pub plans: PlanFilter,
+    /// Run the node-level Alg. 3 pass on every evaluated plan
+    /// ([`watos::ExplorerBuilder::node_placement`]). `bench_search`'s
+    /// `--no-node-placement` flag overrides this to `false`.
+    pub node_placement: bool,
 }
 
 /// The multi-wafer search-benchmark presets. The node sweep runs with
-/// the full plan space enabled — cross-wafer TP and uneven stage maps —
-/// so the committed numbers (and the CI smoke) cover the enlarged
-/// search, not just the seed-era balanced intra-wafer space.
+/// the full plan space enabled — cross-wafer TP, uneven stage maps and
+/// the node-level Alg. 3 placement pass — so the committed numbers (and
+/// the CI smoke) cover the enlarged search, not just the seed-era
+/// balanced intra-wafer space.
 pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
     vec![MultiWaferSearchPreset {
         name: "multiwafer",
@@ -85,6 +90,7 @@ pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
         model: zoo::llama3_405b(),
         strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel],
         plans: PlanFilter::all(),
+        node_placement: true,
     }]
 }
 

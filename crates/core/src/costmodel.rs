@@ -391,6 +391,127 @@ impl PlacementCostModel {
     }
 }
 
+/// Seam-extended Eq. 2 distance/cost tables for the **node level**
+/// (§VI-F): one wafer group per `StageMap` assignment target, the
+/// wafer-local tile-slot grid replicated per group, and the W2W seam
+/// folded into the distance table as a per-crossing hop penalty
+/// ([`wsc_mesh::multiwafer::MultiWaferFabric::seam_hop_penalty`]).
+///
+/// Global slot ids are `group * slots_per_group + local`, with `local`
+/// indexing the wafer-local [`tile_slots`] grid in row-major order.
+/// `Dist(Sᵢ, Sⱼ)` = wafer-local `Rect::dist` of the local rectangles
+/// plus `seam_penalty × |Δgroup|`, so intra-wafer and cross-seam
+/// Sender→Helper pairs are priced on one axis. The γ conflict term of
+/// the single-wafer engine is deliberately dropped here: the seam, not
+/// intra-wafer link contention, dominates cross-group cost, and
+/// conflict modeling stays a single-wafer refinement.
+#[derive(Debug, Clone)]
+pub struct NodeCostModel {
+    groups: usize,
+    slots_per_group: usize,
+    cols: usize,
+    rects: Vec<Rect>,
+    seam_penalty: f64,
+    pp_volume: f64,
+}
+
+impl NodeCostModel {
+    /// Build the node-level tables: `groups` copies of the wafer's
+    /// `tile_w × tile_h` slot grid joined by seams costing
+    /// `seam_penalty` hops per crossing. `None` when the tile does not
+    /// fit the wafer at all.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        tile_w: usize,
+        tile_h: usize,
+        groups: usize,
+        seam_penalty: f64,
+        pp_volume: f64,
+    ) -> Option<Self> {
+        if groups == 0 {
+            return None;
+        }
+        let rects = tile_slots(nx, ny, tile_w, tile_h);
+        if rects.is_empty() {
+            return None;
+        }
+        Some(NodeCostModel {
+            groups,
+            slots_per_group: rects.len(),
+            cols: nx / tile_w.max(1),
+            rects,
+            seam_penalty,
+            pp_volume,
+        })
+    }
+
+    /// Wafer groups joined by seams.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Tile slots on each group's wafer.
+    pub fn slots_per_group(&self) -> usize {
+        self.slots_per_group
+    }
+
+    /// Columns of the wafer-local slot grid (row-major ordering key).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total slots across the node.
+    pub fn slot_count(&self) -> usize {
+        self.groups * self.slots_per_group
+    }
+
+    /// Seam-crossing price in intra-wafer hop equivalents.
+    pub fn seam_penalty(&self) -> f64 {
+        self.seam_penalty
+    }
+
+    /// The wafer group a global slot id lives on.
+    pub fn group_of(&self, slot: usize) -> usize {
+        slot / self.slots_per_group
+    }
+
+    /// The wafer-local rectangle of a global slot id.
+    pub fn local_rect(&self, slot: usize) -> Rect {
+        self.rects[slot % self.slots_per_group]
+    }
+
+    /// Wafer-local center distance between two slots (seam excluded).
+    pub fn local_dist(&self, a: usize, b: usize) -> f64 {
+        self.rects[a % self.slots_per_group].dist(&self.rects[b % self.slots_per_group])
+    }
+
+    /// W2W crossings between two slots' groups.
+    pub fn seam_hops(&self, a: usize, b: usize) -> usize {
+        self.group_of(a).abs_diff(self.group_of(b))
+    }
+
+    /// Seam-extended distance: wafer-local hops plus
+    /// `seam_penalty × crossings`.
+    pub fn dist(&self, a: usize, b: usize) -> f64 {
+        self.local_dist(a, b) + self.seam_penalty * self.seam_hops(a, b) as f64
+    }
+
+    /// Node-level Eq. 2 cost of a stage→slot assignment: pipeline terms
+    /// first, then one seam-extended term per Sender→Helper pair
+    /// (γ ≡ 0, see type docs).
+    pub fn cost(&self, stage_slots: &[usize], pairs: &[PairDemand]) -> f64 {
+        let mut cost = 0.0;
+        for w in stage_slots.windows(2) {
+            cost += self.dist(w[0], w[1]) * self.pp_volume;
+        }
+        for pair in pairs {
+            cost += self.dist(stage_slots[pair.sender], stage_slots[pair.helper]) * pair.volume;
+        }
+        cost
+    }
+}
+
 /// Per-pair incremental state: endpoints, Eq. 2 volume, and the
 /// maintained conflict count γ.
 struct PairState {
@@ -811,6 +932,42 @@ mod tests {
             model.placement_cost(&p, &pairs).to_bits(),
             global_cost(&mesh, &p, 1.0, &pairs).to_bits()
         );
+    }
+
+    #[test]
+    fn node_model_extends_distance_across_the_seam() {
+        // 2 groups of a 4x2 wafer tiled 2x2 → 2 slots per group.
+        let m = NodeCostModel::new(4, 2, 2, 2, 2, 5.0, 1.0).unwrap();
+        assert_eq!(m.slot_count(), 4);
+        assert_eq!(m.slots_per_group(), 2);
+        // Same group: pure local distance.
+        assert_eq!(m.dist(0, 1), m.local_dist(0, 1));
+        assert_eq!(m.seam_hops(0, 1), 0);
+        // Same local slot, one seam apart: penalty only.
+        assert_eq!(m.dist(0, 2), 5.0);
+        assert_eq!(m.seam_hops(0, 2), 1);
+        // Different local slot and group: both terms.
+        assert_eq!(m.dist(0, 3), m.local_dist(0, 1) + 5.0);
+        // Two seams cost double.
+        let m3 = NodeCostModel::new(4, 2, 2, 2, 3, 5.0, 1.0).unwrap();
+        assert_eq!(m3.dist(0, 4), 10.0);
+    }
+
+    #[test]
+    fn node_cost_sums_pipeline_and_pair_terms() {
+        let m = NodeCostModel::new(4, 2, 2, 2, 2, 4.0, 3.0).unwrap();
+        let slots = [0usize, 1, 2, 3];
+        let pairs = vec![PairDemand {
+            sender: 0,
+            helper: 3,
+            volume: 2.0,
+        }];
+        let pipeline = m.dist(0, 1) * 3.0 + m.dist(1, 2) * 3.0 + m.dist(2, 3) * 3.0;
+        let pair = m.dist(0, 3) * 2.0;
+        assert_eq!(m.cost(&slots, &pairs), pipeline + pair);
+        // Degenerate tiles that do not fit the wafer are rejected.
+        assert!(NodeCostModel::new(1, 1, 2, 2, 2, 1.0, 1.0).is_none());
+        assert!(NodeCostModel::new(4, 2, 2, 2, 0, 1.0, 1.0).is_none());
     }
 
     #[test]

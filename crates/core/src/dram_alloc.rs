@@ -9,6 +9,7 @@
 //! through the Eq. 2 conflict/congestion cost, which is what this
 //! allocation minimizes.
 
+use crate::costmodel::NodeCostModel;
 use crate::placement::Placement;
 use serde::{Deserialize, Serialize};
 use wsc_arch::units::Bytes;
@@ -73,6 +74,26 @@ pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> D
         placement.stages.len(),
         "placement must cover every stage"
     );
+    allocate_by(
+        |s, h| placement.stages[s].dist(&placement.stages[h]),
+        overflow,
+        spare,
+    )
+}
+
+/// The Alg. 3 allocation core, generic over the distance metric: `dist`
+/// prices the Sender→Helper route the priority queue orders by (and the
+/// grant's recorded `hops`). [`allocate`] delegates here with the
+/// intra-wafer `Rect::dist`; [`allocate_node`] with the seam-extended
+/// node distance — the greedy loop (heaviest sender first, nearest
+/// helper first, grants split on exhausted spare, stable tie order) is
+/// byte-identical either way.
+pub fn allocate_by(
+    dist: impl Fn(usize, usize) -> f64,
+    overflow: &[Bytes],
+    spare: &[Bytes],
+) -> DramAllocation {
+    assert_eq!(overflow.len(), spare.len(), "per-stage arrays must align");
     let mut remaining: Vec<Bytes> = spare.to_vec();
     let mut out = DramAllocation::default();
 
@@ -88,11 +109,7 @@ pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> D
         let mut q: Vec<usize> = (0..remaining.len())
             .filter(|&h| h != s && remaining[h] > Bytes::ZERO)
             .collect();
-        q.sort_by(|&a, &b| {
-            let da = placement.stages[s].dist(&placement.stages[a]);
-            let db = placement.stages[s].dist(&placement.stages[b]);
-            da.total_cmp(&db)
-        });
+        q.sort_by(|&a, &b| dist(s, a).total_cmp(&dist(s, b)));
         for h in q {
             if need == Bytes::ZERO {
                 break;
@@ -105,7 +122,7 @@ pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> D
                 sender: s,
                 helper: h,
                 bytes: take,
-                hops: placement.stages[s].dist(&placement.stages[h]),
+                hops: dist(s, h),
             });
             remaining[h] -= take;
             need -= take;
@@ -115,6 +132,33 @@ pub fn allocate(placement: &Placement, overflow: &[Bytes], spare: &[Bytes]) -> D
         }
     }
     out
+}
+
+/// Node-level Alg. 3 (§VI-F): Sender→Helper DRAM borrowing where helpers
+/// may sit across the W2W seam, priced by the seam-extended
+/// [`NodeCostModel::dist`] — a cross-seam helper is only chosen once
+/// every nearer on-wafer helper's spare is exhausted, because one seam
+/// crossing costs `seam_penalty` (≥ 1) intra-wafer hops. `stage_slots`
+/// maps each stage to its global node slot. When every Sender finds all
+/// its helpers on its own wafer the result is bit-for-bit what
+/// [`allocate`] produces for that wafer-local placement, since the
+/// distance closures agree on intra-group pairs.
+pub fn allocate_node(
+    model: &NodeCostModel,
+    stage_slots: &[usize],
+    overflow: &[Bytes],
+    spare: &[Bytes],
+) -> DramAllocation {
+    assert_eq!(
+        overflow.len(),
+        stage_slots.len(),
+        "slot assignment must cover every stage"
+    );
+    allocate_by(
+        |s, h| model.dist(stage_slots[s], stage_slots[h]),
+        overflow,
+        spare,
+    )
 }
 
 #[cfg(test)]
@@ -191,5 +235,94 @@ mod tests {
     fn mismatched_arrays_panic() {
         let p = line_placement(2);
         let _ = allocate(&p, &[Bytes::ZERO], &[Bytes::ZERO, Bytes::ZERO]);
+    }
+
+    /// 2 wafer groups of a 4x2 wafer tiled 2x2 → 2 slots per group; a
+    /// seam crossing costs 10 intra-wafer hops.
+    fn node_model(groups: usize) -> NodeCostModel {
+        NodeCostModel::new(4, 2, 2, 2, groups, 10.0, 1.0).expect("tile fits")
+    }
+
+    #[test]
+    fn node_borrowing_prefers_on_wafer_helpers_then_crosses_the_seam() {
+        let model = node_model(2);
+        // Stage 0 on group 0 slot 0; helper 1 on its own wafer, helper 2
+        // across the seam at the *same local slot* as the sender
+        // (local distance 0 < helper 1's 2 hops — without the seam
+        // penalty the remote helper would win).
+        let slots = [0usize, 1, 2];
+        let overflow = vec![Bytes::gib(6), Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(4), Bytes::gib(8)];
+        let alloc = allocate_node(&model, &slots, &overflow, &spare);
+        assert!(alloc.complete());
+        assert_eq!(alloc.grants[0].helper, 1, "on-wafer spare drains first");
+        assert_eq!(alloc.grants[0].bytes, Bytes::gib(4));
+        assert_eq!(alloc.grants[1].helper, 2, "overflow then crosses the seam");
+        assert_eq!(alloc.grants[1].bytes, Bytes::gib(2));
+        assert_eq!(alloc.grants[1].hops, 10.0, "seam priced into grant hops");
+    }
+
+    #[test]
+    fn node_borrowing_never_violates_per_die_capacity() {
+        let model = node_model(2);
+        let slots = [0usize, 1, 2, 3];
+        let overflow = vec![Bytes::gib(9), Bytes::gib(5), Bytes::ZERO, Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::ZERO, Bytes::gib(6), Bytes::gib(6)];
+        let alloc = allocate_node(&model, &slots, &overflow, &spare);
+        // Per-helper grant totals never exceed the helper's spare, even
+        // with competing senders and split grants across the seam.
+        for (h, &cap) in spare.iter().enumerate() {
+            let hosted: Bytes = alloc
+                .grants
+                .iter()
+                .filter(|g| g.helper == h)
+                .map(|g| g.bytes)
+                .sum();
+            assert!(hosted <= cap, "helper {h} over-committed");
+        }
+        // Per-sender grant totals never exceed the demand.
+        for (s, &want) in overflow.iter().enumerate() {
+            let got: Bytes = alloc
+                .grants
+                .iter()
+                .filter(|g| g.sender == s)
+                .map(|g| g.bytes)
+                .sum();
+            assert!(got <= want, "sender {s} over-served");
+        }
+        // 14 GiB demanded, 12 GiB spare: exactly the gap goes unserved.
+        let short: Bytes = alloc.unserved.iter().map(|&(_, b)| b).sum();
+        assert_eq!(short, Bytes::gib(2));
+    }
+
+    #[test]
+    fn intra_wafer_only_node_allocation_matches_allocate_bit_for_bit() {
+        // One group: the seam never enters any distance, so the node
+        // entry must reproduce today's single-wafer allocation exactly —
+        // same grants, same order, same hops bits — including on
+        // distance ties, where both fall back to stable index order.
+        let model = node_model(1);
+        let slots = [0usize, 1];
+        let placement = Placement {
+            stages: slots.iter().map(|&s| model.local_rect(s)).collect(),
+        };
+        let overflow = vec![Bytes::gib(3), Bytes::ZERO];
+        let spare = vec![Bytes::ZERO, Bytes::gib(5)];
+        let node = allocate_node(&model, &slots, &overflow, &spare);
+        let wafer = allocate(&placement, &overflow, &spare);
+        assert_eq!(node, wafer);
+        // And a tie-heavy case on a wider wafer: 4 stages, all helpers
+        // equidistant in pairs.
+        let model4 = NodeCostModel::new(8, 2, 2, 2, 1, 10.0, 1.0).expect("tile fits");
+        let slots4 = [1usize, 0, 2, 3];
+        let placement4 = Placement {
+            stages: slots4.iter().map(|&s| model4.local_rect(s)).collect(),
+        };
+        let overflow4 = vec![Bytes::gib(7), Bytes::ZERO, Bytes::ZERO, Bytes::ZERO];
+        let spare4 = vec![Bytes::ZERO, Bytes::gib(2), Bytes::gib(2), Bytes::gib(2)];
+        assert_eq!(
+            allocate_node(&model4, &slots4, &overflow4, &spare4),
+            allocate(&placement4, &overflow4, &spare4)
+        );
     }
 }

@@ -130,7 +130,13 @@ pub struct MultiWaferRecord {
     pub name: String,
     /// The node configuration.
     pub node: MultiWaferConfig,
-    /// Best multi-wafer schedule found.
+    /// Best multi-wafer schedule found. When the search ran with
+    /// [`ExplorerBuilder::node_placement`], the winner carries its
+    /// per-node Alg. 3 placement stats in
+    /// [`MultiWaferReport::placement`](crate::MultiWaferReport) —
+    /// placement cost before/after the climb, hosted and cross-seam
+    /// borrowed bytes, mean grant distance, and whether the refined
+    /// schedule was kept.
     pub best: Option<MultiWaferReport>,
     /// Search instrumentation: visited/pruned/evaluated counts of this
     /// node's §VI-F sweep.
@@ -340,6 +346,20 @@ impl ExplorerBuilder {
     /// [`PlanFilter::uneven_stage_maps`]).
     pub fn uneven_stage_maps(mut self) -> Self {
         self.opts_mut().plans.uneven_stage_maps = true;
+        self
+    }
+
+    /// Run the node-level Alg. 3 memory scheduler on every evaluated
+    /// multi-wafer plan (§VI-F): seam-extended placement optimization
+    /// within each wafer group plus Sender→Helper DRAM borrowing across
+    /// the W2W boundary, each refinement kept only when strictly faster
+    /// than the baseline evaluation — the winner can only improve or
+    /// tie. The pass is seeded by [`Self::seed`], so reports stay a
+    /// pure function of the options at any thread count. The winning
+    /// report surfaces the pass in
+    /// [`MultiWaferReport::placement`](crate::MultiWaferReport).
+    pub fn node_placement(mut self) -> Self {
+        self.opts_mut().node_placement = true;
         self
     }
 

@@ -67,8 +67,8 @@ pub mod stage;
 mod wave;
 
 pub use crate::cache::ProfileCache;
-pub use crate::costmodel::{CostState, PlacementCostModel};
-pub use crate::dram_alloc::{allocate, DramAllocation, DramGrant};
+pub use crate::costmodel::{CostState, NodeCostModel, PlacementCostModel};
+pub use crate::dram_alloc::{allocate, allocate_by, allocate_node, DramAllocation, DramGrant};
 pub use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
 pub use crate::explorer::{
     ArchRecord, BaselineModel, BaselineOutcome, BaselineRecord, CandidateSource, ExplorationError,
@@ -81,9 +81,13 @@ pub use crate::goodput::{
     RobustObjective,
 };
 pub use crate::multiwafer::{
-    evaluate_multi_wafer_plan, evaluate_multi_wafer_plan_cached, MultiWaferReport,
+    evaluate_multi_wafer_plan, evaluate_multi_wafer_plan_cached, evaluate_multi_wafer_plan_placed,
+    seam_borrow_penalty, MultiWaferReport, NodePlacementStats,
 };
-pub use crate::placement::{global_cost, serpentine, PairDemand, Placement, Rect};
+pub use crate::placement::{
+    global_cost, node_serpentine, optimize_node, serpentine, NodePlacementOutcome, PairDemand,
+    Placement, Rect,
+};
 pub use crate::robust::{FaultKind, FaultPoint};
 pub use crate::scheduler::{
     evaluate_scheduled, evaluate_scheduled_cached, schedule_plan, schedule_plan_cached, PlanFilter,

@@ -36,6 +36,16 @@
 //! * a data-parallel gradient all-reduce (ring, wafer row) is appended
 //!   when `dp > 1`, as in the single-wafer evaluator.
 //!
+//! "Minus placement freedom" holds for the baseline evaluator only:
+//! behind the `node_placement` knob
+//! ([`crate::ExplorerBuilder::node_placement`]) every evaluated plan
+//! additionally runs the **node-level Alg. 3 pass** — stages are
+//! hill-climb placed within their wafer groups on the seam-extended
+//! [`NodeCostModel`], Sender→Helper DRAM borrowing may cross the W2W
+//! boundary at the priced [`seam_borrow_penalty`], and the refined
+//! schedule replaces the baseline only when strictly faster
+//! ([`evaluate_multi_wafer_plan_placed`]).
+//!
 //! # The search
 //!
 //! The search (`explore_multi_wafer_impl`, driven by
@@ -56,7 +66,9 @@
 //! the exhaustive sequential sweep.
 
 use crate::cache::ProfileCache;
-use crate::placement::choose_tile;
+use crate::costmodel::NodeCostModel;
+use crate::dram_alloc::allocate_node;
+use crate::placement::{choose_tile, optimize_node, PairDemand};
 use crate::scheduler::{
     memory_precheck_fails, tp_candidates, PlanFilter, SchedulerOptions, SearchStats,
 };
@@ -66,8 +78,11 @@ use serde::{Deserialize, Serialize};
 use wsc_arch::units::{Bytes, FlopRate, Time};
 use wsc_arch::wafer::MultiWaferConfig;
 use wsc_mesh::collective::{CollectiveAlgo, GroupShape};
-use wsc_pipeline::gcmr::gcmr;
+use wsc_mesh::multiwafer::MultiWaferFabric;
+use wsc_mesh::topology::Mesh2D;
+use wsc_pipeline::gcmr::{gcmr, GcmrPlan};
 use wsc_pipeline::onefb::{simulate, StageTiming};
+use wsc_pipeline::recompute::overflow_and_spare;
 use wsc_workload::graph::ShardingCtx;
 use wsc_workload::memory::model_p_total;
 use wsc_workload::parallel::{ParallelPlan, ParallelSpec, StageMap};
@@ -92,6 +107,47 @@ pub struct MultiWaferReport {
     pub w2w_boundary_fraction: f64,
     /// Whether the schedule fits memory.
     pub feasible: bool,
+    /// Node-level Alg. 3 instrumentation — `None` unless the plan was
+    /// evaluated with the `node_placement` knob
+    /// ([`evaluate_multi_wafer_plan_placed`]).
+    pub placement: Option<NodePlacementStats>,
+}
+
+/// Instrumentation of one node-level Alg. 3 pass (§VI-F): the
+/// seam-extended placement climb plus cross-boundary DRAM borrowing run
+/// for a single multi-wafer plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePlacementStats {
+    /// Node Eq. 2 cost of the per-group serpentine seed placement.
+    pub seed_cost: f64,
+    /// Node Eq. 2 cost after the intra-group hill climb
+    /// (≤ `seed_cost`).
+    pub optimized_cost: f64,
+    /// Bytes hosted remotely by Alg. 3 Sender→Helper DRAM grants.
+    pub hosted_bytes: Bytes,
+    /// Granted bytes whose Sender→Helper route crosses a W2W seam.
+    pub seam_bytes: Bytes,
+    /// Byte-weighted mean grant distance, in seam-extended hops.
+    pub mean_hops: f64,
+    /// Whether the placement-refined schedule beat the baseline timing
+    /// and was kept — [`MultiWaferReport::iteration`] is then the
+    /// refined figure; otherwise the baseline stands.
+    pub kept: bool,
+}
+
+/// Price of moving `bytes` of Sender→Helper checkpoint traffic across
+/// `crossings` W2W seams — the Alg. 3 cross-boundary borrow penalty.
+/// Zero for intra-wafer grants; otherwise the seam's α–β transfer
+/// ([`MultiWaferFabric::cross_wafer_time`]): strictly monotone in both
+/// the byte count and the crossing count.
+pub fn seam_borrow_penalty(node: &MultiWaferConfig, bytes: Bytes, crossings: usize) -> Time {
+    let fabric = MultiWaferFabric {
+        wafers: node.wafers.max(1),
+        wafer_mesh: Mesh2D::new(node.wafer.nx, node.wafer.ny),
+        w2w_bw: node.w2w_bw,
+        w2w_latency: node.w2w_latency,
+    };
+    fabric.cross_wafer_time(bytes, crossings)
 }
 
 /// The derived geometry of one multi-wafer [`ParallelPlan`]: the
@@ -195,6 +251,39 @@ pub fn evaluate_multi_wafer_plan_cached(
     plan: &ParallelPlan,
     cache: &ProfileCache,
 ) -> Option<MultiWaferReport> {
+    evaluate_multi_wafer_plan_impl(node, job, plan, cache, None)
+}
+
+/// [`evaluate_multi_wafer_plan_cached`] plus the node-level Alg. 3 pass
+/// (§VI-F): after the baseline evaluation, the plan's stages are
+/// hill-climb placed on the seam-extended [`NodeCostModel`]
+/// ([`optimize_node`], seeded by `seed`), Sender→Helper DRAM borrowing
+/// is re-granted across the W2W boundary ([`allocate_node`]), and a
+/// refined schedule — actual-placement p2p distances, priced
+/// activation-balance traffic including [`seam_borrow_penalty`] — is
+/// simulated. The refinement is **kept only when strictly better** than
+/// the baseline (the single-wafer GA-refinement idiom), so enabling
+/// placement can only shrink realized iteration time, never grow it —
+/// and never drops below the analytic `node_lower_bound`, which both
+/// schedules already dominate. [`MultiWaferReport::placement`] records
+/// the pass.
+pub fn evaluate_multi_wafer_plan_placed(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+    cache: &ProfileCache,
+    seed: u64,
+) -> Option<MultiWaferReport> {
+    evaluate_multi_wafer_plan_impl(node, job, plan, cache, Some(seed))
+}
+
+fn evaluate_multi_wafer_plan_impl(
+    node: &MultiWaferConfig,
+    job: &TrainingJob,
+    plan: &ParallelPlan,
+    cache: &ProfileCache,
+    placement_seed: Option<u64>,
+) -> Option<MultiWaferReport> {
     let wafer = &node.wafer;
     let pp = plan.pp;
     let NodeGeometry {
@@ -238,11 +327,38 @@ pub fn evaluate_multi_wafer_plan_cached(
             p2p,
         });
     }
-    let timing = simulate(&timings, n_mb);
-    let mut iteration = timing.iteration;
-    if dp > 1 {
-        iteration += dp_allreduce_time(node, job, plan.tp, pp, dp, cache);
+    let dp_time = if dp > 1 {
+        dp_allreduce_time(node, job, plan.tp, pp, dp, cache)
+    } else {
+        Time::ZERO
+    };
+    let mut iteration = simulate(&timings, n_mb).iteration + dp_time;
+
+    // Node-level Alg. 3 (behind the `node_placement` knob): re-place the
+    // stages on the seam-extended cost model, re-grant DRAM borrowing
+    // across the boundary, and keep the refined schedule only when it
+    // strictly beats the baseline just computed.
+    let mut placement = None;
+    if let Some(seed) = placement_seed {
+        let ctx_pass = NodePlacementCtx {
+            node,
+            assignment: &assignment,
+            span,
+            shape,
+            boundary,
+            n_mb,
+            seed,
+        };
+        if let Some((refined, stats)) = node_placement_pass(&ctx_pass, &timings, &inputs, &gplan) {
+            let refined_iteration = simulate(&refined, n_mb).iteration + dp_time;
+            let kept = refined_iteration < iteration;
+            if kept {
+                iteration = refined_iteration;
+            }
+            placement = Some(NodePlacementStats { kept, ..stats });
+        }
     }
+
     let useful = job.flops_per_iter();
     let fwd_total: f64 = stages.iter().map(|s| s.fwd_compute.as_secs()).sum();
     let recomp_total: f64 = rp.recompute_time.iter().map(|t| t.as_secs()).sum();
@@ -255,7 +371,116 @@ pub fn evaluate_multi_wafer_plan_cached(
         throughput: (useful + recompute_flops) / iteration,
         w2w_boundary_fraction: w2w_boundaries as f64 / (pp.max(2) - 1) as f64,
         feasible: true,
+        placement,
     })
+}
+
+/// Immutable inputs of one [`node_placement_pass`].
+struct NodePlacementCtx<'a> {
+    node: &'a MultiWaferConfig,
+    assignment: &'a [usize],
+    span: usize,
+    shape: GroupShape,
+    boundary: Bytes,
+    n_mb: usize,
+    seed: u64,
+}
+
+/// The node-level Alg. 3 pass for one plan: seam-extended placement
+/// climb + cross-boundary DRAM grants → refined [`StageTiming`]s and
+/// the pass instrumentation (`kept` left `false`; the caller decides).
+///
+/// The refined schedule differs from the baseline in two ways:
+///
+/// * **p2p** — intra-group boundaries are priced by the optimized
+///   placement's actual center distance (`α·Dist + bytes/BW`) instead
+///   of the baseline's pessimistic distance-2 constant; seam boundaries
+///   keep the baseline W2W price (placement cannot move the seam);
+/// * **balance traffic** — every Sender→Helper grant adds its
+///   per-micro-batch round trip (`2·bytes/n_mb`) to the sender's
+///   backward pass: the wafer-local α–β leg plus
+///   [`seam_borrow_penalty`] per seam crossing. The baseline leaves
+///   this traffic unpriced, so refinement only wins where placement
+///   gains genuinely outweigh honest borrow costs.
+///
+/// `None` when the geometry yields no slot grid or the cross-boundary
+/// allocation cannot serve every sender — the baseline then stands.
+fn node_placement_pass(
+    ctx: &NodePlacementCtx<'_>,
+    timings: &[StageTiming],
+    inputs: &[wsc_pipeline::recompute::StageRecomputeInput],
+    gplan: &GcmrPlan,
+) -> Option<(Vec<StageTiming>, NodePlacementStats)> {
+    let wafer = &ctx.node.wafer;
+    let link_bw = wafer.d2d_link_bw();
+    let alpha = wafer.d2d_link_latency;
+    let groups = ctx.node.wafers.max(1) / ctx.span;
+    let fabric = MultiWaferFabric {
+        wafers: groups,
+        wafer_mesh: Mesh2D::new(wafer.nx, wafer.ny),
+        w2w_bw: ctx.node.w2w_bw,
+        w2w_latency: ctx.node.w2w_latency,
+    };
+    // The W2W seam enters the distance table as hop equivalents sized
+    // for this plan's boundary traffic.
+    let seam_penalty = fabric.seam_hop_penalty(ctx.boundary, link_bw, alpha);
+    let model = NodeCostModel::new(
+        wafer.nx,
+        wafer.ny,
+        ctx.shape.w,
+        ctx.shape.h,
+        groups,
+        seam_penalty,
+        ctx.boundary.as_f64(),
+    )?;
+    // GCMR Mem_pairs (Alg. 2) become the Eq. 2 pair demands (Alg. 3).
+    let pairs: Vec<PairDemand> = gplan
+        .mem_pairs
+        .iter()
+        .map(|p| PairDemand {
+            sender: p.sender,
+            helper: p.helper,
+            volume: p.bytes.as_f64(),
+        })
+        .collect();
+    let outcome = optimize_node(&model, ctx.assignment, &pairs, ctx.seed)?;
+    let (overflow, spare) =
+        overflow_and_spare(inputs, &gplan.as_recompute_plan(), wafer.dram.capacity);
+    let alloc = allocate_node(&model, &outcome.slots, &overflow, &spare);
+    if !alloc.complete() {
+        return None;
+    }
+
+    let mut refined = timings.to_vec();
+    // Re-price intra-group boundaries by placed distance.
+    for (s, pair) in ctx.assignment.windows(2).enumerate() {
+        if pair[1] == pair[0] {
+            let d = model.local_dist(outcome.slots[s], outcome.slots[s + 1]);
+            refined[s].p2p = alpha.scale(d) + ctx.boundary / link_bw;
+        }
+    }
+    // Price the activation-balance round trips on the senders.
+    let mut seam_bytes = Bytes::ZERO;
+    for g in &alloc.grants {
+        let per_mb = Bytes::new((2.0 * g.bytes.as_f64() / ctx.n_mb as f64).round() as u64);
+        let (a, b) = (outcome.slots[g.sender], outcome.slots[g.helper]);
+        let crossings = model.seam_hops(a, b);
+        refined[g.sender].bwd += alpha.scale(model.local_dist(a, b))
+            + per_mb / link_bw
+            + seam_borrow_penalty(ctx.node, per_mb, crossings);
+        if crossings > 0 {
+            seam_bytes += g.bytes;
+        }
+    }
+    let stats = NodePlacementStats {
+        seed_cost: outcome.seed_cost,
+        optimized_cost: outcome.cost,
+        hosted_bytes: alloc.hosted_bytes(),
+        seam_bytes,
+        mean_hops: alloc.mean_hops(),
+        kept: false,
+    };
+    Some((refined, stats))
 }
 
 /// Per-micro-batch TP collective time of one stage, `(fwd, bwd)`. The
@@ -337,6 +562,14 @@ fn dp_allreduce_time(
 /// W2W) — strictly add time: the bound never exceeds the true
 /// evaluation. `None` = statically infeasible ([`node_geometry`]
 /// rejects the plan).
+///
+/// The node-placement pass does not touch this bound, and needs not to:
+/// both the baseline and the placement-refined schedule consist of the
+/// same per-stage `fwd/bwd` (collectives priced by the same
+/// [`stage_tp_comm`]) plus only *non-negative* additions — recompute,
+/// p2p, balance traffic, seam penalties — and the refinement is kept
+/// only when strictly better than the baseline. Placement can only
+/// shrink realized cost toward the bound, never through it.
 fn node_lower_bound(
     node: &MultiWaferConfig,
     job: &TrainingJob,
@@ -498,14 +731,24 @@ pub(crate) fn explore_multi_wafer_impl(
 
     let cache = ProfileCache::new();
 
-    // Bound-ordered evaluation waves on the shared engine.
+    // Bound-ordered evaluation waves on the shared engine. With the
+    // `node_placement` knob on, every evaluated plan gets the node-level
+    // Alg. 3 pass (seeded by `opts.seed`, so the sweep stays a pure
+    // deterministic function of its inputs); the bound is unchanged —
+    // the refined schedule still dominates it, see [`node_lower_bound`].
     let (best, stats) = bounded_search(
         &items,
         &decided,
         opts.prune,
         opts.sequential,
         |it| node_lower_bound(node, job, it, &cache),
-        |it| evaluate_multi_wafer_plan_cached(node, job, &it.plan, &cache),
+        |it| {
+            if opts.node_placement {
+                evaluate_multi_wafer_plan_placed(node, job, &it.plan, &cache, opts.seed)
+            } else {
+                evaluate_multi_wafer_plan_cached(node, job, &it.plan, &cache)
+            }
+        },
         |r| r.iteration.as_secs(),
     );
     MultiWaferOutcome { best, stats }
@@ -950,6 +1193,125 @@ mod tests {
     }
 
     #[test]
+    fn seam_borrow_penalty_is_monotone_and_free_on_wafer() {
+        let node = presets::multi_wafer_18();
+        // Intra-wafer grants never pay the seam.
+        assert_eq!(seam_borrow_penalty(&node, Bytes::gib(4), 0), Time::ZERO);
+        // Strictly monotone in borrowed bytes…
+        let mut prev = Time::ZERO;
+        for gib in [1u64, 2, 4, 8, 16] {
+            let t = seam_borrow_penalty(&node, Bytes::gib(gib), 1);
+            assert!(
+                t.as_secs() > prev.as_secs(),
+                "penalty must grow with borrowed bytes"
+            );
+            prev = t;
+        }
+        // …and in seam crossings.
+        let b = Bytes::gib(2);
+        assert!(
+            seam_borrow_penalty(&node, b, 2).as_secs() > seam_borrow_penalty(&node, b, 1).as_secs()
+        );
+    }
+
+    #[test]
+    fn node_placement_pass_never_regresses_a_plan() {
+        let node = presets::multi_wafer_18();
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let cache = ProfileCache::new();
+        for plan in [
+            ParallelPlan::balanced(8, 28, TpSplitStrategy::SequenceParallel, 4),
+            ParallelPlan::balanced(8, 28, TpSplitStrategy::SequenceParallel, 2).with_tp_span(2),
+        ] {
+            let base =
+                evaluate_multi_wafer_plan_cached(&node, &job, &plan, &cache).expect("feasible");
+            let placed =
+                evaluate_multi_wafer_plan_placed(&node, &job, &plan, &cache, 7).expect("feasible");
+            // Keep-if-strictly-better: placement can only shrink the
+            // realized iteration, never grow it.
+            assert!(
+                placed.iteration.as_secs() <= base.iteration.as_secs(),
+                "placement regressed: {} vs {}",
+                placed.iteration,
+                base.iteration
+            );
+            assert!(base.placement.is_none(), "knob off → no stats");
+            if let Some(stats) = &placed.placement {
+                assert!(stats.optimized_cost <= stats.seed_cost, "climb regressed");
+                if stats.kept {
+                    assert!(placed.iteration.as_secs() < base.iteration.as_secs());
+                } else {
+                    assert_eq!(placed.iteration, base.iteration);
+                }
+            } else {
+                assert_eq!(placed.iteration, base.iteration);
+            }
+            // Deterministic in the seed.
+            let again =
+                evaluate_multi_wafer_plan_placed(&node, &job, &plan, &cache, 7).expect("feasible");
+            assert_eq!(placed, again, "placed evaluation must be reproducible");
+            // Plan identity and seam accounting are untouched.
+            assert_eq!(placed.plan, base.plan);
+            assert_eq!(placed.parallel, base.parallel);
+            assert_eq!(placed.w2w_boundary_fraction, base.w2w_boundary_fraction);
+        }
+    }
+
+    #[test]
+    fn node_placement_search_never_loses_to_baseline() {
+        let node = presets::multi_wafer_18();
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let base = explore_multi_wafer_impl(&node, &job, &seq_par_opts())
+            .best
+            .expect("feasible");
+        let placed = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions {
+                node_placement: true,
+                ..seq_par_opts()
+            },
+        )
+        .best
+        .expect("feasible");
+        assert!(
+            placed.iteration.as_secs() <= base.iteration.as_secs(),
+            "node placement lost to the baseline: {} vs {}",
+            placed.iteration,
+            base.iteration
+        );
+        assert!(
+            placed.placement.is_some(),
+            "winner must surface its Alg. 3 stats"
+        );
+        assert!(base.placement.is_none());
+    }
+
+    #[test]
+    fn placed_pruned_search_matches_exhaustive_sweep() {
+        // The engine invariant holds over the node-placement axis too.
+        let node = presets::multi_wafer_4();
+        let job = TrainingJob::standard(zoo::llama3_405b());
+        let opts = SchedulerOptions {
+            node_placement: true,
+            ..seq_par_opts()
+        };
+        let pruned = explore_multi_wafer_impl(&node, &job, &opts);
+        let exhaustive = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions {
+                prune: false,
+                sequential: true,
+                ..opts.clone()
+            },
+        );
+        assert_eq!(pruned.best, exhaustive.best);
+        assert_eq!(pruned.stats.visited, exhaustive.stats.visited);
+        assert_eq!(exhaustive.stats.pruned, 0);
+    }
+
+    #[test]
     fn single_wafer_node_never_crosses_seams() {
         // wafers = 1 degenerates to a single-wafer pipeline: no stage
         // boundary can be a seam, and the W2W link parameters must not
@@ -970,5 +1332,21 @@ mod tests {
             .expect("fits one wafer");
         assert_eq!(r.w2w_boundary_fraction, 0.0);
         assert_eq!(r, r_slow, "W2W parameters must be irrelevant at wafers=1");
+        // The node-placement pass keeps that property: one group means
+        // zero seam hops in every distance and zero borrow crossings.
+        let placed_opts = SchedulerOptions {
+            node_placement: true,
+            ..opts
+        };
+        let p = explore_multi_wafer_impl(&one, &job, &placed_opts)
+            .best
+            .expect("fits one wafer");
+        let p_slow = explore_multi_wafer_impl(&one_slow, &job, &placed_opts)
+            .best
+            .expect("fits one wafer");
+        assert_eq!(
+            p, p_slow,
+            "W2W parameters must stay irrelevant at wafers=1 with placement on"
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! where γ counts routing conflicts between activation-balance paths and
 //! pipeline paths.
 
-use crate::costmodel::{link_id, pipeline_link_bitmap, PlacementCostModel};
+use crate::costmodel::{link_id, pipeline_link_bitmap, NodeCostModel, PlacementCostModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -485,6 +485,139 @@ pub fn optimize_with(
     Some(state.placement())
 }
 
+/// Outcome of the node-level Alg. 3 placement climb (§VI-F): one global
+/// slot per stage plus the node Eq. 2 cost before and after the climb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePlacementOutcome {
+    /// Global slot id per stage (`group * slots_per_group + local`).
+    pub slots: Vec<usize>,
+    /// Node Eq. 2 cost of the per-group serpentine seed.
+    pub seed_cost: f64,
+    /// Node Eq. 2 cost after the climb (≤ `seed_cost`).
+    pub cost: f64,
+}
+
+/// Per-group serpentine seed for the node level: stages walk their
+/// assigned wafer group's slot grid in boustrophedon order, in pipeline
+/// order. `None` when an assignment names a group outside the model or
+/// packs more stages onto a group than it has slots.
+pub fn node_serpentine(model: &NodeCostModel, assignment: &[usize]) -> Option<Vec<usize>> {
+    let spw = model.slots_per_group();
+    let cols = model.cols().max(1);
+    let rows = spw / cols;
+    // Boustrophedon order over the wafer-local slot grid.
+    let mut order = Vec::with_capacity(spw);
+    for r in 0..rows {
+        if r % 2 == 0 {
+            for c in 0..cols {
+                order.push(r * cols + c);
+            }
+        } else {
+            for c in (0..cols).rev() {
+                order.push(r * cols + c);
+            }
+        }
+    }
+    let mut next = vec![0usize; model.groups()];
+    let mut slots = Vec::with_capacity(assignment.len());
+    for &g in assignment {
+        if g >= model.groups() {
+            return None;
+        }
+        let k = next[g];
+        if k >= order.len() {
+            return None;
+        }
+        next[g] += 1;
+        slots.push(g * spw + order[k]);
+    }
+    Some(slots)
+}
+
+/// Node-level Alg. 3 placement (§VI-F): seed each wafer group with the
+/// per-group serpentine and hill-climb over *intra-group* stage↔slot
+/// swaps and free-slot moves to minimize the seam-extended
+/// [`NodeCostModel::cost`]. The stage→group assignment is fixed by the
+/// `StageMap` — placement never moves a stage across the seam, it only
+/// rearranges stages within their wafer so cross-seam Sender→Helper
+/// borrowing and intra-group pipeline hops get cheaper.
+///
+/// Deterministic in `(model, assignment, pairs, seed)`: same seeded RNG
+/// idiom as [`optimize_with`], strict-improvement acceptance only.
+pub fn optimize_node(
+    model: &NodeCostModel,
+    assignment: &[usize],
+    pairs: &[PairDemand],
+    seed: u64,
+) -> Option<NodePlacementOutcome> {
+    let pp = assignment.len();
+    let mut slots = node_serpentine(model, assignment)?;
+    let seed_cost = model.cost(&slots, pairs);
+    if pairs.is_empty() {
+        // No balance traffic: each group's boustrophedon run already
+        // minimizes the intra-group pipeline term, and the seam terms
+        // are fixed by the stage→group assignment.
+        return Some(NodePlacementOutcome {
+            slots,
+            seed_cost,
+            cost: seed_cost,
+        });
+    }
+    let mut best_cost = seed_cost;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a1e_77a7);
+    let n_slots = model.slot_count();
+    let spw = model.slots_per_group();
+    let iters = 60 + 40 * pp;
+    for _ in 0..iters {
+        if n_slots > pp && rng.gen_bool(0.3) {
+            // Move a stage to a free slot on its own wafer group.
+            let idx = rng.gen_range(0..pp);
+            let g = assignment[idx];
+            let mut used = vec![false; spw];
+            for (s, &slot) in slots.iter().enumerate() {
+                if assignment[s] == g {
+                    used[slot - g * spw] = true;
+                }
+            }
+            let free: Vec<usize> = (0..spw)
+                .filter(|&l| !used[l])
+                .map(|l| g * spw + l)
+                .collect();
+            if let Some(&slot) = free.get(
+                rng.gen_range(0..free.len().max(1))
+                    .min(free.len().saturating_sub(1)),
+            ) {
+                let old = slots[idx];
+                slots[idx] = slot;
+                let c = model.cost(&slots, pairs);
+                if c < best_cost {
+                    best_cost = c;
+                } else {
+                    slots[idx] = old;
+                }
+            }
+        } else {
+            let i = rng.gen_range(0..pp);
+            let j = rng.gen_range(0..pp);
+            if i == j || assignment[i] != assignment[j] {
+                continue;
+            }
+            slots.swap(i, j);
+            let c = model.cost(&slots, pairs);
+            if c < best_cost {
+                best_cost = c;
+            } else {
+                slots.swap(i, j);
+            }
+        }
+    }
+    Some(NodePlacementOutcome {
+        slots,
+        seed_cost,
+        cost: best_cost,
+    })
+}
+
 /// The pre-cost-model hill climb: every candidate recomputes
 /// [`global_cost`] from scratch. Kept as the reference implementation —
 /// `tests/ga_cost_equivalence.rs` pins `optimize ≡ optimize_naive`
@@ -846,5 +979,70 @@ mod tests {
             let naive6 = optimize_naive(&mesh, 6, 2, 2, 1.0, &pairs6, seed).unwrap();
             assert_eq!(inc6, naive6, "seed {seed} with free slots");
         }
+    }
+
+    #[test]
+    fn node_serpentine_walks_each_group_boustrophedon() {
+        // 2 groups of a 4x4 wafer tiled 2x2 → 4 slots per group, 2 cols.
+        let model = NodeCostModel::new(4, 4, 2, 2, 2, 6.0, 1.0).unwrap();
+        // Balanced map: stages 0-2 on group 0, stages 3-5 on group 1.
+        let slots = node_serpentine(&model, &[0, 0, 0, 1, 1, 1]).unwrap();
+        // Row 0 left→right, row 1 right→left: local order 0,1,3,...
+        assert_eq!(slots, vec![0, 1, 3, 4, 5, 7]);
+        // Over-packed groups and out-of-range groups are rejected.
+        assert!(node_serpentine(&model, &[0; 5]).is_none());
+        assert!(node_serpentine(&model, &[2]).is_none());
+    }
+
+    #[test]
+    fn optimize_node_never_crosses_groups_and_never_regresses() {
+        let model = NodeCostModel::new(4, 4, 2, 2, 2, 6.0, 1.0).unwrap();
+        let assignment = [0, 0, 0, 1, 1, 1];
+        // A cross-seam Sender→Helper pair: placement cannot remove the
+        // seam term, but it can shrink the local legs.
+        let pairs = vec![
+            PairDemand {
+                sender: 0,
+                helper: 5,
+                volume: 4.0,
+            },
+            PairDemand {
+                sender: 2,
+                helper: 3,
+                volume: 1.0,
+            },
+        ];
+        for seed in [0u64, 7, 42] {
+            let out = optimize_node(&model, &assignment, &pairs, seed).unwrap();
+            assert!(out.cost <= out.seed_cost, "climb must never regress");
+            for (s, &slot) in out.slots.iter().enumerate() {
+                assert_eq!(
+                    model.group_of(slot),
+                    assignment[s],
+                    "stage {s} left its wafer group"
+                );
+            }
+            // No two stages share a slot.
+            let mut sorted = out.slots.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.slots.len(), "slots must be distinct");
+            // Deterministic in the seed.
+            let again = optimize_node(&model, &assignment, &pairs, seed).unwrap();
+            assert_eq!(out, again, "seed {seed} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn optimize_node_without_pairs_returns_the_serpentine_seed() {
+        let model = NodeCostModel::new(4, 4, 2, 2, 2, 6.0, 1.0).unwrap();
+        let assignment = [0, 0, 1, 1];
+        let out = optimize_node(&model, &assignment, &[], 9).unwrap();
+        assert_eq!(
+            out.slots,
+            node_serpentine(&model, &assignment).unwrap(),
+            "no balance traffic → boustrophedon seed is kept"
+        );
+        assert_eq!(out.cost, out.seed_cost);
     }
 }

@@ -90,10 +90,10 @@ impl PlanFilter {
 /// [`crate::Explorer`]. The Alg. 1 single-wafer sweep honors every
 /// knob; the §VI-F multi-wafer sweep ([`crate::multiwafer`]) honors the
 /// search-shaping knobs (`strategies`, `tp_candidates`, `allow_odd_tp`,
-/// `plans`, `prune`, `sequential`) but fixes its evaluator to ring
-/// collectives + GCMR with no placement/GA refinement (stages are pinned
-/// to wafers in stage-map order), so `collectives`, `recompute`,
-/// `memory_scheduler`, `ga`, `punish` and `seed` do not affect it.
+/// `plans`, `prune`, `sequential`) plus `node_placement` (and, with it
+/// on, `seed`, which drives the node-level Alg. 3 hill climb) but fixes
+/// its evaluator to ring collectives + GCMR, so `collectives`,
+/// `recompute`, `memory_scheduler`, `ga` and `punish` do not affect it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerOptions {
     /// TP partition strategies to explore (the set `S` of Alg. 1).
@@ -138,6 +138,16 @@ pub struct SchedulerOptions {
     /// (cross-wafer TP, uneven stage maps). See [`PlanFilter`]; builder:
     /// [`crate::ExplorerBuilder::plans`].
     pub plans: PlanFilter,
+    /// Run the node-level Alg. 3 memory scheduler on every evaluated
+    /// multi-wafer plan (§VI-F): seam-extended placement optimization
+    /// within each wafer group plus Sender→Helper DRAM borrowing across
+    /// the W2W boundary, kept per plan only when strictly faster than
+    /// the baseline evaluation — so turning this on can only improve
+    /// (or tie) the winner. Off by default: the knob-off sweep
+    /// reproduces today's results bit-for-bit. Builder:
+    /// [`crate::ExplorerBuilder::node_placement`]. Ignored by the
+    /// single-wafer search (which has its own §IV-C memory scheduler).
+    pub node_placement: bool,
     /// RNG seed for placement optimization and the GA. Reports are a
     /// pure function of this seed — rerunning with the same seed
     /// reproduces them byte-for-byte at any thread count.
@@ -175,6 +185,7 @@ impl Default for SchedulerOptions {
             punish: 4.0,
             tp_candidates: None,
             plans: PlanFilter::default(),
+            node_placement: false,
             seed: DEFAULT_SEED,
             prune: true,
             sequential: false,

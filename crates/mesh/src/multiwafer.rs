@@ -43,6 +43,23 @@ impl MultiWaferFabric {
         }
         self.w2w_latency.scale(hops as f64) + bytes / self.w2w_bw
     }
+
+    /// One W2W seam crossing expressed in intra-wafer D2D hop
+    /// equivalents, for `bytes`-sized transfers: the ratio of the seam's
+    /// α–β transfer time to one D2D hop's. This is the seam entry of
+    /// node-level distance tables — a placement cost model extends its
+    /// intra-wafer `Dist(Sᵢ, Sⱼ)` across the boundary by adding this
+    /// penalty per crossing, so cross-wafer Sender→Helper pairs are
+    /// priced on the same axis as intra-wafer ones. Floored at one hop:
+    /// a seam is never cheaper than staying on-wafer.
+    pub fn seam_hop_penalty(&self, bytes: Bytes, d2d_bw: Bandwidth, d2d_latency: Time) -> f64 {
+        let seam = (self.w2w_latency + bytes / self.w2w_bw).as_secs();
+        let hop = (d2d_latency + bytes / d2d_bw).as_secs();
+        if hop <= 0.0 {
+            return 1.0;
+        }
+        (seam / hop).max(1.0)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,28 @@ fn report_is_identical_across_thread_counts() {
         jsons.push(report.to_json());
     }
 
+    // Node-placement leg: the node-level Alg. 3 pass (per-plan seeded
+    // hill climb + cross-seam DRAM borrowing) runs inside the parallel
+    // wave sweep — the optimized cross-wafer report, including the
+    // per-node placement stats, must be a pure function of the seed,
+    // byte-identical at every thread count.
+    let mut placed_jsons = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let report = Explorer::builder()
+            .job(TrainingJob::standard(zoo::llama3_405b()))
+            .no_ga()
+            .strategies(vec![TpSplitStrategy::SequenceParallel])
+            .multi_wafer(presets::multi_wafer_18())
+            .plans(PlanFilter::all())
+            .node_placement()
+            .seed(7)
+            .build()
+            .expect("valid")
+            .run();
+        placed_jsons.push(report.to_json());
+    }
+
     // GA leg: `refine` decodes genomes in parallel through the
     // incremental cost engine (shared fragment table + plan memo);
     // fitness, history and placement must be byte-identical at every
@@ -77,6 +99,8 @@ fn report_is_identical_across_thread_counts() {
 
     assert_eq!(jsons[0], jsons[1]);
     assert_eq!(jsons[1], jsons[2]);
+    assert_eq!(placed_jsons[0], placed_jsons[1]);
+    assert_eq!(placed_jsons[1], placed_jsons[2]);
     assert_eq!(ga_runs[0], ga_runs[1]);
     assert_eq!(ga_runs[1], ga_runs[2]);
 }

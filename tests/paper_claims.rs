@@ -2,10 +2,11 @@
 //! EXPERIMENTS.md reports. Each test names the figure it guards.
 
 use watos::scheduler::SchedulerOptions;
-use watos::Explorer;
+use watos::{Explorer, PlanFilter};
 use wsc_arch::presets;
 use wsc_baselines::dse::{run as run_dse, DseMethod};
 use wsc_baselines::standard_suite;
+use wsc_workload::parallel::TpSplitStrategy;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
@@ -101,6 +102,55 @@ fn fig15_config3_wins_the_dse() {
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         .expect("nonempty");
     assert_eq!(best.0, "Config 3", "{data:?}");
+}
+
+/// §VI-F at node scale: porting the Alg. 3 memory scheduler across the
+/// W2W seam must never cost the search a winner. On the SOTA 4-wafer
+/// node the node-placement-enabled sweep has to match or beat both
+/// pinned cross-wafer winners — GPT-175B's 9.512 s `D(2)T(8)P(14)
+/// tp-span=4` and Llama3-405B's 82.2 s `D(1)T(16)P(14)` — and it has to
+/// match or beat the knob-off sweep run side by side, not just the
+/// historical literals.
+#[test]
+fn node_alg3_never_loses_the_pinned_cross_wafer_winners() {
+    let node = presets::multi_wafer_18();
+    for (model, pin_secs) in [(zoo::gpt_175b(), 9.52), (zoo::llama3_405b(), 82.20)] {
+        let name = model.name.clone();
+        let job = TrainingJob::standard(model);
+        let quick = || {
+            Explorer::builder()
+                .no_ga()
+                .strategies(vec![TpSplitStrategy::SequenceParallel])
+                .job(job.clone())
+                .multi_wafer(node.clone())
+                .plans(PlanFilter::all())
+        };
+        let base = quick().build().expect("valid").run();
+        let placed = quick().node_placement().build().expect("valid").run();
+        let b = base.multi_wafer[0].best.as_ref().expect("feasible");
+        let p = placed.multi_wafer[0].best.as_ref().expect("feasible");
+        assert!(
+            p.iteration.as_secs() <= b.iteration.as_secs(),
+            "{name}: node placement regressed the winner: {} (plan {}) vs {} (plan {})",
+            p.iteration,
+            p.plan,
+            b.iteration,
+            b.plan
+        );
+        assert!(
+            p.iteration.as_secs() <= pin_secs,
+            "{name}: optimized winner {} must not exceed the pinned {pin_secs} s",
+            p.iteration
+        );
+        let stats = p
+            .placement
+            .as_ref()
+            .expect("knob-on winner is instrumented");
+        assert!(
+            stats.optimized_cost <= stats.seed_cost,
+            "{name}: climb regressed"
+        );
+    }
 }
 
 #[test]

@@ -108,6 +108,7 @@ fn run_node(
     seed: u64,
     exhaustive: bool,
     filter: PlanFilter,
+    placed: bool,
 ) -> ExplorationReport {
     let mut b = Explorer::builder()
         .job(job.clone())
@@ -117,6 +118,9 @@ fn run_node(
         .seed(seed)
         // Shrunken wafers need not satisfy the full floorplan model.
         .allow_invalid_architectures();
+    if placed {
+        b = b.node_placement();
+    }
     if exhaustive {
         b = b.sequential().no_prune();
     }
@@ -151,13 +155,14 @@ proptest! {
 
         // Cover the enlarged plan space too: the filter axes vary with
         // the seed (deterministically, so pruned and exhaustive agree on
-        // the work-list).
+        // the work-list), as does the node-level Alg. 3 placement knob.
         let filter = PlanFilter {
             cross_wafer_tp: seed % 2 == 0,
             uneven_stage_maps: seed % 3 != 2,
         };
-        let pruned = run_node(&node, &job, seed, false, filter);
-        let exhaustive = run_node(&node, &job, seed, true, filter);
+        let placed = seed % 5 < 3;
+        let pruned = run_node(&node, &job, seed, false, filter, placed);
+        let exhaustive = run_node(&node, &job, seed, true, filter, placed);
 
         // Same winner, iteration time, parallel spec, plan.
         let pb = &pruned.multi_wafer[0];
@@ -175,6 +180,15 @@ proptest! {
             if wafers == 1 {
                 prop_assert_eq!(p.w2w_boundary_fraction, 0.0);
                 prop_assert_eq!(p.plan.tp_span, 1, "wafers=1 cannot span");
+            }
+            // Node-placement axis: the knob-off sweep never carries
+            // Alg. 3 instrumentation, and when the knob-on pass ran its
+            // hill climb must not have regressed the Eq. 2 seed cost.
+            if !placed {
+                prop_assert!(p.placement.is_none(), "knob off must not instrument");
+            }
+            if let Some(stats) = &p.placement {
+                prop_assert!(stats.optimized_cost <= stats.seed_cost);
             }
         }
         // Byte-identical report modulo instrumentation.
