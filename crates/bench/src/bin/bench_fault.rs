@@ -180,7 +180,13 @@ fn main() {
         let cache = ProfileCache::new();
         let score = |cfg: Option<&ScheduledConfig>| -> f64 {
             cfg.map_or(0.0, |c| {
-                ensemble_goodput(&preset.wafer, &job, c, &ensemble, objective, &cache)
+                match ensemble_goodput(&preset.wafer, &job, c, &ensemble, objective, &cache) {
+                    Ok(goodput) => goodput,
+                    Err(err) => {
+                        eprintln!("[{:8}] degenerate ensemble: {err}", preset.name);
+                        0.0
+                    }
+                }
             })
         };
         let (ow, aw) = (winner(&oblivious_report), winner(&aware_report));

@@ -14,8 +14,18 @@
 //!     [--preset small|medium|large|multiwafer|all] \
 //!     [--output BENCH_search.json] \
 //!     [--require-pruning] [--min-speedup X] [--threads N[,M,...]]
-//!     [--no-node-placement]
+//!     [--no-node-placement] [--time-budget SECS] [--inject-smoke]
 //! ```
+//!
+//! `--time-budget SECS` switches to the anytime mode: one budgeted pass
+//! per preset under a wall-clock deadline. The winner-agreement and
+//! pruning contracts don't apply to a truncated run; the contract here
+//! is anytime validity — the run returns, the counters stay honest
+//! (`visited == pruned + evaluated + skipped`), and the best-so-far
+//! report round-trips through JSON. `--inject-smoke` runs the CI
+//! resilience smoke: a seeded fault-injection storm (panics, delays,
+//! cache corruption) that must stay isolated, plus a 100ms-deadline
+//! multi-wafer run that must still emit valid best-so-far JSON.
 //!
 //! `--require-pruning` exits non-zero unless every preset pruned at
 //! least one configuration (the CI smoke contract); `--min-speedup`
@@ -32,7 +42,7 @@
 //! assumed.
 
 use std::time::Instant;
-use watos::{ExplorationReport, Explorer, ParallelPlan, SearchStats};
+use watos::{ExplorationReport, Explorer, Injection, ParallelPlan, SearchBudget, SearchStats};
 use wsc_bench::util::{
     multi_wafer_search_presets, search_presets, MultiWaferSearchPreset, SearchPreset,
 };
@@ -67,6 +77,25 @@ struct BenchReport {
     /// Every rayon pool size the sweep was run with (one pass each).
     thread_counts: Vec<usize>,
     presets: Vec<BenchEntry>,
+}
+
+/// One preset's anytime (`--time-budget`) measurements.
+#[derive(Debug, Serialize)]
+struct AnytimeEntry {
+    preset: String,
+    deadline_secs: f64,
+    elapsed_secs: f64,
+    truncated: bool,
+    stats: SearchStats,
+    best_parallel: Option<String>,
+    best_plan: Option<ParallelPlan>,
+}
+
+/// The `--time-budget` / `--inject-smoke` output document.
+#[derive(Debug, Serialize)]
+struct AnytimeReport {
+    benchmark: String,
+    presets: Vec<AnytimeEntry>,
 }
 
 fn presets_for(which: &str) -> (Vec<SearchPreset>, Vec<MultiWaferSearchPreset>) {
@@ -231,6 +260,8 @@ fn main() {
     let mut require_pruning = false;
     let mut no_node_placement = false;
     let mut min_speedup: Option<f64> = None;
+    let mut time_budget: Option<f64> = None;
+    let mut inject_smoke = false;
     let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -239,6 +270,15 @@ fn main() {
             "--output" => output = args.next().expect("--output needs a value"),
             "--require-pruning" => require_pruning = true,
             "--no-node-placement" => no_node_placement = true,
+            "--inject-smoke" => inject_smoke = true,
+            "--time-budget" => {
+                time_budget = Some(
+                    args.next()
+                        .expect("--time-budget needs a value")
+                        .parse()
+                        .expect("--time-budget must be seconds"),
+                )
+            }
             "--min-speedup" => {
                 min_speedup = Some(
                     args.next()
@@ -262,6 +302,19 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if inject_smoke {
+        if run_inject_smoke(&output) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(secs) = time_budget {
+        if run_budgeted(&preset_arg, secs, no_node_placement, &output) {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if thread_counts.is_empty() {
@@ -361,4 +414,202 @@ fn run_sweep(
     }
 
     failed
+}
+
+/// Validate the anytime contract on one budgeted report and append its
+/// JSON row. Returns `true` when the contract failed.
+fn check_anytime(
+    name: &str,
+    multi: bool,
+    report: &ExplorationReport,
+    deadline_secs: f64,
+    elapsed_secs: f64,
+    rows: &mut Vec<AnytimeEntry>,
+) -> bool {
+    let mut failed = false;
+    let stats = if multi {
+        report.multi_wafer_search_stats()
+    } else {
+        report.search_stats()
+    };
+    if stats.visited != stats.pruned + stats.evaluated + stats.skipped {
+        eprintln!("[{name}] DISHONEST COUNTERS: {stats:?}");
+        failed = true;
+    }
+    match ExplorationReport::from_json(&report.to_json()) {
+        Ok(round) if &round == report => {}
+        other => {
+            eprintln!(
+                "[{name}] best-so-far report does not round-trip through JSON: {:?}",
+                other.err()
+            );
+            failed = true;
+        }
+    }
+    let best = if multi {
+        report
+            .multi_wafer
+            .first()
+            .and_then(|r| r.best.as_ref().map(|b| b.plan.clone()))
+    } else {
+        report
+            .best()
+            .ok()
+            .and_then(|r| r.best.as_ref().map(|b| b.plan.clone()))
+    };
+    println!(
+        "[{name:10}] deadline {deadline_secs:6.3}s  elapsed {elapsed_secs:6.3}s  truncated {}  \
+         visited {} evaluated {} skipped {}  best {}",
+        report.truncated(),
+        stats.visited,
+        stats.evaluated,
+        stats.skipped,
+        best.as_ref().map_or_else(|| "-".into(), |p| p.to_string()),
+    );
+    rows.push(AnytimeEntry {
+        preset: name.to_string(),
+        deadline_secs,
+        elapsed_secs,
+        truncated: report.truncated(),
+        stats,
+        best_parallel: best.as_ref().map(|p| p.to_string()),
+        best_plan: best,
+    });
+    failed
+}
+
+/// `--time-budget SECS`: one budgeted pass per preset (see module docs
+/// for the contract this mode checks).
+fn run_budgeted(preset_arg: &str, secs: f64, no_node_placement: bool, output: &str) -> bool {
+    let mut failed = false;
+    let mut rows = Vec::new();
+    let (single, multi) = presets_for(preset_arg);
+    for preset in single {
+        let job = TrainingJob::standard(preset.model.clone());
+        let explorer = Explorer::builder()
+            .job(job)
+            .wafer(preset.wafer.clone())
+            .strategies(preset.strategies.clone())
+            .no_ga()
+            .budget(SearchBudget::none().deadline(secs))
+            .build()
+            .expect("valid benchmark configuration");
+        let t0 = Instant::now();
+        let report = explorer.run();
+        let elapsed = t0.elapsed().as_secs_f64();
+        failed |= check_anytime(preset.name, false, &report, secs, elapsed, &mut rows);
+    }
+    for preset in multi {
+        let job = TrainingJob::standard(preset.model.clone());
+        let mut b = Explorer::builder()
+            .job(job)
+            .multi_wafer(preset.node.clone())
+            .strategies(preset.strategies.clone())
+            .plans(preset.plans)
+            .no_ga()
+            .budget(SearchBudget::none().deadline(secs));
+        if preset.node_placement && !no_node_placement {
+            b = b.node_placement();
+        }
+        let explorer = b.build().expect("valid benchmark configuration");
+        let t0 = Instant::now();
+        let report = explorer.run();
+        let elapsed = t0.elapsed().as_secs_f64();
+        failed |= check_anytime(preset.name, true, &report, secs, elapsed, &mut rows);
+    }
+    write_anytime(output, "anytime search under a wall-clock budget", rows);
+    failed
+}
+
+/// Seeded `wsc-inject` panics are expected noise in the smoke run; keep
+/// the default hook for anything else.
+fn install_quiet_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !msg.contains("wsc-inject") {
+            default(info);
+        }
+    }));
+}
+
+/// `--inject-smoke`: the CI resilience smoke.
+///
+/// Leg 1 runs the small preset under a seeded injection storm (panics,
+/// delays, cache corruption): the run must return, the winner must not
+/// be a failed candidate, and the report must round-trip through JSON.
+/// Leg 2 runs the multi-wafer preset under a 100ms deadline: a
+/// truncated run must still emit valid best-so-far JSON with honest
+/// counters.
+fn run_inject_smoke(output: &str) -> bool {
+    install_quiet_hook();
+    let mut failed = false;
+    let mut rows = Vec::new();
+
+    let storm = Injection::seeded(0xC0FFEE)
+        .panics(0.25)
+        .delays(0.10, 200)
+        .corruption(0.25);
+    for preset in search_presets().iter().filter(|p| p.name == "small") {
+        let job = TrainingJob::standard(preset.model.clone());
+        let explorer = Explorer::builder()
+            .job(job)
+            .wafer(preset.wafer.clone())
+            .strategies(preset.strategies.clone())
+            .no_ga()
+            .inject(storm)
+            .build()
+            .expect("valid benchmark configuration");
+        let t0 = Instant::now();
+        let report = explorer.run();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let incidents = report.incidents().len();
+        if let Some(best) = report.best().ok().and_then(|r| r.best.as_ref()) {
+            if report.incidents().iter().any(|f| f.plan == best.plan) {
+                eprintln!("[inject] FAILED CANDIDATE CROWNED: {}", best.plan);
+                failed = true;
+            }
+        }
+        println!("[inject    ] {incidents} isolated incidents under the storm");
+        failed |= check_anytime("inject", false, &report, 0.0, elapsed, &mut rows);
+    }
+
+    for preset in multi_wafer_search_presets().iter().take(1) {
+        let job = TrainingJob::standard(preset.model.clone());
+        let explorer = Explorer::builder()
+            .job(job)
+            .multi_wafer(preset.node.clone())
+            .strategies(preset.strategies.clone())
+            .plans(preset.plans)
+            .no_ga()
+            .budget(SearchBudget::none().deadline(0.1))
+            .build()
+            .expect("valid benchmark configuration");
+        let t0 = Instant::now();
+        let report = explorer.run();
+        let elapsed = t0.elapsed().as_secs_f64();
+        failed |= check_anytime(preset.name, true, &report, 0.1, elapsed, &mut rows);
+    }
+
+    write_anytime(
+        output,
+        "resilience smoke: injection storm + 100ms deadline",
+        rows,
+    );
+    failed
+}
+
+fn write_anytime(output: &str, benchmark: &str, rows: Vec<AnytimeEntry>) {
+    let report = AnytimeReport {
+        benchmark: benchmark.to_string(),
+        presets: rows,
+    };
+    let json = serde::json::to_text(&report.to_value());
+    std::fs::write(output, json + "\n").expect("write benchmark report");
+    println!("wrote {output}");
 }

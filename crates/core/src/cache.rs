@@ -26,10 +26,29 @@
 //! same value, and the first insert wins. Maps are behind `RwLock`s —
 //! the steady state is read-only hits, so waves never serialize on the
 //! cache.
+//!
+//! ## Degradation and recovery
+//!
+//! Because every entry is a pure function of its key, the cache treats
+//! its own contents as disposable: any shard whose lock was poisoned by
+//! a panicking holder is cleared and rebuilt on demand rather than
+//! trusted (`read_recover`/`write_recover`), and when the
+//! fault-injection harness arms entry-checksum validation
+//! (test/bench-only, see [`crate::inject`]), a stage-profile entry whose
+//! checksum no longer matches is detected on the next hit, rebuilt from
+//! scratch and replaced. Both events are counted in [`CacheStats`] and
+//! bump the cache *generation* tag — a monotone counter that is 0 for a
+//! pristine cache, recorded into search checkpoints so a resumed session
+//! knows whether its ancestor had already survived cache degradation.
+//! On a panic-free, injection-free run every counter is zero and every
+//! code path here is byte-identical to the plain memo.
 
 use crate::costmodel::PlacementCostModel;
+use crate::inject::Injection;
 use crate::stage::{build_layer_data, build_stage_profiles_with, LayerData, StageProfile};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wsc_arch::units::{Bandwidth, Bytes, Time};
 use wsc_arch::wafer::WaferConfig;
@@ -38,24 +57,81 @@ use wsc_mesh::topology::Mesh2D;
 use wsc_workload::parallel::{ParallelPlan, ParallelSpec, TpSplitStrategy};
 use wsc_workload::training::TrainingJob;
 
-/// Lock a memo map for reading, recovering from poison: every value a
-/// memo stores is a fully-built immutable entry installed by a single
-/// `entry().or_insert()` call, so a thread that panicked while holding
-/// the lock cannot have left a torn value behind and the guard is
-/// always safe to take over (wsc-lint rule S001).
-pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+/// Lock a memo map for reading, recovering from poison: a panicking
+/// holder may have left the map half-updated, so recovery does not trust
+/// it — the poison flag is cleared and the shard is reset to empty,
+/// which is always safe because every memo value is a pure function of
+/// its key and will simply be rebuilt on the next miss (wsc-lint rule
+/// S001). [`ProfileCache`] counts these recoveries per shard before
+/// delegating here.
+pub(crate) fn read_recover<T: Default>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    if lock.is_poisoned() {
+        clear_poisoned(lock);
+    }
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Write-locking twin of [`read_recover`].
-pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+pub(crate) fn write_recover<T: Default>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    if lock.is_poisoned() {
+        clear_poisoned(lock);
+    }
     lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reset a poisoned shard: clear the flag, drop the (possibly
+/// half-written) contents. Racing recoveries both reset to empty, which
+/// is idempotent; a miss rebuilds whatever was lost.
+fn clear_poisoned<T: Default>(lock: &RwLock<T>) {
+    lock.clear_poison();
+    *lock.write().unwrap_or_else(PoisonError::into_inner) = T::default();
+}
+
+/// FNV-1a over a byte string — the entry checksum of the corruption
+/// detector. Not cryptographic; it only needs to notice that a cached
+/// value no longer matches what was built for its key.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 type LayerKey = (usize, TpSplitStrategy);
 type StageKey = (usize, usize, TpSplitStrategy, usize);
 type CollectiveKey = (CollectiveAlgo, usize, usize, u64, u64, u64);
 type CostModelKey = (usize, usize, usize, usize, u64);
+
+/// Checksum of one stage-profile entry (via the `Debug` rendering, which
+/// is deterministic and covers every field the evaluator consumes).
+fn stage_checksum(value: &[StageProfile]) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// Fold a stage key into the injection-stream index for
+/// [`Injection::corrupts`].
+fn fold_stage_key(key: &StageKey) -> u64 {
+    fnv1a(format!("{key:?}").as_bytes())
+}
+
+/// Observability counters of one [`ProfileCache`]: how often the cache
+/// had to distrust itself. All-zero (generation 0) on a panic-free,
+/// injection-free run; surfaced per search leg on the exploration
+/// report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Poisoned shards cleared and rebuilt (a candidate panicked while
+    /// holding a cache lock).
+    pub recoveries: usize,
+    /// Corrupted entries caught by checksum validation and rebuilt
+    /// (only possible with the fault-injection harness armed).
+    pub corruptions: usize,
+    /// Monotone degradation tag: bumped once per recovery and per
+    /// corruption repair. 0 means the cache was pristine throughout.
+    pub generation: u64,
+}
 
 /// Shared memo for one `(wafer, job)` exploration (see module docs).
 ///
@@ -67,12 +143,73 @@ pub struct ProfileCache {
     stages: RwLock<HashMap<StageKey, Arc<Vec<StageProfile>>>>,
     collectives: RwLock<HashMap<CollectiveKey, Time>>,
     cost_models: RwLock<HashMap<CostModelKey, Arc<PlacementCostModel>>>,
+    /// Checksums of the *correct* stage-profile values, maintained only
+    /// while corruption injection is armed.
+    sums: RwLock<HashMap<StageKey, u64>>,
+    /// Corruption schedule (test/bench-only; `None` in production).
+    corrupt: Option<Injection>,
+    recoveries: AtomicUsize,
+    corruptions: AtomicUsize,
+    generation: AtomicU64,
 }
 
 impl ProfileCache {
     /// An empty cache.
     pub fn new() -> Self {
         ProfileCache::default()
+    }
+
+    /// An empty cache with the injection schedule's corruption stream
+    /// armed: entry-checksum validation is on, and the schedule's
+    /// fraction of stage-profile inserts is written corrupted (the
+    /// correct value is still returned to the inserting caller; the
+    /// *next* hit detects the mismatch and rebuilds).
+    pub(crate) fn with_corruption(inject: Injection) -> Self {
+        ProfileCache {
+            corrupt: Some(inject),
+            ..ProfileCache::default()
+        }
+    }
+
+    /// Poison the stage shard's lock (test/bench-only): a throwaway
+    /// thread panics while holding the write guard, exactly what an
+    /// injected candidate panic inside a cache miss would do. The next
+    /// access takes the clear-and-count recovery path.
+    pub(crate) fn poison_stages(&self) {
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _hold = self.stages.write().unwrap_or_else(PoisonError::into_inner);
+                // wsc-lint: allow(S001, "poisoning a lock requires panicking while holding it; the panic stays inside this throwaway scoped thread")
+                panic!("wsc-inject: poisoning the stage shard");
+            })
+            .join()
+        });
+        debug_assert!(outcome.is_err(), "the poisoning thread must panic");
+    }
+
+    /// Count a pending poison recovery on `lock` before the accessor
+    /// delegates to [`read_recover`]/[`write_recover`]. Racing detectors
+    /// may both count one event — the counters are diagnostics, and on
+    /// any panic-free run they are exactly zero.
+    fn note_poison<T>(&self, lock: &RwLock<T>) {
+        if lock.is_poisoned() {
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The degradation counters (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The generation counter, for checkpoint emission.
+    pub(crate) fn generation_handle(&self) -> &AtomicU64 {
+        &self.generation
     }
 
     /// The per-layer-kind simulation results for
@@ -85,6 +222,7 @@ impl ProfileCache {
         plan: &ParallelPlan,
     ) -> Arc<LayerData> {
         let key = (plan.tp, plan.strategy);
+        self.note_poison(&self.layers);
         if let Some(hit) = read_recover(&self.layers).get(&key) {
             return Arc::clone(hit);
         }
@@ -105,18 +243,80 @@ impl ProfileCache {
         microbatches: usize,
     ) -> Arc<Vec<StageProfile>> {
         let key = (plan.tp, plan.pp, plan.strategy, microbatches);
-        if let Some(hit) = read_recover(&self.stages).get(&key) {
-            return Arc::clone(hit);
+        self.note_poison(&self.stages);
+        // Bind the hit outside the `if let`: the scrutinee would otherwise
+        // keep the read guard alive across the repair path below, which
+        // needs the write lock on the same shard.
+        let hit = read_recover(&self.stages).get(&key).map(Arc::clone);
+        if let Some(hit) = hit {
+            if self.stage_entry_is_valid(&key, &hit) {
+                return hit;
+            }
+            // Checksum mismatch: the entry was corrupted after insert.
+            // Rebuild from the key (entries are pure), repair the shard
+            // and hand the caller the correct value.
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Relaxed);
+            let built = self.build_stage_value(wafer, job, plan, microbatches);
+            write_recover(&self.sums).insert(key, stage_checksum(&built));
+            write_recover(&self.stages).insert(key, Arc::clone(&built));
+            return built;
         }
+        let built = self.build_stage_value(wafer, job, plan, microbatches);
+        match &self.corrupt {
+            // The plain memo: first insert wins, callers share its Arc.
+            None => Arc::clone(
+                write_recover(&self.stages)
+                    .entry(key)
+                    .or_insert(Arc::clone(&built)),
+            ),
+            // Validation armed: record the correct checksum, then let
+            // the injection stream decide whether the *stored* entry is
+            // corrupted. The caller always receives the correct value —
+            // corruption is only observable (and repairable) on a later
+            // hit, exactly like a bit flip landing after the insert.
+            Some(inject) => {
+                write_recover(&self.sums).insert(key, stage_checksum(&built));
+                let stored = if !built.is_empty() && inject.corrupts(fold_stage_key(&key)) {
+                    Arc::new(Vec::new())
+                } else {
+                    Arc::clone(&built)
+                };
+                write_recover(&self.stages).entry(key).or_insert(stored);
+                built
+            }
+        }
+    }
+
+    /// Whether a stage-shard hit passes checksum validation. Trivially
+    /// true when validation is unarmed or the entry predates it.
+    fn stage_entry_is_valid(&self, key: &StageKey, entry: &Arc<Vec<StageProfile>>) -> bool {
+        if self.corrupt.is_none() {
+            return true;
+        }
+        match read_recover(&self.sums).get(key) {
+            Some(&sum) => stage_checksum(entry) == sum,
+            None => true,
+        }
+    }
+
+    /// Build the correct stage-profile value for a key (shared by the
+    /// miss and the corruption-repair paths).
+    fn build_stage_value(
+        &self,
+        wafer: &WaferConfig,
+        job: &TrainingJob,
+        plan: &ParallelPlan,
+        microbatches: usize,
+    ) -> Arc<Vec<StageProfile>> {
         let layers = self.layer_data(wafer, job, plan);
-        let built = Arc::new(build_stage_profiles_with(
+        Arc::new(build_stage_profiles_with(
             &layers,
             job,
             ParallelSpec::new(plan.dp.max(1), plan.tp, plan.pp),
             &plan.sharding_ctx(job),
             microbatches,
-        ));
-        Arc::clone(write_recover(&self.stages).entry(key).or_insert(built))
+        ))
     }
 
     /// Memoized [`all_reduce_time`].
@@ -136,6 +336,7 @@ impl ProfileCache {
             link_bw.as_bytes_per_s().to_bits(),
             alpha.as_secs().to_bits(),
         );
+        self.note_poison(&self.collectives);
         if let Some(hit) = read_recover(&self.collectives).get(&key) {
             return *hit;
         }
@@ -155,6 +356,7 @@ impl ProfileCache {
         pp_volume: f64,
     ) -> Arc<PlacementCostModel> {
         let key = (mesh.nx, mesh.ny, tile_w, tile_h, pp_volume.to_bits());
+        self.note_poison(&self.cost_models);
         if let Some(hit) = read_recover(&self.cost_models).get(&key) {
             return Arc::clone(hit);
         }
@@ -220,6 +422,7 @@ mod tests {
         assert!(Arc::ptr_eq(&cached, &again));
         assert_eq!(cache.stage_entries(), 1);
         assert_eq!(cache.layer_entries(), 1);
+        assert_eq!(cache.stats(), CacheStats::default(), "pristine cache");
     }
 
     #[test]
@@ -266,5 +469,86 @@ mod tests {
                 direct
             );
         }
+    }
+
+    #[test]
+    fn poison_recovery_clears_counts_and_rebuilds() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let plan = crate::testutil::megatron_plan(4, 14);
+        let cache = ProfileCache::new();
+        let before = cache.stage_profiles(&wafer, &job, &plan, 16);
+        cache.poison_stages();
+        // The next access must not trust the poisoned shard: it clears
+        // it, counts the recovery, and rebuilds the entry from scratch.
+        let after = cache.stage_profiles(&wafer, &job, &plan, 16);
+        assert_eq!(*before, *after, "rebuilt entry is identical (pure keys)");
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "the poisoned shard was cleared, not served as-is"
+        );
+        assert_eq!(cache.stage_entries(), 1);
+        let stats = cache.stats();
+        assert!(stats.recoveries >= 1, "recovery must be counted");
+        assert!(stats.generation >= 1, "recovery bumps the generation tag");
+        assert_eq!(stats.corruptions, 0);
+    }
+
+    #[test]
+    fn recover_fns_reset_a_poisoned_lock() {
+        let lock: RwLock<HashMap<u32, u32>> = RwLock::new(HashMap::from([(1, 2)]));
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _hold = lock.write().unwrap_or_else(PoisonError::into_inner);
+                panic!("poison it");
+            })
+            .join()
+        });
+        assert!(outcome.is_err());
+        assert!(lock.is_poisoned());
+        assert!(
+            read_recover(&lock).is_empty(),
+            "recovery clears the shard instead of serving it"
+        );
+        assert!(!lock.is_poisoned(), "poison flag cleared");
+        write_recover(&lock).insert(3, 4);
+        assert_eq!(read_recover(&lock).get(&3), Some(&4));
+    }
+
+    #[test]
+    fn corrupted_entries_are_detected_and_rebuilt_once() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let plan = crate::testutil::megatron_plan(4, 14);
+        // Rate 1.0: every insert is written corrupted.
+        let cache = ProfileCache::with_corruption(Injection::seeded(7).corruption(1.0));
+        let clean = ProfileCache::new();
+        let expected = clean.stage_profiles(&wafer, &job, &plan, 16);
+        // The inserting caller always gets the correct value.
+        let first = cache.stage_profiles(&wafer, &job, &plan, 16);
+        assert_eq!(*first, *expected);
+        assert_eq!(cache.stats().corruptions, 0, "not yet observed");
+        // The first hit sees the corrupted entry, detects the checksum
+        // mismatch and repairs it.
+        let second = cache.stage_profiles(&wafer, &job, &plan, 16);
+        assert_eq!(*second, *expected, "repair returns the correct value");
+        assert_eq!(cache.stats().corruptions, 1);
+        assert!(cache.stats().generation >= 1);
+        // The repaired entry is stored clean: further hits are stable.
+        let third = cache.stage_profiles(&wafer, &job, &plan, 16);
+        assert_eq!(*third, *expected);
+        assert_eq!(cache.stats().corruptions, 1, "repaired entry stays clean");
+    }
+
+    #[test]
+    fn zero_rate_validation_never_fires() {
+        let wafer = presets::config(3);
+        let job = TrainingJob::standard(zoo::llama2_30b());
+        let plan = crate::testutil::megatron_plan(4, 14);
+        let cache = ProfileCache::with_corruption(Injection::seeded(7));
+        for _ in 0..3 {
+            cache.stage_profiles(&wafer, &job, &plan, 16);
+        }
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 }

@@ -13,15 +13,21 @@
 //! the thread count (candidate order is preserved and every stochastic
 //! component is seeded per candidate).
 
-use crate::cache::ProfileCache;
+use crate::cache::{CacheStats, ProfileCache};
 use crate::goodput::{ensemble_effective_secs, FaultAwareSpec, FaultEnsemble, RobustObjective};
-use crate::multiwafer::{explore_multi_wafer_impl, wafer_loss_sweep_impl, MultiWaferReport};
+use crate::inject::Injection;
+use crate::multiwafer::{
+    explore_multi_wafer_impl, wafer_loss_sweep_impl, MultiWaferOutcome, MultiWaferReport,
+};
 use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
 use crate::scheduler::{
     explore_impl, PlanFilter, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
+use crate::wave::{CandidateFailure, Outcome, SearchBudget, SessionCtx, WaveCheckpoint, WaveSink};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 use thiserror::Error;
 use wsc_arch::enumerate::Enumerator;
 use wsc_arch::units::{FlopRate, Time};
@@ -85,6 +91,12 @@ pub enum ExplorationError {
         /// Model name the job trains.
         model: String,
     },
+    /// A [`SearchBudget`] field is unusable.
+    #[error("invalid search budget: {reason}")]
+    InvalidBudget {
+        /// Human-readable description of the offending field.
+        reason: String,
+    },
 }
 
 /// A pluggable comparison system for [`ExplorerBuilder::with_baselines`].
@@ -116,11 +128,20 @@ pub struct ArchRecord {
     pub arch: String,
     /// The candidate architecture itself.
     pub wafer: WaferConfig,
-    /// Best schedule found (`None` = no feasible schedule).
+    /// Best schedule found (`None` = no feasible schedule). On a
+    /// truncated leg this is the deterministic best-so-far incumbent.
     pub best: Option<ScheduledConfig>,
-    /// Search instrumentation: visited/pruned/evaluated counts of this
-    /// candidate's Alg. 1 sweep.
+    /// Search instrumentation: visited/pruned/evaluated/skipped counts
+    /// of this candidate's Alg. 1 sweep.
     pub stats: SearchStats,
+    /// Whether the leg ran to completion or its budget truncated it.
+    pub outcome: Outcome,
+    /// Candidates whose evaluation panicked — isolated per item, never
+    /// winners (empty on any panic-free run).
+    pub failures: Vec<CandidateFailure>,
+    /// Degradation counters of the leg's profile cache (all-zero on a
+    /// panic-free, injection-free run).
+    pub cache_stats: CacheStats,
 }
 
 /// One multi-wafer candidate's outcome.
@@ -138,9 +159,17 @@ pub struct MultiWaferRecord {
     /// borrowed bytes, mean grant distance, and whether the refined
     /// schedule was kept.
     pub best: Option<MultiWaferReport>,
-    /// Search instrumentation: visited/pruned/evaluated counts of this
-    /// node's §VI-F sweep.
+    /// Search instrumentation: visited/pruned/evaluated/skipped counts
+    /// of this node's §VI-F sweep.
     pub stats: SearchStats,
+    /// Whether the leg ran to completion or its budget truncated it.
+    pub outcome: Outcome,
+    /// Candidates whose evaluation panicked — isolated per item, never
+    /// winners (empty on any panic-free run).
+    pub failures: Vec<CandidateFailure>,
+    /// Degradation counters of the leg's profile cache (all-zero on a
+    /// panic-free, injection-free run).
+    pub cache_stats: CacheStats,
 }
 
 /// One fault-kind sweep over the run's best configuration.
@@ -218,6 +247,26 @@ impl ExplorationReport {
             .fold(SearchStats::default(), |acc, r| acc.merge(r.stats))
     }
 
+    /// Every isolated candidate failure of the run, in record order
+    /// (single-wafer legs first, then multi-wafer legs, failures in
+    /// wave-completion order within a leg). Empty on any panic-free run.
+    pub fn incidents(&self) -> Vec<&CandidateFailure> {
+        self.single_wafer
+            .iter()
+            .flat_map(|r| r.failures.iter())
+            .chain(self.multi_wafer.iter().flat_map(|r| r.failures.iter()))
+            .collect()
+    }
+
+    /// Whether any search leg was truncated by its budget.
+    pub fn truncated(&self) -> bool {
+        self.single_wafer
+            .iter()
+            .map(|r| &r.outcome)
+            .chain(self.multi_wafer.iter().map(|r| &r.outcome))
+            .any(Outcome::is_truncated)
+    }
+
     /// Compact JSON encoding (deterministic: field order is declaration
     /// order, map keys are sorted).
     pub fn to_json(&self) -> String {
@@ -227,6 +276,116 @@ impl ExplorationReport {
     /// Decode a report from [`Self::to_json`] output.
     pub fn from_json(s: &str) -> Result<Self, serde::Error> {
         Self::from_value(&serde::json::from_text(s)?)
+    }
+}
+
+/// A resumable snapshot of a whole explorer session: the legs already
+/// finished verbatim, plus (optionally) the wave-level frontier of the
+/// leg that was in flight. Serde-round-trippable, so a sink can persist
+/// it across process death; [`Explorer::resume`] picks the session back
+/// up and provably converges to the same winner as an uninterrupted
+/// [`Explorer::run`] (pinned by the `tests/resilience.rs` proptests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// The session seed, for cross-checking against the resuming
+    /// explorer's configuration.
+    pub seed: u64,
+    /// Single-wafer legs already completed, in candidate order.
+    pub completed_single: Vec<ArchRecord>,
+    /// Multi-wafer legs already completed, in node order.
+    pub completed_multi: Vec<MultiWaferRecord>,
+    /// The in-flight leg's wave frontier (`None` = the checkpoint sits
+    /// exactly on a leg boundary).
+    pub frontier: Option<SearchFrontier>,
+}
+
+/// Which leg a [`SearchCheckpoint`]'s wave frontier belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchFrontier {
+    /// `false`: the frontier is in single-wafer leg
+    /// `completed_single.len()`; `true`: in multi-wafer leg
+    /// `completed_multi.len()`.
+    pub multi: bool,
+    /// The wave-engine snapshot (cursor, counters, incumbent key,
+    /// failures, cache generation tag).
+    pub wave: WaveCheckpoint,
+}
+
+/// Receiver for session checkpoints, pluggable via
+/// [`ExplorerBuilder::checkpoint_every`]: a file writer, a channel into
+/// a supervisor, or [`MemorySink`] in tests. Called from inside the
+/// search (checkpointing runs the legs sequentially, so writes arrive
+/// in order) — keep `write` cheap or hand off to a worker.
+pub trait CheckpointSink: Send + Sync {
+    /// Persist one snapshot. Infallible by design: a sink that can fail
+    /// must handle (or stash) its own errors — checkpointing is a
+    /// best-effort safety net and must never abort a healthy search.
+    fn write(&self, checkpoint: &SearchCheckpoint);
+}
+
+/// A [`CheckpointSink`] that keeps every snapshot in memory — the
+/// simplest way to wire kill/resume tests, and a reasonable in-process
+/// safety net for long sweeps.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    checkpoints: Mutex<Vec<SearchCheckpoint>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The most recent snapshot, if any was written.
+    pub fn last(&self) -> Option<SearchCheckpoint> {
+        self.checkpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .last()
+            .cloned()
+    }
+
+    /// Every snapshot written so far, in write order.
+    pub fn all(&self) -> Vec<SearchCheckpoint> {
+        self.checkpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn write(&self, checkpoint: &SearchCheckpoint) {
+        self.checkpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(checkpoint.clone());
+    }
+}
+
+/// Adapter handed to the wave engine while one leg runs under
+/// checkpointing: wraps each [`WaveCheckpoint`] into a session-level
+/// [`SearchCheckpoint`] carrying the legs already completed.
+struct LegSink<'a> {
+    sink: &'a dyn CheckpointSink,
+    seed: u64,
+    completed_single: &'a [ArchRecord],
+    completed_multi: &'a [MultiWaferRecord],
+    multi: bool,
+}
+
+impl WaveSink for LegSink<'_> {
+    fn emit(&self, checkpoint: &WaveCheckpoint) {
+        self.sink.write(&SearchCheckpoint {
+            seed: self.seed,
+            completed_single: self.completed_single.to_vec(),
+            completed_multi: self.completed_multi.to_vec(),
+            frontier: Some(SearchFrontier {
+                multi: self.multi,
+                wave: checkpoint.clone(),
+            }),
+        });
     }
 }
 
@@ -279,6 +438,10 @@ pub struct ExplorerBuilder {
     faults: Option<FaultSweepSpec>,
     fault_aware: Option<FaultAwareSpec>,
     baselines: Vec<Box<dyn BaselineModel>>,
+    budget: Option<SearchBudget>,
+    inject: Option<Injection>,
+    checkpoint_every: Option<usize>,
+    sink: Option<Arc<dyn CheckpointSink>>,
     sequential: bool,
     skip_validation: bool,
 }
@@ -426,6 +589,41 @@ impl ExplorerBuilder {
         self
     }
 
+    /// Bound the session with an anytime [`SearchBudget`]: a wall-clock
+    /// deadline, an evaluation cap, and/or a prune-dominance early-stop.
+    /// Budgets are checked at wave boundaries; when one trips, the run
+    /// keeps its deterministic best-so-far incumbent and reports
+    /// [`Outcome::Truncated`] on the affected legs instead of failing.
+    /// Evaluation caps and prune ratios truncate reproducibly; the
+    /// wall-clock deadline is inherently machine-dependent, but counters
+    /// stay honest (`visited == pruned + evaluated + skipped`) and the
+    /// incumbent is always a fully evaluated candidate.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Arm the deterministic fault-injection harness (test/bench-only):
+    /// seeded per-candidate panics, delays and cache corruption, per
+    /// [`Injection`]. Panics are isolated per candidate and surface as
+    /// [`ExplorationReport::incidents`]; a disarmed (default) injection
+    /// leaves the report byte-identical to a run without one.
+    pub fn inject(mut self, inject: Injection) -> Self {
+        self.inject = Some(inject);
+        self
+    }
+
+    /// Write a [`SearchCheckpoint`] to `sink` every `every` waves (and
+    /// at every leg boundary), making the session resumable via
+    /// [`Explorer::resume`]. Checkpointing runs the search legs
+    /// sequentially so snapshots have a well-defined prefix order; the
+    /// resulting report is still byte-identical to the parallel run.
+    pub fn checkpoint_every(mut self, every: usize, sink: Arc<dyn CheckpointSink>) -> Self {
+        self.checkpoint_every = Some(every);
+        self.sink = Some(sink);
+        self
+    }
+
     /// Force sequential evaluation everywhere — both the candidate
     /// fan-out and the inner `TP × PP × strategy` work-list (default:
     /// rayon fan-outs at both levels). Reports are identical either way;
@@ -514,6 +712,27 @@ impl ExplorerBuilder {
                 return Err(ExplorationError::InvalidFaultRate { rate });
             }
         }
+        if let Some(budget) = &self.budget {
+            if let Some(secs) = budget.deadline {
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(ExplorationError::InvalidBudget {
+                        reason: format!("deadline must be finite and positive, got {secs}"),
+                    });
+                }
+            }
+            if let Some(ratio) = budget.max_pruned_ratio {
+                if !(0.0..=1.0).contains(&ratio) {
+                    return Err(ExplorationError::InvalidBudget {
+                        reason: format!("max_pruned_ratio must lie in [0, 1], got {ratio}"),
+                    });
+                }
+            }
+        }
+        if matches!(self.checkpoint_every, Some(0)) {
+            return Err(ExplorationError::InvalidBudget {
+                reason: "checkpoint_every must be at least 1 wave".into(),
+            });
+        }
         if !self.skip_validation {
             let model = AreaModel::default();
             for wafer in &self.wafers {
@@ -541,6 +760,10 @@ impl ExplorerBuilder {
             faults: self.faults,
             fault_aware: self.fault_aware,
             baselines: self.baselines,
+            budget: self.budget,
+            inject: self.inject,
+            checkpoint_every: self.checkpoint_every,
+            sink: self.sink,
             sequential: self.sequential,
         })
     }
@@ -558,6 +781,10 @@ pub struct Explorer {
     faults: Option<FaultSweepSpec>,
     fault_aware: Option<FaultAwareSpec>,
     baselines: Vec<Box<dyn BaselineModel>>,
+    budget: Option<SearchBudget>,
+    inject: Option<Injection>,
+    checkpoint_every: Option<usize>,
+    sink: Option<Arc<dyn CheckpointSink>>,
     sequential: bool,
 }
 
@@ -571,6 +798,10 @@ impl std::fmt::Debug for Explorer {
             .field("faults", &self.faults)
             .field("fault_aware", &self.fault_aware)
             .field("baselines", &self.baselines.len())
+            .field("budget", &self.budget)
+            .field("inject", &self.inject)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("sink", &self.sink.is_some())
             .field("sequential", &self.sequential)
             .finish()
     }
@@ -596,12 +827,61 @@ impl Explorer {
     /// cheap by comparison. Results are deterministic in the seed and
     /// independent of thread count.
     pub fn run(&self) -> ExplorationReport {
-        let outcomes: Vec<(ArchRecord, ProfileCache)> = if self.sequential {
-            self.wafers.iter().map(|w| self.explore_one(w)).collect()
+        self.run_with(None)
+    }
+
+    /// Resume a session from a [`SearchCheckpoint`] written by a
+    /// [`CheckpointSink`]. Legs the checkpoint recorded as completed are
+    /// reused verbatim (every leg is a pure function of job + options,
+    /// so reuse is exact memoization); the in-flight leg restarts from
+    /// its wave frontier and re-examines everything past its cursor. The
+    /// resulting report — winner included — is byte-identical to the
+    /// uninterrupted run's, pinned by the `tests/resilience.rs`
+    /// proptests.
+    pub fn resume(&self, checkpoint: &SearchCheckpoint) -> ExplorationReport {
+        debug_assert_eq!(
+            checkpoint.seed, self.options.seed,
+            "resuming under a different seed than the checkpoint was taken with"
+        );
+        self.run_with(Some(checkpoint))
+    }
+
+    /// The session-wide wave-engine context: budget limits and the
+    /// injection harness. The wall-clock deadline is anchored once here,
+    /// so every leg races the same instant.
+    fn base_ctx(&self) -> SessionCtx<'_> {
+        let budget = self.budget.unwrap_or_default();
+        let deadline = budget.deadline.map(|secs| {
+            // wsc-lint: allow(D004, "anchoring the anytime deadline reads the wall clock once per session")
+            Instant::now() + Duration::from_secs_f64(secs)
+        });
+        SessionCtx {
+            deadline,
+            max_evaluations: budget.max_evaluations,
+            max_pruned_ratio: budget.max_pruned_ratio,
+            inject: self.inject.as_ref(),
+            checkpoint_every: self.checkpoint_every,
+            ..SessionCtx::none()
+        }
+    }
+
+    fn run_with(&self, resume: Option<&SearchCheckpoint>) -> ExplorationReport {
+        let ctx = self.base_ctx();
+        // Checkpointing (or resuming) runs the legs sequentially so
+        // every snapshot has a well-defined completed-prefix; reports
+        // are identical either way, as everywhere else in the engine.
+        let checkpointing = self.sink.is_some() || resume.is_some();
+        let outcomes: Vec<(ArchRecord, ProfileCache)> = if checkpointing {
+            self.run_single_checkpointed(&ctx, resume)
+        } else if self.sequential {
+            self.wafers
+                .iter()
+                .map(|w| self.explore_one(w, &ctx))
+                .collect()
         } else {
             self.wafers
                 .par_iter()
-                .map(|w| self.explore_one(w))
+                .map(|w| self.explore_one(w, &ctx))
                 .collect()
         };
         let (single_wafer, caches): (Vec<ArchRecord>, Vec<ProfileCache>) =
@@ -642,19 +922,19 @@ impl Explorer {
             }
         }
 
-        let multi_wafer: Vec<MultiWaferRecord> = self
-            .nodes
-            .iter()
-            .map(|node| {
-                let outcome = explore_multi_wafer_impl(node, &self.job, &self.options);
-                MultiWaferRecord {
-                    name: format!("{}x {}", node.wafers, node.wafer.name),
-                    node: node.clone(),
-                    best: outcome.best,
-                    stats: outcome.stats,
-                }
-            })
-            .collect();
+        let multi_wafer: Vec<MultiWaferRecord> = if checkpointing {
+            self.run_multi_checkpointed(&ctx, resume, &single_wafer)
+        } else {
+            self.nodes
+                .iter()
+                .map(|node| {
+                    Self::multi_record(
+                        node,
+                        explore_multi_wafer_impl(node, &self.job, &self.options, &ctx),
+                    )
+                })
+                .collect()
+        };
 
         let mut fault_sweeps = Vec::new();
         if let Some(spec) = &self.faults {
@@ -744,17 +1024,149 @@ impl Explorer {
         ))
     }
 
-    fn explore_one(&self, wafer: &WaferConfig) -> (ArchRecord, ProfileCache) {
-        let outcome = explore_impl(wafer, &self.job, &self.options, self.fault_aware.as_ref());
+    fn explore_one(&self, wafer: &WaferConfig, ctx: &SessionCtx<'_>) -> (ArchRecord, ProfileCache) {
+        let outcome = explore_impl(
+            wafer,
+            &self.job,
+            &self.options,
+            self.fault_aware.as_ref(),
+            ctx,
+        );
+        let cache_stats = outcome.cache.stats();
         (
             ArchRecord {
                 arch: wafer.name.clone(),
                 wafer: wafer.clone(),
                 best: outcome.best,
                 stats: outcome.stats,
+                outcome: outcome.outcome,
+                failures: outcome.failures,
+                cache_stats,
             },
             outcome.cache,
         )
+    }
+
+    fn multi_record(node: &MultiWaferConfig, outcome: MultiWaferOutcome) -> MultiWaferRecord {
+        MultiWaferRecord {
+            name: format!("{}x {}", node.wafers, node.wafer.name),
+            node: node.clone(),
+            best: outcome.best,
+            stats: outcome.stats,
+            outcome: outcome.outcome,
+            failures: outcome.failures,
+            cache_stats: outcome.cache_stats,
+        }
+    }
+
+    /// Sequential single-wafer leg loop used whenever a sink or a resume
+    /// checkpoint is present. Completed legs from the checkpoint are
+    /// reused verbatim; a fresh [`ProfileCache`] re-memoizes the ranking
+    /// lookups from scratch and cannot change their values (entries are
+    /// pure functions of their keys).
+    fn run_single_checkpointed(
+        &self,
+        ctx: &SessionCtx<'_>,
+        resume: Option<&SearchCheckpoint>,
+    ) -> Vec<(ArchRecord, ProfileCache)> {
+        let mut out: Vec<(ArchRecord, ProfileCache)> = Vec::with_capacity(self.wafers.len());
+        for (i, wafer) in self.wafers.iter().enumerate() {
+            if resume.is_some_and(|cp| i < cp.completed_single.len()) {
+                if let Some(cp) = resume {
+                    out.push((cp.completed_single[i].clone(), ProfileCache::new()));
+                }
+                continue;
+            }
+            // The wave frontier applies only to the first non-completed
+            // leg, and only when it was taken on this side (single vs
+            // multi) of the session.
+            let at_frontier = resume.is_some_and(|cp| i == cp.completed_single.len());
+            let frontier = resume
+                .and_then(|cp| cp.frontier.as_ref())
+                .filter(|f| !f.multi && at_frontier)
+                .map(|f| &f.wave);
+            let completed: Vec<ArchRecord> = out.iter().map(|(r, _)| r.clone()).collect();
+            let entry = {
+                let leg_sink = self.sink.as_deref().map(|sink| LegSink {
+                    sink,
+                    seed: self.options.seed,
+                    completed_single: &completed,
+                    completed_multi: &[],
+                    multi: false,
+                });
+                let leg_ctx = SessionCtx {
+                    sink: leg_sink.as_ref().map(|s| s as &dyn WaveSink),
+                    resume: frontier,
+                    ..*ctx
+                };
+                self.explore_one(wafer, &leg_ctx)
+            };
+            out.push(entry);
+            // Leg-boundary snapshot: frontier `None` means "start the
+            // next leg from scratch on resume".
+            if let Some(sink) = &self.sink {
+                sink.write(&SearchCheckpoint {
+                    seed: self.options.seed,
+                    completed_single: out.iter().map(|(r, _)| r.clone()).collect(),
+                    completed_multi: Vec::new(),
+                    frontier: None,
+                });
+            }
+        }
+        out
+    }
+
+    /// Sequential multi-wafer counterpart of
+    /// [`Self::run_single_checkpointed`]; snapshots carry the full
+    /// single-wafer prefix so a resumed session never re-runs it.
+    fn run_multi_checkpointed(
+        &self,
+        ctx: &SessionCtx<'_>,
+        resume: Option<&SearchCheckpoint>,
+        single_wafer: &[ArchRecord],
+    ) -> Vec<MultiWaferRecord> {
+        let mut out: Vec<MultiWaferRecord> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if resume.is_some_and(|cp| i < cp.completed_multi.len()) {
+                if let Some(cp) = resume {
+                    out.push(cp.completed_multi[i].clone());
+                }
+                continue;
+            }
+            let at_frontier = resume.is_some_and(|cp| i == cp.completed_multi.len());
+            let frontier = resume
+                .and_then(|cp| cp.frontier.as_ref())
+                .filter(|f| f.multi && at_frontier)
+                .map(|f| &f.wave);
+            let record = {
+                let leg_sink = self.sink.as_deref().map(|sink| LegSink {
+                    sink,
+                    seed: self.options.seed,
+                    completed_single: single_wafer,
+                    completed_multi: &out,
+                    multi: true,
+                });
+                let leg_ctx = SessionCtx {
+                    sink: leg_sink.as_ref().map(|s| s as &dyn WaveSink),
+                    resume: frontier,
+                    ..*ctx
+                };
+                Self::multi_record(
+                    node,
+                    explore_multi_wafer_impl(node, &self.job, &self.options, &leg_ctx),
+                )
+            };
+            out.push(record);
+            if let Some(sink) = &self.sink {
+                sink.write(&SearchCheckpoint {
+                    seed: self.options.seed,
+                    completed_single: single_wafer.to_vec(),
+                    completed_multi: out.clone(),
+                    frontier: None,
+                });
+            }
+        }
+        out
     }
 }
 

@@ -39,10 +39,48 @@
 use crate::cache::ProfileCache;
 use crate::scheduler::{evaluate_scheduled_cached, ScheduledConfig};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use thiserror::Error;
 use wsc_arch::fault::FaultMap;
 use wsc_arch::units::Time;
 use wsc_arch::wafer::WaferConfig;
 use wsc_workload::training::TrainingJob;
+
+/// Why an ensemble goodput could not be computed. `INFINITY` is a fine
+/// *sample-level* sentinel ("this sampled wafer cannot run the plan"),
+/// but letting it reach a goodput denominator silently yields 0 — and a
+/// NaN or 0 quietly ranked against real numbers is garbage. The
+/// degenerate ensembles are typed instead.
+#[derive(Debug, Clone, Copy, PartialEq, Error)]
+pub enum GoodputError {
+    /// The ensemble has no samples (only constructible via a struct
+    /// literal — [`FaultEnsemble::clustered`] clamps to ≥ 1).
+    #[error("fault ensemble has no samples: nothing to aggregate")]
+    EmptySamples,
+    /// Every sampled wafer made the configuration infeasible (e.g.
+    /// `rate == 1.0` leaves no healthy dies).
+    #[error(
+        "all {samples} ensemble samples at fault rate {rate} are infeasible for this configuration"
+    )]
+    AllSamplesInfeasible {
+        /// The ensemble's fault rate.
+        rate: f64,
+        /// The ensemble's sample count.
+        samples: usize,
+    },
+    /// Feasible samples exist, but the objective's aggregate is still
+    /// not a positive finite number (e.g. `Worst`/`P95` land on an
+    /// infeasible tail sample).
+    #[error("{objective:?} aggregate over the ensemble is not finite ({infeasible} of {samples} samples infeasible)")]
+    InfeasibleAggregate {
+        /// The objective whose aggregate degenerated.
+        objective: RobustObjective,
+        /// Number of infeasible samples.
+        infeasible: usize,
+        /// Total sample count.
+        samples: usize,
+    },
+}
 
 /// Checkpoint/restart cost model for the MTBF failure process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -252,18 +290,50 @@ pub fn ensemble_effective_secs(
     objective: RobustObjective,
     cache: &ProfileCache,
 ) -> f64 {
-    let per_sample: Vec<f64> = ensemble
-        .sample_maps(wafer.nx, wafer.ny)
-        .iter()
-        .map(|m| effective_iteration_secs(wafer, job, cfg, m, &ensemble.checkpoint, cache))
-        .collect();
+    ensemble_effective_secs_within(wafer, job, cfg, ensemble, objective, cache, None)
+}
+
+/// [`ensemble_effective_secs`] with an optional wall-clock cutoff: the
+/// fault-aware score loops over every ensemble sample, which for large
+/// ensembles is the single most expensive step of a candidate
+/// evaluation — an anytime search must be able to bail out of it
+/// mid-candidate. Past the cutoff the remaining samples are not
+/// evaluated and the score degrades to `INFINITY`, which the search
+/// treats as "candidate not scored" (it keeps its incumbent and the next
+/// wave boundary honors the deadline).
+pub(crate) fn ensemble_effective_secs_within(
+    wafer: &WaferConfig,
+    job: &TrainingJob,
+    cfg: &ScheduledConfig,
+    ensemble: &FaultEnsemble,
+    objective: RobustObjective,
+    cache: &ProfileCache,
+    cutoff: Option<Instant>,
+) -> f64 {
+    let mut per_sample = Vec::with_capacity(ensemble.samples);
+    for m in ensemble.sample_maps(wafer.nx, wafer.ny) {
+        // wsc-lint: allow(D004, "the anytime deadline must be able to interrupt the per-sample ensemble loop; an expired cutoff degrades the score to INFINITY rather than blocking past the budget")
+        if cutoff.is_some_and(|dl| Instant::now() >= dl) {
+            return f64::INFINITY;
+        }
+        per_sample.push(effective_iteration_secs(
+            wafer,
+            job,
+            cfg,
+            &m,
+            &ensemble.checkpoint,
+            cache,
+        ));
+    }
     objective.aggregate_secs(&per_sample)
 }
 
 /// Ensemble goodput of `cfg` in useful FLOP/s: the clean iteration's
 /// useful work divided by the ensemble-aggregated effective seconds.
 /// This is the number `bench_fault` reports and the acceptance gap is
-/// measured on; zero when every sample is infeasible.
+/// measured on. Degenerate ensembles — no samples, every sample
+/// infeasible, or a non-finite aggregate — return a typed
+/// [`GoodputError`] instead of a 0/NaN that would rank as garbage.
 pub fn ensemble_goodput(
     wafer: &WaferConfig,
     job: &TrainingJob,
@@ -271,13 +341,32 @@ pub fn ensemble_goodput(
     ensemble: &FaultEnsemble,
     objective: RobustObjective,
     cache: &ProfileCache,
-) -> f64 {
-    let clean = evaluate_scheduled_cached(wafer, job, cfg, None, true, cache);
-    let eff = ensemble_effective_secs(wafer, job, cfg, ensemble, objective, cache);
-    if !eff.is_finite() || eff <= 0.0 {
-        return 0.0;
+) -> Result<f64, GoodputError> {
+    if ensemble.samples == 0 {
+        return Err(GoodputError::EmptySamples);
     }
-    clean.useful_flops.as_f64() / eff
+    let per_sample: Vec<f64> = ensemble
+        .sample_maps(wafer.nx, wafer.ny)
+        .iter()
+        .map(|m| effective_iteration_secs(wafer, job, cfg, m, &ensemble.checkpoint, cache))
+        .collect();
+    let infeasible = per_sample.iter().filter(|s| !s.is_finite()).count();
+    if infeasible == per_sample.len() {
+        return Err(GoodputError::AllSamplesInfeasible {
+            rate: ensemble.rate,
+            samples: ensemble.samples,
+        });
+    }
+    let eff = objective.aggregate_secs(&per_sample);
+    if !eff.is_finite() || eff <= 0.0 {
+        return Err(GoodputError::InfeasibleAggregate {
+            objective,
+            infeasible,
+            samples: per_sample.len(),
+        });
+    }
+    let clean = evaluate_scheduled_cached(wafer, job, cfg, None, true, cache);
+    Ok(clean.useful_flops.as_f64() / eff)
 }
 
 #[cfg(test)]
@@ -396,11 +485,80 @@ mod tests {
         let cache = ProfileCache::new();
         let clean = evaluate_scheduled_cached(&wafer, &job, &cfg, None, true, &cache);
         let ensemble = FaultEnsemble::clustered(0.2, 5, 11);
-        let g = ensemble_goodput(&wafer, &job, &cfg, &ensemble, RobustObjective::Mean, &cache);
+        let g = ensemble_goodput(&wafer, &job, &cfg, &ensemble, RobustObjective::Mean, &cache)
+            .expect("a mildly degraded ensemble is feasible");
         assert!(g > 0.0);
         assert!(
             g < clean.useful_throughput.as_f64(),
             "goodput {g} must pay for faults + checkpoints"
         );
+    }
+
+    #[test]
+    fn degenerate_ensembles_yield_typed_errors_not_garbage() {
+        let (wafer, job, cfg) = setup();
+        let cache = ProfileCache::new();
+        // samples == 0 is only reachable via a struct literal (the
+        // constructor clamps) — it must still be a typed error, never a
+        // divide-by-aggregate-of-nothing.
+        let empty = FaultEnsemble {
+            samples: 0,
+            ..FaultEnsemble::clustered(0.2, 1, 3)
+        };
+        assert_eq!(
+            ensemble_goodput(&wafer, &job, &cfg, &empty, RobustObjective::Mean, &cache),
+            Err(GoodputError::EmptySamples)
+        );
+        // Faults degrade timing, never feasibility — per-sample INFINITY
+        // comes from a configuration that cannot run at all (e.g. its
+        // recompute plan overflows memory). Every sample then scores
+        // INFINITY and the aggregate must be the typed error, not a
+        // garbage ranking value.
+        let ensemble = FaultEnsemble::clustered(0.2, 3, 3);
+        let mut broken = cfg.clone();
+        broken.recompute.feasible = false;
+        let err = ensemble_goodput(
+            &wafer,
+            &job,
+            &broken,
+            &ensemble,
+            RobustObjective::Mean,
+            &cache,
+        )
+        .expect_err("an infeasible configuration cannot run anything");
+        assert!(
+            matches!(err, GoodputError::AllSamplesInfeasible { samples: 3, .. }),
+            "got {err:?}"
+        );
+        // The error renders a human-readable message (thiserror).
+        assert!(err.to_string().contains("infeasible"), "{err}");
+    }
+
+    #[test]
+    fn expired_cutoff_degrades_the_ensemble_score_to_infinity() {
+        let (wafer, job, cfg) = setup();
+        let cache = ProfileCache::new();
+        let ensemble = FaultEnsemble::clustered(0.2, 3, 11);
+        let finite = ensemble_effective_secs_within(
+            &wafer,
+            &job,
+            &cfg,
+            &ensemble,
+            RobustObjective::Mean,
+            &cache,
+            None,
+        );
+        assert!(finite.is_finite());
+        let expired = Instant::now() - std::time::Duration::from_secs(1);
+        let cut = ensemble_effective_secs_within(
+            &wafer,
+            &job,
+            &cfg,
+            &ensemble,
+            RobustObjective::Mean,
+            &cache,
+            Some(expired),
+        );
+        assert_eq!(cut, f64::INFINITY, "past the deadline no score is produced");
     }
 }

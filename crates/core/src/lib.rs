@@ -59,6 +59,7 @@ pub mod evaluator;
 pub mod explorer;
 pub mod ga;
 pub mod goodput;
+pub mod inject;
 pub mod multiwafer;
 pub mod placement;
 pub mod robust;
@@ -66,20 +67,21 @@ pub mod scheduler;
 pub mod stage;
 mod wave;
 
-pub use crate::cache::ProfileCache;
+pub use crate::cache::{CacheStats, ProfileCache};
 pub use crate::costmodel::{CostState, NodeCostModel, PlacementCostModel};
 pub use crate::dram_alloc::{allocate, allocate_by, allocate_node, DramAllocation, DramGrant};
 pub use crate::evaluator::{evaluate, EvalInput, EvalOptions, PerfReport};
 pub use crate::explorer::{
-    ArchRecord, BaselineModel, BaselineOutcome, BaselineRecord, CandidateSource, ExplorationError,
-    ExplorationReport, Explorer, ExplorerBuilder, FaultSweepRecord, FaultSweepSpec,
-    MultiWaferRecord,
+    ArchRecord, BaselineModel, BaselineOutcome, BaselineRecord, CandidateSource, CheckpointSink,
+    ExplorationError, ExplorationReport, Explorer, ExplorerBuilder, FaultSweepRecord,
+    FaultSweepSpec, MemorySink, MultiWaferRecord, SearchCheckpoint, SearchFrontier,
 };
 pub use crate::ga::{GaParams, GaResult};
 pub use crate::goodput::{
     ensemble_effective_secs, ensemble_goodput, CheckpointSpec, FaultAwareSpec, FaultEnsemble,
-    RobustObjective,
+    GoodputError, RobustObjective,
 };
+pub use crate::inject::Injection;
 pub use crate::multiwafer::{
     evaluate_multi_wafer_plan, evaluate_multi_wafer_plan_cached, evaluate_multi_wafer_plan_placed,
     seam_borrow_penalty, MultiWaferReport, NodePlacementStats,
@@ -94,6 +96,9 @@ pub use crate::scheduler::{
     RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
 pub use crate::stage::{build_stage_profiles, build_stage_profiles_with, LayerData, StageProfile};
+pub use crate::wave::{
+    CandidateFailure, Outcome, PlanKey, SearchBudget, TruncationReason, WaveCheckpoint,
+};
 pub use wsc_workload::parallel::{
     ParallelPlan, ParallelSpec, PlanError, StageMap, TpSplitStrategy,
 };

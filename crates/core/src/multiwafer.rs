@@ -65,7 +65,7 @@
 //! [`SearchStats`] are byte-identical across thread counts and match
 //! the exhaustive sequential sweep.
 
-use crate::cache::ProfileCache;
+use crate::cache::{CacheStats, ProfileCache};
 use crate::costmodel::NodeCostModel;
 use crate::dram_alloc::allocate_node;
 use crate::placement::{choose_tile, optimize_node, PairDemand};
@@ -73,7 +73,7 @@ use crate::scheduler::{
     memory_precheck_fails, tp_candidates, PlanFilter, SchedulerOptions, SearchStats,
 };
 use crate::stage::{boundary_bytes, StageProfile};
-use crate::wave::{bounded_search, WorkItem};
+use crate::wave::{bounded_search, CandidateFailure, Outcome, SessionCtx, WaveResult, WorkItem};
 use serde::{Deserialize, Serialize};
 use wsc_arch::units::{Bytes, FlopRate, Time};
 use wsc_arch::wafer::MultiWaferConfig;
@@ -612,6 +612,13 @@ pub(crate) struct MultiWaferOutcome {
     pub best: Option<MultiWaferReport>,
     /// How much of the space was evaluated vs pruned.
     pub stats: SearchStats,
+    /// Whether the search ran to completion or its budget truncated it.
+    pub outcome: Outcome,
+    /// Candidates whose evaluation panicked (isolated, never winners).
+    pub failures: Vec<CandidateFailure>,
+    /// Degradation counters of the leg's profile cache (all-zero on a
+    /// panic-free, injection-free run).
+    pub cache_stats: CacheStats,
 }
 
 /// The stage-map family one `(span, tp, pp)` point emits, as
@@ -658,6 +665,7 @@ pub(crate) fn explore_multi_wafer_impl(
     node: &MultiWaferConfig,
     job: &TrainingJob,
     opts: &SchedulerOptions,
+    ctx: &SessionCtx<'_>,
 ) -> MultiWaferOutcome {
     // Aggregate-memory precheck at the node level: if modelP cannot fit
     // the node's total DRAM, no plan can help.
@@ -665,6 +673,9 @@ pub(crate) fn explore_multi_wafer_impl(
         return MultiWaferOutcome {
             best: None,
             stats: SearchStats::default(),
+            outcome: Outcome::Complete,
+            failures: Vec::new(),
+            cache_stats: CacheStats::default(),
         };
     }
     let dies = node.total_dies();
@@ -729,18 +740,35 @@ pub(crate) fn explore_multi_wafer_impl(
         }
     }
 
-    let cache = ProfileCache::new();
+    // An armed injection schedule builds its corrupted/poisoned cache
+    // (test/bench-only); production runs take the plain memo.
+    let cache = match ctx.inject {
+        Some(inj) if inj.is_armed() => inj.build_cache(),
+        _ => ProfileCache::new(),
+    };
+    // Checkpoints emitted from this leg carry this cache's generation
+    // tag.
+    let ctx = SessionCtx {
+        generation: Some(cache.generation_handle()),
+        ..*ctx
+    };
 
     // Bound-ordered evaluation waves on the shared engine. With the
     // `node_placement` knob on, every evaluated plan gets the node-level
     // Alg. 3 pass (seeded by `opts.seed`, so the sweep stays a pure
     // deterministic function of its inputs); the bound is unchanged —
     // the refined schedule still dominates it, see [`node_lower_bound`].
-    let (best, stats) = bounded_search(
+    let WaveResult {
+        best,
+        stats,
+        outcome,
+        failures,
+    } = bounded_search(
         &items,
         &decided,
         opts.prune,
         opts.sequential,
+        &ctx,
         |it| node_lower_bound(node, job, it, &cache),
         |it| {
             if opts.node_placement {
@@ -751,7 +779,13 @@ pub(crate) fn explore_multi_wafer_impl(
         },
         |r| r.iteration.as_secs(),
     );
-    MultiWaferOutcome { best, stats }
+    MultiWaferOutcome {
+        best,
+        stats,
+        outcome,
+        failures,
+        cache_stats: cache.stats(),
+    }
 }
 
 /// Binomial coefficient `C(n, k)` as an f64 (exact for the wafer counts
@@ -891,7 +925,7 @@ mod tests {
     }
 
     fn best_of(node: &MultiWaferConfig, job: &TrainingJob) -> Option<MultiWaferReport> {
-        explore_multi_wafer_impl(node, job, &seq_par_opts()).best
+        explore_multi_wafer_impl(node, job, &seq_par_opts(), &SessionCtx::none()).best
     }
 
     #[test]
@@ -1030,9 +1064,14 @@ mod tests {
         // search can never return a slower winner.
         let node = presets::multi_wafer_4();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let base = explore_multi_wafer_impl(&node, &job, &SchedulerOptions::default())
-            .best
-            .expect("baseline feasible");
+        let base = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions::default(),
+            &SessionCtx::none(),
+        )
+        .best
+        .expect("baseline feasible");
         let enlarged = explore_multi_wafer_impl(
             &node,
             &job,
@@ -1040,6 +1079,7 @@ mod tests {
                 plans: PlanFilter::all(),
                 ..SchedulerOptions::default()
             },
+            &SessionCtx::none(),
         )
         .best
         .expect("enlarged feasible");
@@ -1058,7 +1098,7 @@ mod tests {
         // pruning only changes the instrumentation counters.
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let pruned = explore_multi_wafer_impl(&node, &job, &seq_par_opts());
+        let pruned = explore_multi_wafer_impl(&node, &job, &seq_par_opts(), &SessionCtx::none());
         let pruned_seq = explore_multi_wafer_impl(
             &node,
             &job,
@@ -1066,6 +1106,7 @@ mod tests {
                 sequential: true,
                 ..seq_par_opts()
             },
+            &SessionCtx::none(),
         );
         let exhaustive = explore_multi_wafer_impl(
             &node,
@@ -1075,6 +1116,7 @@ mod tests {
                 sequential: true,
                 ..seq_par_opts()
             },
+            &SessionCtx::none(),
         );
         assert_eq!(pruned.best, pruned_seq.best);
         assert_eq!(pruned.stats, pruned_seq.stats);
@@ -1091,9 +1133,14 @@ mod tests {
         // than either single-strategy sweep (it searches a superset).
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let both = explore_multi_wafer_impl(&node, &job, &SchedulerOptions::default())
-            .best
-            .expect("feasible");
+        let both = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions::default(),
+            &SessionCtx::none(),
+        )
+        .best
+        .expect("feasible");
         for strategy in [TpSplitStrategy::Megatron, TpSplitStrategy::SequenceParallel] {
             let single = explore_multi_wafer_impl(
                 &node,
@@ -1102,6 +1149,7 @@ mod tests {
                     strategies: vec![strategy],
                     ..SchedulerOptions::default()
                 },
+                &SessionCtx::none(),
             )
             .best;
             if let Some(single) = single {
@@ -1117,7 +1165,12 @@ mod tests {
     fn search_stats_are_consistent() {
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let out = explore_multi_wafer_impl(&node, &job, &SchedulerOptions::default());
+        let out = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions::default(),
+            &SessionCtx::none(),
+        );
         let s = out.stats;
         assert!(s.visited > 0);
         assert_eq!(s.visited, s.pruned + s.evaluated);
@@ -1133,7 +1186,12 @@ mod tests {
         let mut model = zoo::deepseek_v3();
         model.layers *= 8;
         let job = TrainingJob::standard(model);
-        let out = explore_multi_wafer_impl(&node, &job, &SchedulerOptions::default());
+        let out = explore_multi_wafer_impl(
+            &node,
+            &job,
+            &SchedulerOptions::default(),
+            &SessionCtx::none(),
+        );
         assert!(out.best.is_none());
         assert_eq!(out.stats, SearchStats::default());
     }
@@ -1261,7 +1319,7 @@ mod tests {
     fn node_placement_search_never_loses_to_baseline() {
         let node = presets::multi_wafer_18();
         let job = TrainingJob::standard(zoo::llama3_405b());
-        let base = explore_multi_wafer_impl(&node, &job, &seq_par_opts())
+        let base = explore_multi_wafer_impl(&node, &job, &seq_par_opts(), &SessionCtx::none())
             .best
             .expect("feasible");
         let placed = explore_multi_wafer_impl(
@@ -1271,6 +1329,7 @@ mod tests {
                 node_placement: true,
                 ..seq_par_opts()
             },
+            &SessionCtx::none(),
         )
         .best
         .expect("feasible");
@@ -1296,7 +1355,7 @@ mod tests {
             node_placement: true,
             ..seq_par_opts()
         };
-        let pruned = explore_multi_wafer_impl(&node, &job, &opts);
+        let pruned = explore_multi_wafer_impl(&node, &job, &opts, &SessionCtx::none());
         let exhaustive = explore_multi_wafer_impl(
             &node,
             &job,
@@ -1305,6 +1364,7 @@ mod tests {
                 sequential: true,
                 ..opts.clone()
             },
+            &SessionCtx::none(),
         );
         assert_eq!(pruned.best, exhaustive.best);
         assert_eq!(pruned.stats.visited, exhaustive.stats.visited);
@@ -1324,10 +1384,10 @@ mod tests {
         one_slow.w2w_latency = Time::from_millis(10.0);
         let job = TrainingJob::standard(zoo::llama2_30b());
         let opts = SchedulerOptions::default();
-        let r = explore_multi_wafer_impl(&one, &job, &opts)
+        let r = explore_multi_wafer_impl(&one, &job, &opts, &SessionCtx::none())
             .best
             .expect("fits one wafer");
-        let r_slow = explore_multi_wafer_impl(&one_slow, &job, &opts)
+        let r_slow = explore_multi_wafer_impl(&one_slow, &job, &opts, &SessionCtx::none())
             .best
             .expect("fits one wafer");
         assert_eq!(r.w2w_boundary_fraction, 0.0);
@@ -1338,10 +1398,10 @@ mod tests {
             node_placement: true,
             ..opts
         };
-        let p = explore_multi_wafer_impl(&one, &job, &placed_opts)
+        let p = explore_multi_wafer_impl(&one, &job, &placed_opts, &SessionCtx::none())
             .best
             .expect("fits one wafer");
-        let p_slow = explore_multi_wafer_impl(&one_slow, &job, &placed_opts)
+        let p_slow = explore_multi_wafer_impl(&one_slow, &job, &placed_opts, &SessionCtx::none())
             .best
             .expect("fits one wafer");
         assert_eq!(

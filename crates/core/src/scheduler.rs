@@ -23,10 +23,10 @@ use crate::costmodel::PlacementCostModel;
 use crate::dram_alloc::{allocate, DramGrant};
 use crate::evaluator::{self, evaluate, EvalInput, EvalOptions, PerfReport};
 use crate::ga::{self, GaParams};
-use crate::goodput::{ensemble_effective_secs, FaultAwareSpec};
+use crate::goodput::{ensemble_effective_secs_within, FaultAwareSpec};
 use crate::placement::{self, PairDemand, Placement};
 use crate::stage::{boundary_bytes, StageProfile};
-use crate::wave::{bounded_search, WorkItem};
+use crate::wave::{bounded_search, CandidateFailure, Outcome, SessionCtx, WaveResult, WorkItem};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use wsc_arch::fault::FaultMap;
@@ -551,6 +551,10 @@ pub(crate) struct SearchOutcome {
     pub best: Option<ScheduledConfig>,
     /// How much of the space was scheduled vs pruned.
     pub stats: SearchStats,
+    /// Whether the search ran to completion or its budget truncated it.
+    pub outcome: Outcome,
+    /// Candidates whose evaluation panicked (isolated, never winners).
+    pub failures: Vec<CandidateFailure>,
     /// The search's own profile cache, handed back so downstream sweeps
     /// (fault sweeps, ensemble scoring, baselines) reuse the winner's
     /// stage profiles instead of rebuilding them from scratch.
@@ -634,7 +638,7 @@ fn config_lower_bound(
 /// counters, and byte-identical across thread counts.
 ///
 /// With `fault_aware` set, candidates are ranked by
-/// [`ensemble_effective_secs`] — the checkpoint-aware effective
+/// [`crate::goodput::ensemble_effective_secs`] — the checkpoint-aware effective
 /// iteration time over the spec's Monte-Carlo wafer population — instead
 /// of the clean iteration time. The analytic bound stays the *clean*
 /// lower bound, which remains sound because every fault/checkpoint
@@ -646,6 +650,7 @@ pub(crate) fn explore_impl(
     job: &TrainingJob,
     opts: &SchedulerOptions,
     fault_aware: Option<&FaultAwareSpec>,
+    ctx: &SessionCtx<'_>,
 ) -> SearchOutcome {
     // Alg. 1 line 1–2 at the wafer level.
     let dies = wafer.die_count();
@@ -653,6 +658,8 @@ pub(crate) fn explore_impl(
         return SearchOutcome {
             best: None,
             stats: SearchStats::default(),
+            outcome: Outcome::Complete,
+            failures: Vec::new(),
             cache: ProfileCache::new(),
         };
     }
@@ -688,14 +695,35 @@ pub(crate) fn explore_impl(
         }
     }
 
-    let cache = ProfileCache::new();
+    // An armed injection schedule builds its corrupted/poisoned cache
+    // (test/bench-only); production runs take the plain memo.
+    let cache = match ctx.inject {
+        Some(inj) if inj.is_armed() => inj.build_cache(),
+        _ => ProfileCache::new(),
+    };
+    // Checkpoints emitted from this leg carry this cache's generation
+    // tag.
+    let ctx = SessionCtx {
+        generation: Some(cache.generation_handle()),
+        ..*ctx
+    };
 
     // The score the incumbent competes on: clean iteration seconds, or —
     // fault-aware — the ensemble-aggregated effective seconds. Computed
     // once per evaluated candidate and carried alongside it, so the wave
-    // loop's repeated incumbent reads never re-run the ensemble.
+    // loop's repeated incumbent reads never re-run the ensemble. The
+    // ensemble loop honors the session deadline: a candidate the budget
+    // interrupts mid-ensemble scores INFINITY and is dropped below.
     let score_of = |cfg: &ScheduledConfig| match fault_aware {
-        Some(fa) => ensemble_effective_secs(wafer, job, cfg, &fa.ensemble, fa.objective, &cache),
+        Some(fa) => ensemble_effective_secs_within(
+            wafer,
+            job,
+            cfg,
+            &fa.ensemble,
+            fa.objective,
+            &cache,
+            ctx.deadline,
+        ),
         None => cfg.report.iteration.as_secs(),
     };
 
@@ -705,23 +733,37 @@ pub(crate) fn explore_impl(
         ga: None,
         ..opts.clone()
     };
-    let (mut best, stats) = bounded_search(
+    let WaveResult {
+        mut best,
+        stats,
+        outcome,
+        failures,
+    } = bounded_search(
         &items,
         &decided,
         opts.prune,
         opts.sequential,
+        &ctx,
         |it| config_lower_bound(wafer, job, it, opts, &cache),
         |it| {
             let cfg = schedule_plan_cached(wafer, job, &it.plan, &inner, None, &cache)?;
             let score = score_of(&cfg);
+            // A non-finite score cannot rank (deadline-interrupted
+            // ensemble, or every sample infeasible): treat the candidate
+            // as unscoreable rather than letting INFINITY win a search
+            // with no finite competitor.
+            if !score.is_finite() {
+                return None;
+            }
             Some((cfg, score))
         },
         |(_, score)| *score,
     );
 
     // GA refinement of the winner, kept only when it wins on the same
-    // score the search ranked by.
-    if opts.ga.is_some() {
+    // score the search ranked by. A truncated leg skips it: refinement
+    // is unbudgeted work, and anytime semantics promise best-so-far.
+    if opts.ga.is_some() && outcome == Outcome::Complete {
         if let Some((b, bscore)) = best.take() {
             best = Some(
                 match schedule_plan_cached(wafer, job, &b.plan, opts, None, &cache) {
@@ -741,6 +783,8 @@ pub(crate) fn explore_impl(
     SearchOutcome {
         best: best.map(|(cfg, _)| cfg),
         stats,
+        outcome,
+        failures,
         cache,
     }
 }
@@ -829,9 +873,11 @@ mod tests {
         // 3.92 TB wafer: every candidate must be pruned.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::deepseek_v3());
-        assert!(explore_impl(&wafer, &job, &quick_opts(), None)
-            .best
-            .is_none());
+        assert!(
+            explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none())
+                .best
+                .is_none()
+        );
     }
 
     #[test]
@@ -839,7 +885,7 @@ mod tests {
         // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let best = explore_impl(&wafer, &job, &quick_opts(), None)
+        let best = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none())
             .best
             .expect("feasible");
         assert!(
@@ -857,7 +903,7 @@ mod tests {
         // changes the instrumentation counters.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let pruned = explore_impl(&wafer, &job, &quick_opts(), None);
+        let pruned = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
         let pruned_seq = explore_impl(
             &wafer,
             &job,
@@ -866,6 +912,7 @@ mod tests {
                 ..quick_opts()
             },
             None,
+            &SessionCtx::none(),
         );
         let exhaustive = explore_impl(
             &wafer,
@@ -876,6 +923,7 @@ mod tests {
                 ..quick_opts()
             },
             None,
+            &SessionCtx::none(),
         );
         assert_eq!(pruned.best, pruned_seq.best);
         assert_eq!(pruned.stats, pruned_seq.stats);
@@ -891,14 +939,14 @@ mod tests {
         // Clean-bound pruning stays sound when candidates are ranked by
         // ensemble effective seconds: the pruned fault-aware search and
         // the exhaustive one return the identical winner.
-        use crate::goodput::{FaultEnsemble, RobustObjective};
+        use crate::goodput::{ensemble_effective_secs, FaultEnsemble, RobustObjective};
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
         let fa = FaultAwareSpec {
             ensemble: FaultEnsemble::clustered(0.2, 3, 11),
             objective: RobustObjective::Mean,
         };
-        let pruned = explore_impl(&wafer, &job, &quick_opts(), Some(&fa));
+        let pruned = explore_impl(&wafer, &job, &quick_opts(), Some(&fa), &SessionCtx::none());
         let exhaustive = explore_impl(
             &wafer,
             &job,
@@ -908,6 +956,7 @@ mod tests {
                 ..quick_opts()
             },
             Some(&fa),
+            &SessionCtx::none(),
         );
         assert_eq!(pruned.best, exhaustive.best);
         assert_eq!(pruned.stats.visited, exhaustive.stats.visited);
@@ -924,7 +973,7 @@ mod tests {
     fn search_stats_are_consistent() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let out = explore_impl(&wafer, &job, &quick_opts(), None);
+        let out = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
         let s = out.stats;
         assert!(s.visited > 0);
         assert_eq!(s.visited, s.pruned + s.evaluated);
@@ -940,12 +989,12 @@ mod tests {
         // parallel.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let plain = explore_impl(&wafer, &job, &quick_opts(), None);
+        let plain = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
         let dup_opts = SchedulerOptions {
             strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::Megatron],
             ..quick_opts()
         };
-        let dup_par = explore_impl(&wafer, &job, &dup_opts, None);
+        let dup_par = explore_impl(&wafer, &job, &dup_opts, None, &SessionCtx::none());
         let dup_seq = explore_impl(
             &wafer,
             &job,
@@ -954,6 +1003,7 @@ mod tests {
                 ..dup_opts
             },
             None,
+            &SessionCtx::none(),
         );
         assert_eq!(dup_par.best, dup_seq.best);
         assert_eq!(dup_par.stats, dup_seq.stats);

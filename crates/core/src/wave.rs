@@ -29,18 +29,45 @@
 //!   evaluations (the GPT-175B preset spent ~1.0 s of its 1.1 s there).
 //!   Ramping evaluates 1 point, then prunes with it — the schedule is
 //!   still fixed, so determinism is unaffected.
+//!
+//! ## The resilience layer
+//!
+//! The engine is *anytime*: a [`SearchBudget`] is checked at every wave
+//! boundary, and when a limit trips the search returns its deterministic
+//! best-so-far incumbent with [`Outcome::Truncated`] and honest
+//! [`SearchStats`] (the unexamined tail is counted as `skipped`, never
+//! silently folded into `pruned`). Each candidate evaluation runs under
+//! `catch_unwind`, so a panicking candidate becomes a per-item
+//! [`CandidateFailure`] record instead of tearing down the search — and
+//! since a failed candidate produces no score, it can never be the
+//! winner. Every `N` completed waves the engine can emit a
+//! [`WaveCheckpoint`] through a pluggable sink; resuming from one
+//! restores the cursor, the counters and the failure log, re-derives the
+//! incumbent by re-evaluating its key (evaluation is a pure function),
+//! and provably converges to the same winner as the uninterrupted run.
+//! A run with no budget, no injection and no checkpointing takes none of
+//! these paths and is byte-identical to the pre-resilience engine.
 
+use crate::inject::Injection;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use wsc_workload::parallel::ParallelPlan;
 
 /// Instrumentation of one bounded search: how much of the
 /// `TP × PP × strategy` space was actually scheduled.
 ///
-/// `visited = pruned + evaluated` always holds. Counts are deterministic
-/// — independent of thread count and of sequential vs parallel execution
-/// — because pruning decisions are taken against the incumbent from
-/// *completed* waves only.
+/// `visited = pruned + evaluated + skipped` always holds (`skipped` is
+/// nonzero only when a [`SearchBudget`] truncated the run). Counts are
+/// deterministic — independent of thread count and of sequential vs
+/// parallel execution — because pruning decisions are taken against the
+/// incumbent from *completed* waves only. The one exception is a
+/// wall-clock deadline: *where* a deadline lands is inherently machine-
+/// dependent, so a deadline-truncated run promises honest counters and a
+/// valid best-so-far, not cross-machine byte-identity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Work-list points enumerated (feasible tile shapes × strategies).
@@ -54,6 +81,9 @@ pub struct SearchStats {
     /// includes memory-precheck-decided points, which return infeasible
     /// from the evaluation path without ever being profiled.
     pub evaluated: usize,
+    /// Points never examined because a [`SearchBudget`] truncated the
+    /// search first. Always zero on a [`Outcome::Complete`] run.
+    pub skipped: usize,
 }
 
 impl SearchStats {
@@ -63,8 +93,223 @@ impl SearchStats {
             visited: self.visited + other.visited,
             pruned: self.pruned + other.pruned,
             evaluated: self.evaluated + other.evaluated,
+            skipped: self.skipped + other.skipped,
         }
     }
+}
+
+/// Resource limits for an anytime search, checked at every wave
+/// boundary. A wave already in flight completes before a limit is
+/// honored, so overshoot is bounded by one wave width
+/// (`SEARCH_WAVE`). The default has no limits: the search runs to
+/// completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Wall-clock budget in seconds for the whole `Explorer` run (all
+    /// legs share one deadline). `None` = unlimited. Deadline placement
+    /// is inherently machine-dependent; see [`SearchStats`].
+    pub deadline: Option<f64>,
+    /// Maximum candidate evaluations per search leg. Deterministic: the
+    /// same limit truncates at the same wave on every machine and thread
+    /// count.
+    pub max_evaluations: Option<usize>,
+    /// Early-stop once this fraction of the leg's visited space has been
+    /// pruned: with the work-list sorted by lower bound, a dominant
+    /// incumbent rules out most of the space quickly, and past this
+    /// threshold further waves rarely change the winner. Deterministic.
+    pub max_pruned_ratio: Option<f64>,
+}
+
+impl SearchBudget {
+    /// No limits (the default).
+    pub fn none() -> Self {
+        SearchBudget::default()
+    }
+
+    /// Set the wall-clock budget in seconds.
+    pub fn deadline(mut self, secs: f64) -> Self {
+        self.deadline = Some(secs);
+        self
+    }
+
+    /// Set the per-leg evaluation cap.
+    pub fn max_evaluations(mut self, n: usize) -> Self {
+        self.max_evaluations = Some(n);
+        self
+    }
+
+    /// Set the per-leg pruned-ratio early-stop threshold.
+    pub fn max_pruned_ratio(mut self, ratio: f64) -> Self {
+        self.max_pruned_ratio = Some(ratio);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_evaluations.is_some() || self.max_pruned_ratio.is_some()
+    }
+}
+
+/// Which [`SearchBudget`] limit truncated a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TruncationReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The evaluation cap was reached.
+    MaxEvaluations,
+    /// The pruned-ratio early-stop threshold was crossed.
+    PrunedRatio,
+}
+
+/// Whether a search leg ran to completion or was truncated by its
+/// [`SearchBudget`]. A truncated leg still returns its deterministic
+/// best-so-far incumbent and honest [`SearchStats`]; `Complete` is the
+/// seed-era behavior and the default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Every work-list point was either evaluated or soundly pruned.
+    #[default]
+    Complete,
+    /// A budget limit tripped; the unexamined tail is counted in
+    /// [`SearchStats::skipped`].
+    Truncated {
+        /// Which limit tripped.
+        reason: TruncationReason,
+    },
+}
+
+impl Outcome {
+    /// Whether this leg was truncated.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, Outcome::Truncated { .. })
+    }
+}
+
+/// The serde-able form of a work item's deterministic tie-break key
+/// (see `WorkItem::key`), stored in checkpoints so a resumed search
+/// can re-derive its incumbent by re-evaluating exactly this point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlanKey {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline depth.
+    pub pp: usize,
+    /// Strategy-list index.
+    pub sidx: usize,
+    /// Plan-family index (span/stage-map variant).
+    pub pidx: usize,
+}
+
+impl From<(usize, usize, usize, usize)> for PlanKey {
+    fn from((tp, pp, sidx, pidx): (usize, usize, usize, usize)) -> Self {
+        PlanKey { tp, pp, sidx, pidx }
+    }
+}
+
+/// One candidate whose evaluation panicked, converted into data by the
+/// engine's `catch_unwind` isolation. A failed candidate produces no
+/// score, so it can never be crowned the winner; the search records the
+/// failure and keeps going. Failures are appended in wave-completion
+/// order, so the list is deterministic for a deterministic injection
+/// schedule (and empty on any panic-free run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFailure {
+    /// The plan whose evaluation panicked.
+    pub plan: ParallelPlan,
+    /// The panic payload (message), stringified.
+    pub payload: String,
+    /// Index of the wave the candidate was evaluated in.
+    pub wave: u32,
+}
+
+/// A resumable snapshot of one search leg, emitted every N completed
+/// waves (and at truncation) through a checkpoint sink.
+///
+/// The snapshot deliberately stores the incumbent's *key* rather than
+/// the incumbent itself: evaluation is a pure function of the work item
+/// and the (rebuildable) caches, so `resume` re-derives the exact
+/// incumbent by re-evaluating one point — which keeps the checkpoint
+/// small, serde-round-trippable without generics, and self-validating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveCheckpoint {
+    /// Position in the bound-sorted order up to which every point is
+    /// accounted for (evaluated or pruned).
+    pub cursor: usize,
+    /// Number of waves completed (fixes the ramp schedule on resume).
+    pub wave_no: u32,
+    /// Counters as of the cursor. The truncation tail is *not* included
+    /// — a resumed run continues over it, so pre-counting it would
+    /// double-book.
+    pub stats: SearchStats,
+    /// Tie-break key of the incumbent, if any.
+    pub best_key: Option<PlanKey>,
+    /// The incumbent's score, for observability and cross-checking.
+    pub best_score: Option<f64>,
+    /// Candidate failures recorded so far.
+    pub failures: Vec<CandidateFailure>,
+    /// The `ProfileCache` generation tag at emit time: 0 means the
+    /// incumbent was found against a pristine cache; a nonzero tag means
+    /// poison recoveries or corruption repairs invalidated cache state
+    /// along the way. Resume always rebuilds caches from scratch, so the
+    /// tag is diagnostic — it tells you whether the checkpointed run had
+    /// already survived cache degradation.
+    pub generation: u64,
+}
+
+/// Per-search session context threaded from the `Explorer` facade down
+/// into the wave loop: the (already-resolved) deadline, deterministic
+/// budget limits, the optional fault-injection schedule, checkpoint
+/// cadence/sink, and the checkpoint to resume from. `SessionCtx::none()`
+/// is the seed-era behavior.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SessionCtx<'a> {
+    /// Absolute wall-clock deadline (resolved once per `Explorer` run,
+    /// so every leg shares it).
+    pub deadline: Option<Instant>,
+    /// Per-leg evaluation cap.
+    pub max_evaluations: Option<usize>,
+    /// Per-leg pruned-ratio early-stop.
+    pub max_pruned_ratio: Option<f64>,
+    /// Fault-injection schedule (test/bench-only).
+    pub inject: Option<&'a Injection>,
+    /// Emit a [`WaveCheckpoint`] every this many completed waves.
+    pub checkpoint_every: Option<usize>,
+    /// Where checkpoints go.
+    pub sink: Option<&'a dyn WaveSink>,
+    /// The cache generation counter of the leg's `ProfileCache`, read at
+    /// checkpoint-emit time.
+    pub generation: Option<&'a AtomicU64>,
+    /// Resume from this snapshot instead of starting fresh.
+    pub resume: Option<&'a WaveCheckpoint>,
+}
+
+impl SessionCtx<'_> {
+    /// No budget, no injection, no checkpointing — the seed-era engine.
+    pub fn none() -> Self {
+        SessionCtx::default()
+    }
+}
+
+/// Receiver of per-wave checkpoints (implemented by the `Explorer`
+/// facade, which wraps each [`WaveCheckpoint`] into a session-level
+/// `SearchCheckpoint` before handing it to the user's sink).
+pub(crate) trait WaveSink: Sync {
+    /// Called after a completed wave (and at truncation).
+    fn emit(&self, checkpoint: &WaveCheckpoint);
+}
+
+/// What one bounded search hands back: the winner, the counters, the
+/// completion outcome and the isolated candidate failures.
+#[derive(Debug)]
+pub(crate) struct WaveResult<C> {
+    /// Best feasible candidate (never a failed one), if any.
+    pub best: Option<C>,
+    /// Honest counters (`visited = pruned + evaluated + skipped`).
+    pub stats: SearchStats,
+    /// Complete, or which budget limit truncated the leg.
+    pub outcome: Outcome,
+    /// Panicked candidates, in wave-completion order.
+    pub failures: Vec<CandidateFailure>,
 }
 
 /// One point of a flattened plan work-list: a [`ParallelPlan`] plus the
@@ -116,6 +361,15 @@ pub(crate) fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     }
 }
 
+/// Stringify a caught panic payload (the common `&str` / `String` cases;
+/// anything else gets a placeholder so the failure is still recorded).
+fn panic_payload(e: Box<dyn Any + Send>) -> String {
+    e.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| e.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Run one bounded search over a flattened work-list: bound phase plus
 /// wave loop, with the prune/short-circuit semantics held in one place
 /// for every caller.
@@ -130,19 +384,22 @@ pub(crate) fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
 /// = statically infeasible, counted as pruned); with it unset, every
 /// point gets a `-inf` bound and the wave loop degenerates to the
 /// exhaustive sweep. `eval` runs the full scheduler on one point;
-/// `score` extracts the iteration time the incumbent competes on.
+/// `score` extracts the iteration time the incumbent competes on. `ctx`
+/// carries the resilience layer (budget, injection, checkpointing,
+/// resume); pass [`SessionCtx::none`] for the seed-era behavior.
 /// Returns the winner (smallest score, ties to the smallest
-/// [`WorkItem::key`]) plus the [`SearchStats`].
+/// [`WorkItem::key`]) plus stats, outcome and any isolated failures.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn bounded_search<C: Send>(
     items: &[WorkItem],
     decided: &[bool],
     prune: bool,
     sequential: bool,
+    ctx: &SessionCtx<'_>,
     bound: impl Fn(&WorkItem) -> Option<f64> + Sync,
     eval: impl Fn(&WorkItem) -> Option<C> + Sync,
     score: impl Fn(&C) -> f64,
-) -> (Option<C>, SearchStats) {
+) -> WaveResult<C> {
     debug_assert_eq!(items.len(), decided.len());
     let idxs: Vec<usize> = (0..items.len()).collect();
     let bounds: Vec<Option<f64>> = if prune {
@@ -160,6 +417,7 @@ pub(crate) fn bounded_search<C: Send>(
         items,
         &bounds,
         sequential,
+        ctx,
         |i, it| {
             if decided[i] {
                 return None;
@@ -175,21 +433,20 @@ pub(crate) fn bounded_search<C: Send>(
 /// `bounds[i]` is the analytic lower bound of `items[i]`; `None` marks a
 /// statically infeasible point (it is counted as pruned and never
 /// evaluated). `eval` receives the work-list index alongside the item so
-/// the wrapper can consult per-point side tables. Returns the winner
-/// (smallest score, ties to the smallest [`WorkItem::key`]) plus the
-/// [`SearchStats`] (with `visited` already set to the work-list length).
+/// the wrapper can consult per-point side tables; it runs inside a
+/// `catch_unwind` guard, so a panicking candidate is recorded as a
+/// [`CandidateFailure`] instead of unwinding out of the search. Returns
+/// the winner (smallest score, ties to the smallest [`WorkItem::key`])
+/// plus the [`SearchStats`], the [`Outcome`] and the failure log.
 fn wave_search<C: Send>(
     items: &[WorkItem],
     bounds: &[Option<f64>],
     sequential: bool,
+    ctx: &SessionCtx<'_>,
     eval: impl Fn(usize, &WorkItem) -> Option<C> + Sync,
     score: impl Fn(&C) -> f64,
-) -> (Option<C>, SearchStats) {
+) -> WaveResult<C> {
     debug_assert_eq!(items.len(), bounds.len());
-    let mut stats = SearchStats {
-        visited: items.len(),
-        ..SearchStats::default()
-    };
     // Pair each surviving index with its bound up front: past this point
     // the bounds are plain `f64`s — no later lookup can miss, and
     // `total_cmp` makes the sort total without a panicking unwrap.
@@ -198,21 +455,71 @@ fn wave_search<C: Send>(
         .enumerate()
         .filter_map(|(i, b)| b.map(|b| (i, b)))
         .collect();
-    stats.pruned += items.len() - order.len();
     order.sort_by(|&(a, ba), &(b, bb)| {
         ba.total_cmp(&bb)
             .then_with(|| items[a].key().cmp(&items[b].key()))
     });
 
+    // Every evaluation goes through the injection hook (a no-op without
+    // a schedule) and the catch_unwind guard. AssertUnwindSafe is sound
+    // here: the only state shared across the boundary is the memo
+    // caches, whose poison recovery clears any shard a panicking holder
+    // left behind (`crate::cache`).
+    let guarded = |i: usize| -> Result<Option<C>, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = ctx.inject {
+                inj.apply(items[i].key());
+            }
+            eval(i, &items[i])
+        }))
+        .map_err(panic_payload)
+    };
+
+    let mut stats;
+    let mut failures: Vec<CandidateFailure>;
     let mut best: Option<C> = None;
     let mut best_key = (usize::MAX, usize::MAX, usize::MAX, usize::MAX);
-    let mut idx = 0;
-    let mut wave_no = 0u32;
+    let mut idx;
+    let mut wave_no;
+    if let Some(cp) = ctx.resume {
+        // Restore the snapshot wholesale: counters, cursor, ramp
+        // position and failure log. The incumbent is re-derived by
+        // re-evaluating its key — evaluation is a pure function of the
+        // item and the (freshly rebuilt) caches, so this reproduces the
+        // exact checkpointed configuration; the re-evaluation is
+        // bookkeeping-free so the resumed counters match an
+        // uninterrupted run's.
+        stats = cp.stats;
+        failures = cp.failures.clone();
+        idx = cp.cursor.min(order.len());
+        wave_no = cp.wave_no;
+        if let Some(k) = cp.best_key {
+            if let Some(i) = (0..items.len()).find(|&i| PlanKey::from(items[i].key()) == k) {
+                if let Ok(Some(c)) = guarded(i) {
+                    best_key = items[i].key();
+                    best = Some(c);
+                }
+            }
+        }
+    } else {
+        stats = SearchStats {
+            visited: items.len(),
+            pruned: items.len() - order.len(),
+            ..SearchStats::default()
+        };
+        failures = Vec::new();
+        idx = 0;
+        wave_no = 0u32;
+    }
+
+    let mut outcome = Outcome::Complete;
     while idx < order.len() {
         // Deterministic pruning against the incumbent from completed
         // waves only. Strict `>`: a point whose bound *equals* the
         // incumbent could still tie and win on the (tp, pp, strategy)
-        // key, so it is never pruned.
+        // key, so it is never pruned. Checked before the budget: a
+        // search that would finish at this boundary anyway reports
+        // `Complete` even with an expired budget.
         if let Some(b) = &best {
             let incumbent = score(b);
             let survivors = order[idx..].partition_point(|&(_, b)| b <= incumbent);
@@ -220,6 +527,39 @@ fn wave_search<C: Send>(
                 stats.pruned += order.len() - idx;
                 break;
             }
+        }
+        // Budget checks, at wave boundaries only (a wave in flight
+        // always completes, bounding overshoot by one wave width).
+        let tripped = if ctx
+            .deadline
+            // wsc-lint: allow(D004, "the anytime deadline is the one place library code must read the wall clock; results stay best-so-far-valid and the counters stay honest, as documented on SearchStats")
+            .is_some_and(|dl| Instant::now() >= dl)
+        {
+            Some(TruncationReason::Deadline)
+        } else if ctx
+            .max_evaluations
+            .is_some_and(|max| stats.evaluated >= max)
+        {
+            Some(TruncationReason::MaxEvaluations)
+        } else if ctx.max_pruned_ratio.is_some_and(|ratio| {
+            stats.visited > 0 && stats.pruned as f64 / stats.visited as f64 > ratio
+        }) {
+            Some(TruncationReason::PrunedRatio)
+        } else {
+            None
+        };
+        if let Some(reason) = tripped {
+            // Emit a resumable snapshot *before* charging the skipped
+            // tail: a resumed run continues over that tail, so the
+            // checkpoint must not pre-count it.
+            if let Some(sink) = ctx.sink {
+                sink.emit(&checkpoint_at(
+                    idx, wave_no, stats, best_key, &best, &failures, ctx, &score,
+                ));
+            }
+            stats.skipped += order.len() - idx;
+            outcome = Outcome::Truncated { reason };
+            break;
         }
         let width = SEARCH_WAVE.min(1usize << wave_no.min(31));
         wave_no += 1;
@@ -234,9 +574,23 @@ fn wave_search<C: Send>(
             .collect();
         stats.pruned += (wave_end - idx) - wave.len();
         stats.evaluated += wave.len();
-        let results: Vec<Option<C>> = run_items(&wave, sequential, |&i| eval(i, &items[i]));
-        for (&i, cfg) in wave.iter().zip(results) {
-            let Some(cfg) = cfg else { continue };
+        let results: Vec<Result<Option<C>, String>> = run_items(&wave, sequential, |&i| guarded(i));
+        for (&i, res) in wave.iter().zip(results) {
+            let cfg = match res {
+                Err(payload) => {
+                    // Isolated panic: record it (deterministic order —
+                    // the result vector is in wave order) and move on. A
+                    // failed candidate has no score and cannot win.
+                    failures.push(CandidateFailure {
+                        plan: items[i].plan.clone(),
+                        payload,
+                        wave: wave_no - 1,
+                    });
+                    continue;
+                }
+                Ok(None) => continue,
+                Ok(Some(cfg)) => cfg,
+            };
             let key = items[i].key();
             let s = score(&cfg);
             let better = match &best {
@@ -252,13 +606,52 @@ fn wave_search<C: Send>(
             }
         }
         idx = wave_end;
+        if let (Some(every), Some(sink)) = (ctx.checkpoint_every, ctx.sink) {
+            if every > 0 && (wave_no as usize).is_multiple_of(every) {
+                sink.emit(&checkpoint_at(
+                    idx, wave_no, stats, best_key, &best, &failures, ctx, &score,
+                ));
+            }
+        }
     }
-    (best, stats)
+    WaveResult {
+        best,
+        stats,
+        outcome,
+        failures,
+    }
+}
+
+/// Assemble the snapshot of the loop state for the sink.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_at<C>(
+    cursor: usize,
+    wave_no: u32,
+    stats: SearchStats,
+    best_key: (usize, usize, usize, usize),
+    best: &Option<C>,
+    failures: &[CandidateFailure],
+    ctx: &SessionCtx<'_>,
+    score: &impl Fn(&C) -> f64,
+) -> WaveCheckpoint {
+    WaveCheckpoint {
+        cursor,
+        wave_no,
+        stats,
+        best_key: best.as_ref().map(|_| PlanKey::from(best_key)),
+        best_score: best.as_ref().map(score),
+        failures: failures.to_vec(),
+        generation: ctx
+            .generation
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
     use wsc_workload::parallel::TpSplitStrategy;
 
     fn items(n: usize) -> Vec<WorkItem> {
@@ -275,17 +668,20 @@ mod tests {
     fn exhaustive_mode_evaluates_everything() {
         let its = items(40);
         let bounds = vec![Some(f64::NEG_INFINITY); 40];
-        let (best, stats) = wave_search(
+        let r = wave_search(
             &its,
             &bounds,
             true,
+            &SessionCtx::none(),
             |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
-        assert_eq!(best, Some(0.0));
-        assert_eq!(stats.visited, 40);
-        assert_eq!(stats.pruned, 0);
-        assert_eq!(stats.evaluated, 40);
+        assert_eq!(r.best, Some(0.0));
+        assert_eq!(r.stats.visited, 40);
+        assert_eq!(r.stats.pruned, 0);
+        assert_eq!(r.stats.evaluated, 40);
+        assert_eq!(r.outcome, Outcome::Complete);
+        assert!(r.failures.is_empty());
     }
 
     #[test]
@@ -295,33 +691,36 @@ mod tests {
         // exceeds the incumbent and the whole tail is pruned.
         let its = items(40);
         let bounds: Vec<Option<f64>> = (0..40).map(|i| Some(i as f64)).collect();
-        let (best, stats) = wave_search(
+        let r = wave_search(
             &its,
             &bounds,
             true,
+            &SessionCtx::none(),
             |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
-        assert_eq!(best, Some(0.0));
-        assert_eq!(stats.evaluated, 1, "ramp starts with a single point");
-        assert_eq!(stats.pruned, 39);
-        assert_eq!(stats.visited, stats.pruned + stats.evaluated);
+        assert_eq!(r.best, Some(0.0));
+        assert_eq!(r.stats.evaluated, 1, "ramp starts with a single point");
+        assert_eq!(r.stats.pruned, 39);
+        assert_eq!(r.stats.visited, r.stats.pruned + r.stats.evaluated);
+        assert_eq!(r.outcome, Outcome::Complete, "full prune-out is complete");
     }
 
     #[test]
     fn static_infeasible_points_count_as_pruned() {
         let its = items(4);
         let bounds = vec![Some(0.0), None, Some(1.0), None];
-        let (best, stats) = wave_search(
+        let r = wave_search(
             &its,
             &bounds,
             true,
+            &SessionCtx::none(),
             |_, it| Some(it.plan.tp as f64),
             |&c: &f64| c,
         );
-        assert_eq!(best, Some(0.0));
-        assert_eq!(stats.visited, 4);
-        assert!(stats.pruned >= 2);
+        assert_eq!(r.best, Some(0.0));
+        assert_eq!(r.stats.visited, 4);
+        assert!(r.stats.pruned >= 2);
     }
 
     #[test]
@@ -331,14 +730,15 @@ mod tests {
         let mut its = items(8);
         its.reverse(); // work-list order is not key order
         let bounds = vec![Some(0.0); 8];
-        let (best, _) = wave_search(
+        let r = wave_search(
             &its,
             &bounds,
             true,
+            &SessionCtx::none(),
             |_, it| Some((it.plan.tp, 7.0f64)),
             |c: &(usize, f64)| c.1,
         );
-        assert_eq!(best.map(|b| b.0), Some(0), "smallest key wins the tie");
+        assert_eq!(r.best.map(|b| b.0), Some(0), "smallest key wins the tie");
     }
 
     #[test]
@@ -363,18 +763,26 @@ mod tests {
             Some(it.plan.tp as f64)
         };
         for prune in [true, false] {
-            let (best, stats) =
-                bounded_search(&its, &decided, prune, true, bound, eval, |&c: &f64| c);
-            assert_eq!(best, Some(0.0));
-            assert_eq!(stats.visited, 6);
+            let r = bounded_search(
+                &its,
+                &decided,
+                prune,
+                true,
+                &SessionCtx::none(),
+                bound,
+                eval,
+                |&c: &f64| c,
+            );
+            assert_eq!(r.best, Some(0.0));
+            assert_eq!(r.stats.visited, 6);
             if prune {
-                assert!(stats.pruned >= 3, "decided points count as pruned");
+                assert!(r.stats.pruned >= 3, "decided points count as pruned");
             } else {
                 assert_eq!(
-                    stats.evaluated, 6,
+                    r.stats.evaluated, 6,
                     "exhaustive mode skips nothing (by count)"
                 );
-                assert_eq!(stats.pruned, 0);
+                assert_eq!(r.stats.pruned, 0);
             }
         }
     }
@@ -384,9 +792,277 @@ mod tests {
         let its = items(50);
         let bounds: Vec<Option<f64>> = (0..50).map(|i| Some((i % 7) as f64)).collect();
         let eval = |_: usize, it: &WorkItem| Some(((it.plan.tp * 13) % 11) as f64);
-        let seq = wave_search(&its, &bounds, true, eval, |&c: &f64| c);
-        let par = wave_search(&its, &bounds, false, eval, |&c: &f64| c);
-        assert_eq!(seq.0, par.0);
-        assert_eq!(seq.1, par.1);
+        let seq = wave_search(&its, &bounds, true, &SessionCtx::none(), eval, |&c: &f64| c);
+        let par = wave_search(
+            &its,
+            &bounds,
+            false,
+            &SessionCtx::none(),
+            eval,
+            |&c: &f64| c,
+        );
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.outcome, par.outcome);
+        assert_eq!(seq.failures, par.failures);
+    }
+
+    #[test]
+    fn evaluation_cap_truncates_with_best_so_far() {
+        // Exhaustive bounds (no pruning) over 40 points with a cap of 5:
+        // the ramp evaluates 1+2+4 = 7 points (the wave crossing the cap
+        // completes), then truncates; the tail is `skipped`, never
+        // silently pruned, and the best of the examined prefix is
+        // returned.
+        let its = items(40);
+        let bounds = vec![Some(f64::NEG_INFINITY); 40];
+        let ctx = SessionCtx {
+            max_evaluations: Some(5),
+            ..SessionCtx::none()
+        };
+        let r = wave_search(
+            &its,
+            &bounds,
+            true,
+            &ctx,
+            |_, it| Some(it.plan.tp as f64),
+            |&c: &f64| c,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::Truncated {
+                reason: TruncationReason::MaxEvaluations
+            }
+        );
+        assert_eq!(r.stats.evaluated, 7, "overshoot bounded by one wave");
+        assert_eq!(r.stats.skipped, 40 - 7);
+        assert_eq!(
+            r.stats.visited,
+            r.stats.pruned + r.stats.evaluated + r.stats.skipped
+        );
+        assert_eq!(r.best, Some(0.0), "best-so-far survives truncation");
+    }
+
+    #[test]
+    fn pruned_ratio_early_stops() {
+        // 100 points, 98 statically infeasible: the pre-loop prune
+        // already exceeds the 0.5 threshold, so the first boundary
+        // truncates without evaluating anything.
+        let its = items(100);
+        let bounds: Vec<Option<f64>> = (0..100).map(|i| (i < 2).then_some(i as f64)).collect();
+        let ctx = SessionCtx {
+            max_pruned_ratio: Some(0.5),
+            ..SessionCtx::none()
+        };
+        let r = wave_search(
+            &its,
+            &bounds,
+            true,
+            &ctx,
+            |_, it| Some(it.plan.tp as f64),
+            |&c: &f64| c,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::Truncated {
+                reason: TruncationReason::PrunedRatio
+            }
+        );
+        assert_eq!(r.stats.evaluated, 0);
+        assert_eq!(r.stats.skipped, 2);
+        assert_eq!(r.best, None);
+    }
+
+    #[test]
+    fn panicking_candidates_are_isolated_and_never_win() {
+        // The best-scoring point panics; the engine must record it and
+        // crown the runner-up, in sequential and parallel mode alike.
+        let its = items(10);
+        let bounds = vec![Some(f64::NEG_INFINITY); 10];
+        let eval = |_: usize, it: &WorkItem| {
+            if it.plan.tp == 0 {
+                panic!("wsc-inject: best candidate blows up");
+            }
+            Some(it.plan.tp as f64)
+        };
+        for sequential in [true, false] {
+            let r = wave_search(&its, &bounds, sequential, &SessionCtx::none(), eval, |&c| c);
+            assert_eq!(r.best, Some(1.0), "runner-up wins when the best panics");
+            assert_eq!(r.failures.len(), 1);
+            assert_eq!(r.failures[0].plan.tp, 0);
+            assert!(r.failures[0].payload.contains("wsc-inject"));
+            assert_eq!(r.stats.evaluated, 10, "a panicked eval still counts");
+            assert_eq!(r.outcome, Outcome::Complete);
+        }
+    }
+
+    /// Collects checkpoints for the resume tests.
+    struct Capture(Mutex<Vec<WaveCheckpoint>>);
+    impl WaveSink for Capture {
+        fn emit(&self, cp: &WaveCheckpoint) {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(cp.clone());
+        }
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_matches_uninterrupted_run() {
+        // One full run emitting a checkpoint after every wave; resuming
+        // from each snapshot must reproduce the uninterrupted winner,
+        // stats and failure log exactly.
+        let its = items(60);
+        let bounds: Vec<Option<f64>> = (0..60).map(|i| Some(((i * 7) % 23) as f64)).collect();
+        let eval = |_: usize, it: &WorkItem| {
+            if it.plan.tp.is_multiple_of(17) && it.plan.tp > 0 {
+                panic!("wsc-inject: seeded failure");
+            }
+            Some(((it.plan.tp * 13) % 29) as f64)
+        };
+        let sink = Capture(Mutex::new(Vec::new()));
+        let ctx = SessionCtx {
+            checkpoint_every: Some(1),
+            sink: Some(&sink),
+            ..SessionCtx::none()
+        };
+        let full = wave_search(&its, &bounds, true, &ctx, eval, |&c| c);
+        let cps = sink
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        assert!(
+            !cps.is_empty(),
+            "at least one checkpoint per completed wave"
+        );
+        for cp in &cps {
+            let resumed = wave_search(
+                &its,
+                &bounds,
+                true,
+                &SessionCtx {
+                    resume: Some(cp),
+                    ..SessionCtx::none()
+                },
+                eval,
+                |&c| c,
+            );
+            assert_eq!(
+                resumed.best, full.best,
+                "same winner from cursor {}",
+                cp.cursor
+            );
+            assert_eq!(
+                resumed.stats, full.stats,
+                "same stats from cursor {}",
+                cp.cursor
+            );
+            assert_eq!(resumed.failures, full.failures);
+            assert_eq!(resumed.outcome, Outcome::Complete);
+        }
+    }
+
+    #[test]
+    fn truncation_checkpoint_resumes_to_completion() {
+        // Truncate at an evaluation cap, grab the final snapshot, resume
+        // without a budget: the result must equal the never-truncated
+        // run (the skipped tail is re-examined, not double-counted).
+        let its = items(50);
+        let bounds: Vec<Option<f64>> = (0..50).map(|i| Some((i % 11) as f64)).collect();
+        // Scores sit strictly above every bound so the incumbent never
+        // prunes the tail — the evaluation cap, not the pruner, must be
+        // what ends the truncated run.
+        let eval = |_: usize, it: &WorkItem| Some((100 + (it.plan.tp * 5) % 17) as f64);
+        let uninterrupted = wave_search(&its, &bounds, true, &SessionCtx::none(), eval, |&c| c);
+
+        let sink = Capture(Mutex::new(Vec::new()));
+        let truncated = wave_search(
+            &its,
+            &bounds,
+            true,
+            &SessionCtx {
+                max_evaluations: Some(4),
+                checkpoint_every: Some(1),
+                sink: Some(&sink),
+                ..SessionCtx::none()
+            },
+            eval,
+            |&c| c,
+        );
+        assert!(truncated.outcome.is_truncated());
+        let last = sink
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .last()
+            .cloned()
+            .expect("truncation emits a final checkpoint");
+        assert_eq!(
+            last.stats.skipped, 0,
+            "checkpoint must not pre-count the tail"
+        );
+        let resumed = wave_search(
+            &its,
+            &bounds,
+            true,
+            &SessionCtx {
+                resume: Some(&last),
+                ..SessionCtx::none()
+            },
+            eval,
+            |&c| c,
+        );
+        assert_eq!(resumed.best, uninterrupted.best);
+        assert_eq!(resumed.stats, uninterrupted.stats);
+        assert_eq!(resumed.outcome, Outcome::Complete);
+    }
+
+    #[test]
+    fn budget_and_checkpoint_types_round_trip_serde() {
+        let cp = WaveCheckpoint {
+            cursor: 12,
+            wave_no: 4,
+            stats: SearchStats {
+                visited: 40,
+                pruned: 20,
+                evaluated: 12,
+                skipped: 0,
+            },
+            best_key: Some(PlanKey {
+                tp: 4,
+                pp: 7,
+                sidx: 0,
+                pidx: 3,
+            }),
+            best_score: Some(1.25),
+            failures: vec![CandidateFailure {
+                plan: ParallelPlan::intra(2, 2, TpSplitStrategy::Megatron),
+                payload: "wsc-inject: boom".to_string(),
+                wave: 2,
+            }],
+            generation: 1,
+        };
+        let text = serde::json::to_text(&cp.to_value());
+        let back = WaveCheckpoint::from_value(&serde::json::from_text(&text).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back, cp);
+
+        let budget = SearchBudget::none().deadline(1.5).max_evaluations(100);
+        let text = serde::json::to_text(&budget.to_value());
+        let back = SearchBudget::from_value(&serde::json::from_text(&text).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back, budget);
+        for outcome in [
+            Outcome::Complete,
+            Outcome::Truncated {
+                reason: TruncationReason::Deadline,
+            },
+        ] {
+            let text = serde::json::to_text(&outcome.to_value());
+            let back = Outcome::from_value(&serde::json::from_text(&text).expect("parses"))
+                .expect("decodes");
+            assert_eq!(back, outcome);
+        }
     }
 }

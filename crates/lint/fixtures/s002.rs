@@ -1,0 +1,35 @@
+// S002 fixture — `let _ =` swallowing a Result in library code.
+
+fn persist(state: &State) -> Result<(), std::io::Error> {
+    state.flush_to_disk()
+}
+
+// FIRING: a locally-declared fallible fn and a known-fallible method,
+// both discarded without looking at the error.
+fn firing(state: &State, tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = persist(state);
+    let _ = tx.send(7);
+}
+
+// NON-FIRING: propagation, named drops, and infallible calls.
+fn non_firing(state: &State, n: usize) -> Result<(), std::io::Error> {
+    let _ = persist(state)?;
+    let _guard = state.lock();
+    let _ = n.to_string();
+    persist(state)
+}
+
+// WAIVED: a best-effort write on a shutdown path, with the reason.
+fn waived(state: &State) {
+    // wsc-lint: allow(S002, "checkpoint write is best-effort on the shutdown path")
+    let _ = persist(state);
+}
+
+// NON-FIRING: test code is exempt from the whole catalog.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_are_fine_here() {
+        let _ = "12".parse::<u32>();
+    }
+}

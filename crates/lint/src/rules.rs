@@ -12,6 +12,7 @@
 //! | D003 | `par_iter` + `reduce`/`fold`-family chains outside the blessed wave engine |
 //! | D004 | wall-clock (`Instant::now`) or entropy-seeded randomness outside bench code |
 //! | S001 | `unwrap`/`expect`/`panic!` in library code |
+//! | S002 | `let _ =` discarding a `Result`-typed call in library code |
 //! | A001 | first-party `#[deprecated]` items whose one-release window has closed |
 //! | L001 | malformed waiver directive (meta-rule, not waivable) |
 //! | L002 | waiver that suppresses nothing (meta-rule, not waivable) |
@@ -22,7 +23,7 @@ use std::collections::BTreeSet;
 
 /// Every rule ID the analyzer knows, in report order.
 pub const RULE_IDS: &[&str] = &[
-    "D001", "D002", "D003", "D004", "S001", "A001", "L001", "L002",
+    "D001", "D002", "D003", "D004", "S001", "S002", "A001", "L001", "L002",
 ];
 
 /// Map/set methods whose iteration order is unspecified.
@@ -61,15 +62,39 @@ const PAR_REDUCE_METHODS: &[&str] = &[
 /// Sequential reductions that make unordered iteration order-visible.
 const SEQ_REDUCE_METHODS: &[&str] = &["sum", "fold", "product"];
 
+/// Method/function names whose return type is `Result` often enough to
+/// treat a `let _ =` discard as swallowing an error. Deliberately
+/// conservative: the analyzer has no type inference, so only names that
+/// are effectively always fallible in first-party code belong here.
+const RESULT_METHODS: &[&str] = &[
+    "try_into",
+    "try_from",
+    "parse",
+    "write",
+    "writeln",
+    "write_all",
+    "write_fmt",
+    "write_str",
+    "flush",
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "set_logger",
+    "create_dir_all",
+    "remove_file",
+];
+
 /// Which rule runs on which file class. Test regions inside a file are
 /// excluded separately for every rule.
 pub fn rule_applies(rule: &str, class: FileClass) -> bool {
     match rule {
         // Bench binaries measure wall-clock time by design.
         "D004" => class != FileClass::Bench,
-        // Binaries and the bench harness may panic at the top level;
-        // library code must return typed errors.
-        "S001" => class == FileClass::Library,
+        // Binaries and the bench harness may panic at the top level (or
+        // deliberately drop late errors on the exit path); library code
+        // must return typed errors and must not swallow them.
+        "S001" | "S002" => class == FileClass::Library,
         _ => true,
     }
 }
@@ -144,6 +169,9 @@ pub fn run_rules(ctx: &RuleCtx<'_>) -> Vec<Finding> {
     }
     if rule_applies("S001", ctx.class) {
         findings.extend(rule_s001(ctx));
+    }
+    if rule_applies("S002", ctx.class) {
+        findings.extend(rule_s002(ctx));
     }
     if rule_applies("A001", ctx.class) {
         findings.extend(rule_a001(ctx));
@@ -708,6 +736,122 @@ fn rule_s001(ctx: &RuleCtx<'_>) -> Vec<Finding> {
     out
 }
 
+/// Names of functions declared in this file whose return type mentions
+/// `Result` — the type-inference-lite half of S002. `fn name(..) -> ..
+/// Result .. {` is enough; aliases like `io::Result<()>` still carry
+/// the `Result` identifier.
+fn collect_result_fns(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_ident("fn") && toks[i + 1].kind == TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Walk to the parameter list, skip it, then scan the return
+        // type (everything before the body brace or a `;`).
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('(') {
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let close = matching(toks, j);
+        let mut k = close.saturating_add(1);
+        let mut returns_result = false;
+        while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+            if toks[k].is_ident("Result") {
+                returns_result = true;
+            }
+            k += 1;
+        }
+        if returns_result {
+            out.insert(name);
+        }
+        i = k;
+    }
+    out
+}
+
+fn rule_s002(ctx: &RuleCtx<'_>) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let result_fns = collect_result_fns(toks);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        // The discard pattern: `let _ = <expr> ;` (not `let _x`, which
+        // at least names the drop).
+        if !(toks[i].is_ident("let") && toks[i + 1].is_ident("_") && toks[i + 2].is_punct('=')) {
+            i += 1;
+            continue;
+        }
+        // The discarded expression: everything to the `;` at bracket
+        // depth zero.
+        let start = i + 3;
+        let mut depth = 0usize;
+        let mut end = start;
+        while end < toks.len() {
+            let t = &toks[end];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let expr = &toks[start..end.min(toks.len())];
+        // `?` already propagates the error; the discard is of the Ok
+        // value, which is fine.
+        let propagates = expr.iter().any(|t| t.is_punct('?'));
+        // The call the statement discards: the last `name(..)`,
+        // `name::<..>(..)` or `name!(..)` at depth zero in the chain.
+        let mut last_call: Option<&Tok> = None;
+        let mut d = 0usize;
+        for (w, t) in expr.iter().enumerate() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+                continue;
+            }
+            if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d = d.saturating_sub(1);
+                continue;
+            }
+            if d != 0 || t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = expr.get(w + 1);
+            // Plain call, macro form, or turbofish `name::<..>(..)`.
+            let is_call = matches!(next, Some(n) if n.is_punct('('))
+                || matches!(next, Some(n) if n.is_punct('!'))
+                || (w + 3 < expr.len() && is_path_sep(expr, w + 1) && expr[w + 3].is_punct('<'));
+            if is_call {
+                last_call = Some(t);
+            }
+        }
+        if let (Some(call), false) = (last_call, propagates) {
+            let fallible =
+                RESULT_METHODS.contains(&call.text.as_str()) || result_fns.contains(&call.text);
+            if fallible {
+                out.push(ctx.finding(
+                    "S002",
+                    toks[i].line,
+                    format!(
+                        "`let _ = {}(..)` swallows a `Result` in library code: handle or \
+                         propagate the error, or waive with the reason the failure is benign",
+                        call.text
+                    ),
+                ));
+            }
+        }
+        i = end + 1;
+    }
+    out
+}
+
 fn rule_a001(ctx: &RuleCtx<'_>) -> Vec<Finding> {
     let toks = ctx.toks;
     let mut out = Vec::new();
@@ -902,6 +1046,37 @@ mod tests {
         assert_eq!(f[0].line, 3);
         assert!(ctx_findings(src, FileClass::Bin).is_empty());
         assert!(ctx_findings(src, FileClass::Bench).is_empty());
+    }
+
+    #[test]
+    fn s002_fires_on_swallowed_results_only() {
+        let src = "fn fallible() -> Result<(), String> { Ok(()) }\n\
+                   fn infallible() -> u32 { 3 }\n\
+                   fn f(tx: &Sender<u32>) -> Result<(), String> {\n\
+                   let _ = fallible();\n\
+                   let _ = tx.send(1);\n\
+                   let _ = infallible();\n\
+                   let _ = fallible()?;\n\
+                   let _ = \"7\".parse::<u32>();\n\
+                   fallible()\n\
+                   }\n";
+        let f = ctx_findings(src, FileClass::Library);
+        let s002: Vec<_> = f.iter().filter(|x| x.rule == "S002").collect();
+        assert_eq!(s002.len(), 3, "{f:?}");
+        assert_eq!(s002[0].line, 4);
+        assert_eq!(s002[1].line, 5);
+        assert_eq!(s002[2].line, 8);
+        assert!(ctx_findings(src, FileClass::Bin).is_empty());
+        assert!(ctx_findings(src, FileClass::Bench).is_empty());
+    }
+
+    #[test]
+    fn s002_ignores_non_call_discards() {
+        let src = "fn f(map: &HashMap<u32, u32>, x: u32) {\n\
+                   let _ = map.len();\n\
+                   let _ = x;\n\
+                   }\n";
+        assert!(!rules_of(&ctx_findings(src, FileClass::Library)).contains(&"S002"));
     }
 
     #[test]

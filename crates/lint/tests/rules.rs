@@ -127,6 +127,17 @@ fn s001_firing_non_firing_waived() {
 }
 
 #[test]
+fn s002_firing_non_firing_waived() {
+    let r = analyze("s002.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["S002", "S002"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["S002"], "{:#?}", r.waived);
+    // Bin and Bench classes are S002-exempt (exit paths may drop late
+    // errors), leaving only the now-unused waiver to report.
+    let bin = analyze("s002.rs", FileClass::Bin);
+    assert_eq!(rules(&bin), ["L002"], "{:#?}", bin.findings);
+}
+
+#[test]
 fn a001_firing_non_firing_waived() {
     let r = analyze("a001.rs", FileClass::Library);
     assert_eq!(rules(&r), ["A001", "A001"], "{:#?}", r.findings);
