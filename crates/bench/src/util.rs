@@ -94,6 +94,57 @@ pub fn multi_wafer_search_presets() -> Vec<MultiWaferSearchPreset> {
     }]
 }
 
+/// One serving benchmark preset — the single source of truth shared by
+/// the `bench_serve` JSON harness, the serving leg of the
+/// thread-determinism test and `examples/inference_serving.rs`, so all
+/// three always measure the same workload per name.
+pub struct ServePreset {
+    /// Preset name (`small` / `large`).
+    pub name: &'static str,
+    /// Candidate wafer.
+    pub wafer: WaferConfig,
+    /// Served model.
+    pub model: LlmModel,
+    /// Offered request rates to sweep (requests per second).
+    pub rates_rps: Vec<f64>,
+    /// Requests per synthesized trace.
+    pub requests: usize,
+    /// TTFT SLO in seconds.
+    pub slo_ttft_secs: f64,
+    /// Continuous-batching admission cap in tokens.
+    pub max_batch_tokens: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// The serving-benchmark presets, in model-size order. Each sweeps at
+/// least three offered rates: one under capacity, one near the knee,
+/// one saturating.
+pub fn serve_presets() -> Vec<ServePreset> {
+    vec![
+        ServePreset {
+            name: "small",
+            wafer: presets::config(3),
+            model: zoo::llama2_30b(),
+            rates_rps: vec![2.0, 8.0, 32.0],
+            requests: 64,
+            slo_ttft_secs: 1.0,
+            max_batch_tokens: 2048,
+            seed: 7,
+        },
+        ServePreset {
+            name: "large",
+            wafer: presets::config(3),
+            model: zoo::llama3_70b(),
+            rates_rps: vec![1.0, 4.0, 16.0],
+            requests: 64,
+            slo_ttft_secs: 2.0,
+            max_batch_tokens: 2048,
+            seed: 7,
+        },
+    ]
+}
+
 /// One GA-refinement benchmark preset — the single source of truth
 /// shared by the criterion `ga` group, the `bench_ga` JSON harness and
 /// the GA leg of the thread-determinism test, so all three always

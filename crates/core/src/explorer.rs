@@ -23,6 +23,7 @@ use crate::robust::{fault_sweep_impl, FaultKind, FaultPoint};
 use crate::scheduler::{
     explore_impl, PlanFilter, RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
+use crate::serving::ServingModel;
 use crate::wave::{CandidateFailure, Outcome, SearchBudget, SessionCtx, WaveCheckpoint, WaveSink};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,11 @@ pub enum ExplorationError {
         /// Human-readable description of the offending field.
         reason: String,
     },
+    /// Fault-aware and serving ranking overrides were both requested.
+    /// The wave search ranks on exactly one scalar; combining the two
+    /// objectives has no defined winner — run two sessions instead.
+    #[error("fault-aware and serving objectives cannot be combined in one session")]
+    ConflictingObjectives,
 }
 
 /// A pluggable comparison system for [`ExplorerBuilder::with_baselines`].
@@ -437,6 +443,7 @@ pub struct ExplorerBuilder {
     options: Option<SchedulerOptions>,
     faults: Option<FaultSweepSpec>,
     fault_aware: Option<FaultAwareSpec>,
+    serving: Option<Arc<dyn ServingModel>>,
     baselines: Vec<Box<dyn BaselineModel>>,
     budget: Option<SearchBudget>,
     inject: Option<Injection>,
@@ -566,6 +573,22 @@ impl ExplorerBuilder {
         self
     }
 
+    /// Make the single-wafer search serving-aware: candidates are
+    /// ranked by the [`ServingModel`]'s score (e.g. negated
+    /// goodput-under-SLO from a trace-driven continuous-batching
+    /// simulation) instead of the clean training iteration time, and
+    /// the pruner uses the model's own analytic bound (see the
+    /// soundness obligation in [`crate::serving`]). This is the
+    /// low-level hook; the ergonomic
+    /// `Explorer::builder().serving(workload, slo)` entry point is the
+    /// `ServingExplorerExt` extension trait in `wsc-serve`, which also
+    /// derives the profile job for you. Mutually exclusive with
+    /// [`ExplorerBuilder::fault_aware`].
+    pub fn serving_model(mut self, model: Arc<dyn ServingModel>) -> Self {
+        self.serving = Some(model);
+        self
+    }
+
     /// Sweep fault injection over the run's best configuration.
     pub fn with_faults(
         mut self,
@@ -687,6 +710,9 @@ impl ExplorerBuilder {
                 punish: options.punish,
             });
         }
+        if self.fault_aware.is_some() && self.serving.is_some() {
+            return Err(ExplorationError::ConflictingObjectives);
+        }
         if let Some(fa) = &self.fault_aware {
             if !(0.0..=1.0).contains(&fa.ensemble.rate) {
                 return Err(ExplorationError::InvalidFaultRate {
@@ -759,6 +785,7 @@ impl ExplorerBuilder {
             options,
             faults: self.faults,
             fault_aware: self.fault_aware,
+            serving: self.serving,
             baselines: self.baselines,
             budget: self.budget,
             inject: self.inject,
@@ -780,6 +807,7 @@ pub struct Explorer {
     options: SchedulerOptions,
     faults: Option<FaultSweepSpec>,
     fault_aware: Option<FaultAwareSpec>,
+    serving: Option<Arc<dyn ServingModel>>,
     baselines: Vec<Box<dyn BaselineModel>>,
     budget: Option<SearchBudget>,
     inject: Option<Injection>,
@@ -797,6 +825,7 @@ impl std::fmt::Debug for Explorer {
             .field("options", &self.options)
             .field("faults", &self.faults)
             .field("fault_aware", &self.fault_aware)
+            .field("serving", &self.serving.as_ref().map(|m| m.name()))
             .field("baselines", &self.baselines.len())
             .field("budget", &self.budget)
             .field("inject", &self.inject)
@@ -889,14 +918,20 @@ impl Explorer {
 
         // The ranking key per feasible candidate: clean iteration
         // seconds, or — fault-aware — the ensemble-aggregated effective
-        // seconds (re-using each candidate's own search cache). Lowest
-        // key wins; ties keep the earliest index so the winner does not
+        // seconds (re-using each candidate's own search cache), or —
+        // serving — the serving model's score (where a non-finite score
+        // marks the candidate unserveable and drops it). Lowest key
+        // wins; ties keep the earliest index so the winner does not
         // depend on evaluation order.
         let keys: Vec<Option<f64>> = single_wafer
             .iter()
             .zip(&caches)
             .map(|(rec, cache)| {
                 let cfg = rec.best.as_ref().filter(|c| c.report.feasible)?;
+                if let Some(model) = &self.serving {
+                    let key = model.score(&rec.wafer, &self.job, cfg, cache);
+                    return key.is_finite().then_some(key);
+                }
                 Some(match &self.fault_aware {
                     Some(fa) => ensemble_effective_secs(
                         &rec.wafer,
@@ -1030,6 +1065,7 @@ impl Explorer {
             &self.job,
             &self.options,
             self.fault_aware.as_ref(),
+            self.serving.as_deref(),
             ctx,
         );
         let cache_stats = outcome.cache.stats();

@@ -187,12 +187,7 @@ impl RobustObjective {
         match self {
             RobustObjective::Mean => samples.iter().sum::<f64>() / samples.len() as f64,
             RobustObjective::Worst => samples.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
-            RobustObjective::P95 => {
-                let mut sorted = samples.to_vec();
-                sorted.sort_by(f64::total_cmp);
-                let idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
-                sorted[idx]
-            }
+            RobustObjective::P95 => crate::stats::percentile(samples, 0.95),
         }
     }
 }
@@ -213,15 +208,11 @@ pub struct FaultEnsemble {
 }
 
 /// SplitMix64 over `(seed, index)` — decorrelated per-sample streams
-/// from one base seed (same construction as the GA's per-genome
-/// streams).
+/// from one base seed (the shared [`crate::stats::splitmix64`]
+/// construction, also used by the GA's per-genome streams and the
+/// serving trace driver).
 fn sample_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::stats::splitmix64(seed, index)
 }
 
 impl FaultEnsemble {

@@ -64,7 +64,9 @@ pub mod multiwafer;
 pub mod placement;
 pub mod robust;
 pub mod scheduler;
+pub mod serving;
 pub mod stage;
+pub mod stats;
 mod wave;
 
 pub use crate::cache::{CacheStats, ProfileCache};
@@ -95,7 +97,9 @@ pub use crate::scheduler::{
     evaluate_scheduled, evaluate_scheduled_cached, schedule_plan, schedule_plan_cached, PlanFilter,
     RecomputeMode, ScheduledConfig, SchedulerOptions, SearchStats,
 };
+pub use crate::serving::ServingModel;
 pub use crate::stage::{build_stage_profiles, build_stage_profiles_with, LayerData, StageProfile};
+pub use crate::stats::{percentile, splitmix64, unit_open, SummaryStats};
 pub use crate::wave::{
     CandidateFailure, Outcome, PlanKey, SearchBudget, TruncationReason, WaveCheckpoint,
 };

@@ -25,6 +25,7 @@ use crate::evaluator::{self, evaluate, EvalInput, EvalOptions, PerfReport};
 use crate::ga::{self, GaParams};
 use crate::goodput::{ensemble_effective_secs_within, FaultAwareSpec};
 use crate::placement::{self, PairDemand, Placement};
+use crate::serving::ServingModel;
 use crate::stage::{boundary_bytes, StageProfile};
 use crate::wave::{bounded_search, CandidateFailure, Outcome, SessionCtx, WaveResult, WorkItem};
 use serde::{Deserialize, Serialize};
@@ -645,11 +646,21 @@ fn config_lower_bound(
 /// transformation only ever adds time (`crate::goodput` module docs);
 /// the pruned ≡ exhaustive equivalence therefore holds unchanged, and
 /// the `search_equivalence` proptests pin it with the fault axes on.
+///
+/// With `serving` set, candidates are instead ranked by the
+/// [`ServingModel`]'s score (e.g. negated goodput-under-SLO from the
+/// `wsc-serve` continuous-batching simulator) and bounded by its
+/// analytic serving bound — the trait carries its own soundness
+/// obligation (`crate::serving` module docs), and `tests/serving.rs`
+/// pins pruned ≡ exhaustive for that leg. The two ranking overrides
+/// are mutually exclusive; [`crate::ExplorerBuilder::build`] rejects
+/// the combination.
 pub(crate) fn explore_impl(
     wafer: &WaferConfig,
     job: &TrainingJob,
     opts: &SchedulerOptions,
     fault_aware: Option<&FaultAwareSpec>,
+    serving: Option<&dyn ServingModel>,
     ctx: &SessionCtx<'_>,
 ) -> SearchOutcome {
     // Alg. 1 line 1–2 at the wafer level.
@@ -714,17 +725,22 @@ pub(crate) fn explore_impl(
     // loop's repeated incumbent reads never re-run the ensemble. The
     // ensemble loop honors the session deadline: a candidate the budget
     // interrupts mid-ensemble scores INFINITY and is dropped below.
-    let score_of = |cfg: &ScheduledConfig| match fault_aware {
-        Some(fa) => ensemble_effective_secs_within(
-            wafer,
-            job,
-            cfg,
-            &fa.ensemble,
-            fa.objective,
-            &cache,
-            ctx.deadline,
-        ),
-        None => cfg.report.iteration.as_secs(),
+    let score_of = |cfg: &ScheduledConfig| {
+        if let Some(model) = serving {
+            return model.score(wafer, job, cfg, &cache);
+        }
+        match fault_aware {
+            Some(fa) => ensemble_effective_secs_within(
+                wafer,
+                job,
+                cfg,
+                &fa.ensemble,
+                fa.objective,
+                &cache,
+                ctx.deadline,
+            ),
+            None => cfg.report.iteration.as_secs(),
+        }
     };
 
     // Bound-ordered evaluation waves on the shared engine. The loop body
@@ -744,7 +760,18 @@ pub(crate) fn explore_impl(
         opts.prune,
         opts.sequential,
         &ctx,
-        |it| config_lower_bound(wafer, job, it, opts, &cache),
+        |it| match serving {
+            // Serving runs rank on a different axis than iteration
+            // seconds, so the clean training bound is meaningless for
+            // them; the model brings its own sound bound. The training
+            // geometry gate still applies — a plan that cannot be laid
+            // out cannot be scheduled, let alone served.
+            Some(model) => {
+                config_geometry(wafer, job, &it.plan)?;
+                model.bound(wafer, job, &it.plan, &cache)
+            }
+            None => config_lower_bound(wafer, job, it, opts, &cache),
+        },
         |it| {
             let cfg = schedule_plan_cached(wafer, job, &it.plan, &inner, None, &cache)?;
             let score = score_of(&cfg);
@@ -874,7 +901,7 @@ mod tests {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::deepseek_v3());
         assert!(
-            explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none())
+            explore_impl(&wafer, &job, &quick_opts(), None, None, &SessionCtx::none())
                 .best
                 .is_none()
         );
@@ -885,7 +912,7 @@ mod tests {
         // Fig. 5a / §V-C: the optimum uses a small TP (not 8/16).
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let best = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none())
+        let best = explore_impl(&wafer, &job, &quick_opts(), None, None, &SessionCtx::none())
             .best
             .expect("feasible");
         assert!(
@@ -903,7 +930,7 @@ mod tests {
         // changes the instrumentation counters.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let pruned = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
+        let pruned = explore_impl(&wafer, &job, &quick_opts(), None, None, &SessionCtx::none());
         let pruned_seq = explore_impl(
             &wafer,
             &job,
@@ -911,6 +938,7 @@ mod tests {
                 sequential: true,
                 ..quick_opts()
             },
+            None,
             None,
             &SessionCtx::none(),
         );
@@ -922,6 +950,7 @@ mod tests {
                 sequential: true,
                 ..quick_opts()
             },
+            None,
             None,
             &SessionCtx::none(),
         );
@@ -946,7 +975,14 @@ mod tests {
             ensemble: FaultEnsemble::clustered(0.2, 3, 11),
             objective: RobustObjective::Mean,
         };
-        let pruned = explore_impl(&wafer, &job, &quick_opts(), Some(&fa), &SessionCtx::none());
+        let pruned = explore_impl(
+            &wafer,
+            &job,
+            &quick_opts(),
+            Some(&fa),
+            None,
+            &SessionCtx::none(),
+        );
         let exhaustive = explore_impl(
             &wafer,
             &job,
@@ -956,6 +992,7 @@ mod tests {
                 ..quick_opts()
             },
             Some(&fa),
+            None,
             &SessionCtx::none(),
         );
         assert_eq!(pruned.best, exhaustive.best);
@@ -973,7 +1010,7 @@ mod tests {
     fn search_stats_are_consistent() {
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let out = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
+        let out = explore_impl(&wafer, &job, &quick_opts(), None, None, &SessionCtx::none());
         let s = out.stats;
         assert!(s.visited > 0);
         assert_eq!(s.visited, s.pruned + s.evaluated);
@@ -989,12 +1026,12 @@ mod tests {
         // parallel.
         let wafer = presets::config(3);
         let job = TrainingJob::standard(zoo::llama2_30b());
-        let plain = explore_impl(&wafer, &job, &quick_opts(), None, &SessionCtx::none());
+        let plain = explore_impl(&wafer, &job, &quick_opts(), None, None, &SessionCtx::none());
         let dup_opts = SchedulerOptions {
             strategies: vec![TpSplitStrategy::Megatron, TpSplitStrategy::Megatron],
             ..quick_opts()
         };
-        let dup_par = explore_impl(&wafer, &job, &dup_opts, None, &SessionCtx::none());
+        let dup_par = explore_impl(&wafer, &job, &dup_opts, None, None, &SessionCtx::none());
         let dup_seq = explore_impl(
             &wafer,
             &job,
@@ -1002,6 +1039,7 @@ mod tests {
                 sequential: true,
                 ..dup_opts
             },
+            None,
             None,
             &SessionCtx::none(),
         );

@@ -1,0 +1,39 @@
+// D004 fixture — clocks/entropy in serving-trace code. The serving
+// subsystem synthesizes Poisson arrival traces and replays them through
+// a discrete-event simulator; every temptation it offers (wall clocks
+// for arrival timestamps, OS entropy for inter-arrival gaps) is a
+// determinism bug, because one workload value must yield one trace and
+// one report, bit-exact across runs and thread counts.
+use std::time::{Instant, SystemTime};
+
+// FIRING: stamping request arrivals off the wall clock — arrival times
+// are modeled, never measured, in library code.
+fn firing_arrival_from_clock(epoch: SystemTime) -> f64 {
+    SystemTime::now()
+        .duration_since(epoch)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+// FIRING: entropy-seeded inter-arrival gaps — two syntheses of the same
+// workload would rank candidates against different traffic.
+fn firing_entropy_gaps() -> StdRng {
+    StdRng::from_entropy()
+}
+
+// NON-FIRING: splitmix streams indexed by request number keep the whole
+// trace a pure function of the workload's seed.
+fn non_firing_request_stream(seed: u64, request: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(request.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+// WAIVED: wall time around a serving sweep feeds the harness's search
+// timing column only; simulated clocks never see it.
+fn waived_sweep_wall_time() {
+    // wsc-lint: allow(D004, "elapsed time feeds the bench report's search_secs column only, never a simulated clock")
+    let _t0 = Instant::now();
+}

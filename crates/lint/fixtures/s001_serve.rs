@@ -1,0 +1,36 @@
+// S001 fixture — unwrap/expect/panic! in serving-trace parsing. Replay
+// files arrive from disk and from other tools; a truncated JSON body or
+// a zero-token request must surface as a typed TraceError, never as a
+// library panic that takes the whole sweep down.
+
+// FIRING: panicking trace decode — a malformed replay file kills the
+// caller instead of failing one trace.
+fn firing_parse_arrival(field: &str) -> f64 {
+    let arrival = field.parse::<f64>().unwrap();
+    let tokens = field.parse::<u64>().expect("token field present");
+    if tokens == 0 {
+        panic!("zero-token request");
+    }
+    arrival + tokens as f64
+}
+
+// NON-FIRING: typed-error combinators keep the decode total — every
+// defect maps to a variant the caller can match on.
+fn non_firing_parse_arrival(field: &str) -> Result<f64, String> {
+    field
+        .parse::<f64>()
+        .map_err(|e| format!("malformed arrival: {e}"))
+        .and_then(|a| {
+            if a.is_finite() {
+                Ok(a)
+            } else {
+                Err("non-finite arrival".to_string())
+            }
+        })
+}
+
+// WAIVED: invariant-backed expect with the invariant in the reason.
+fn waived_metrics_slot(metrics: &[Option<f64>], idx: usize) -> f64 {
+    // wsc-lint: allow(S001, "admission writes every slot before the completion loop reads it")
+    metrics[idx].expect("admission recorded this request")
+}

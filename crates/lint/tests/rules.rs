@@ -116,6 +116,36 @@ fn d004_goodput_paths_stay_clean() {
 }
 
 #[test]
+fn d004_serving_trace_paths_stay_clean() {
+    // The serving trace driver is exactly the kind of module D004
+    // exists for: Poisson arrivals and token lengths must come from
+    // seeded splitmix streams, never the wall clock or OS entropy. The
+    // fixture mirrors those code paths.
+    let r = analyze("d004_serve.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["D004", "D004"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["D004"], "{:#?}", r.waived);
+    // The splitmix request stream must stay silent — determinism by
+    // construction is the blessed pattern, not a waiver case.
+    assert!(r.findings.iter().all(|f| f.line < 24), "{:#?}", r.findings);
+    // The bench harness may measure search wall time; its unused waiver
+    // then surfaces as L002.
+    let bench = analyze("d004_serve.rs", FileClass::Bench);
+    assert_eq!(rules(&bench), ["L002"], "{:#?}", bench.findings);
+}
+
+#[test]
+fn s001_serving_parse_paths_stay_total() {
+    // Replay-file decoding must be total: truncated JSON, non-monotone
+    // arrivals and zero-token requests map to typed TraceError
+    // variants, and S001 catches any panicking shortcut.
+    let r = analyze("s001_serve.rs", FileClass::Library);
+    assert_eq!(rules(&r), ["S001", "S001", "S001"], "{:#?}", r.findings);
+    assert_eq!(waived_rules(&r), ["S001"], "{:#?}", r.waived);
+    // The typed-error combinator path must stay silent.
+    assert!(r.findings.iter().all(|f| f.line < 17), "{:#?}", r.findings);
+}
+
+#[test]
 fn s001_firing_non_firing_waived() {
     let r = analyze("s001.rs", FileClass::Library);
     assert_eq!(rules(&r), ["S001", "S001", "S001"], "{:#?}", r.findings);

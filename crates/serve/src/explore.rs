@@ -1,0 +1,216 @@
+//! SLO-aware co-exploration: plugging the serving simulator into the
+//! WATOS wave search.
+//!
+//! [`SloServingModel`] implements core's [`ServingModel`] hook: each
+//! scheduled candidate is scored by *negated goodput-under-SLO* — the
+//! rate of requests whose TTFT met the SLO over the simulated makespan
+//! of the workload's trace — so the wave engine's minimization crowns
+//! the plan that serves the most SLO-compliant traffic.
+//!
+//! ## Bound soundness (the pruning contract)
+//!
+//! The analytic bound for a plan is the negated *ideal* request
+//! throughput:
+//!
+//! ```text
+//! bound = -( N / max(last_arrival, total_work_tokens * c_b / dp_ub) )
+//! ```
+//!
+//! where `N` is the request count, `total_work_tokens = sum_r
+//! (prompt_r + output_r - 1)` is exactly the token count every replica
+//! charges while serving its share (one admission step carrying the
+//! prompt, then one token per decode step), `c_b` is the slowest
+//! stage's compute seconds per token, and `dp_ub = die_count /
+//! (tp * pp) >= dp` is the geometric ceiling on replicas. Soundness:
+//! the simulated makespan is at least the last arrival (nothing
+//! completes before it arrives) and at least `total_work * c_b / dp`
+//! (every step of [`PhaseCost::step_secs`] costs at least
+//! `batch_tokens * c_b`, and the busiest replica carries at least a
+//! `1/dp` share), while SLO-met completions never exceed `N` — so the
+//! true score `-goodput` is always `>= bound`, and the pruned sweep
+//! equals the exhaustive one (`tests/serving.rs` pins it). `c_b` is
+//! computed from the same cached stage profiles the simulator prices
+//! steps with, so the two sides can never disagree on per-token cost.
+
+use crate::cost::PhaseCost;
+use crate::sim::{simulate, ServingSlo, SimConfig};
+use crate::trace::Trace;
+use std::sync::Arc;
+use watos::cache::ProfileCache;
+use watos::scheduler::ScheduledConfig;
+use watos::serving::ServingModel;
+use watos::ExplorerBuilder;
+use wsc_arch::wafer::WaferConfig;
+use wsc_workload::parallel::ParallelPlan;
+use wsc_workload::serving::ServingWorkload;
+use wsc_workload::training::TrainingJob;
+
+/// The goodput-under-SLO objective over one synthesized trace.
+#[derive(Debug, Clone)]
+pub struct SloServingModel {
+    workload: ServingWorkload,
+    slo: ServingSlo,
+    sim: SimConfig,
+    trace: Trace,
+    work_tokens: f64,
+    last_arrival_s: f64,
+}
+
+impl SloServingModel {
+    /// Build the model: synthesizes the workload's Poisson trace once
+    /// and precomputes the bound's work terms.
+    pub fn new(workload: ServingWorkload, slo: ServingSlo) -> Self {
+        Self::with_sim(workload, slo, SimConfig::default())
+    }
+
+    /// Same, with explicit batching knobs.
+    pub fn with_sim(workload: ServingWorkload, slo: ServingSlo, sim: SimConfig) -> Self {
+        let trace = Trace::synthesize(&workload);
+        let work_tokens = trace
+            .requests
+            .iter()
+            .map(|r| (r.prompt_tokens + r.output_tokens - 1) as f64)
+            .sum();
+        let last_arrival_s = trace.last_arrival_s();
+        SloServingModel {
+            workload,
+            slo,
+            sim,
+            trace,
+            work_tokens,
+            last_arrival_s,
+        }
+    }
+
+    /// The trace every candidate is scored on.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The workload the model was built from.
+    pub fn workload(&self) -> &ServingWorkload {
+        &self.workload
+    }
+
+    /// The SLO requests are held to.
+    pub fn slo(&self) -> ServingSlo {
+        self.slo
+    }
+
+    /// The batching configuration.
+    pub fn sim_config(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// The profile job candidates are scheduled with — forward to the
+    /// explorer's `.job(..)` (the [`ServingExplorerExt::serving`]
+    /// extension does this for you).
+    pub fn profile_job(&self) -> TrainingJob {
+        self.workload.profile_job()
+    }
+}
+
+impl ServingModel for SloServingModel {
+    fn name(&self) -> String {
+        format!(
+            "goodput-under-slo(ttft<={}s, {} req @ {} rps)",
+            self.slo.ttft_secs, self.workload.requests, self.workload.rate_rps
+        )
+    }
+
+    fn bound(
+        &self,
+        wafer: &WaferConfig,
+        job: &TrainingJob,
+        plan: &ParallelPlan,
+        cache: &ProfileCache,
+    ) -> Option<f64> {
+        if self.trace.requests.is_empty() {
+            return None;
+        }
+        let profiles = cache.stage_profiles(wafer, job, plan, 1);
+        let profile_tokens = (job.micro_batch * job.seq) as f64;
+        if profiles.is_empty() || profile_tokens <= 0.0 {
+            return None;
+        }
+        let c_b = profiles
+            .iter()
+            .map(|sp| sp.fwd_compute.as_secs() / profile_tokens)
+            .fold(0.0, f64::max);
+        let dp_ub = (wafer.die_count() / (plan.tp * plan.pp).max(1)).max(1);
+        let makespan_lb = self
+            .last_arrival_s
+            .max(self.work_tokens * c_b / dp_ub as f64);
+        if makespan_lb <= 0.0 {
+            // A degenerate all-at-zero trace with zero compute cost has
+            // no finite throughput ceiling: nothing can be pruned.
+            return Some(f64::NEG_INFINITY);
+        }
+        Some(-(self.trace.requests.len() as f64 / makespan_lb))
+    }
+
+    fn score(
+        &self,
+        wafer: &WaferConfig,
+        job: &TrainingJob,
+        cfg: &ScheduledConfig,
+        cache: &ProfileCache,
+    ) -> f64 {
+        let Some(cost) = PhaseCost::derive(wafer, job, cfg, cache) else {
+            return f64::INFINITY;
+        };
+        match simulate(&cost, &self.trace, &self.sim, &self.slo) {
+            Ok(report) => -report.goodput_rps,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+/// The ergonomic serving entry point on [`ExplorerBuilder`]:
+/// `Explorer::builder().serving(workload, slo)` sets the profile job
+/// and the ranking model in one call.
+///
+/// ```
+/// use watos::scheduler::SchedulerOptions;
+/// use watos::Explorer;
+/// use wsc_arch::presets;
+/// use wsc_serve::{ServingExplorerExt, ServingSlo};
+/// use wsc_workload::{serving::ServingWorkload, zoo};
+///
+/// let workload = ServingWorkload::poisson(zoo::llama2_30b(), 2.0, 12, 7);
+/// let report = Explorer::builder()
+///     .serving(workload, ServingSlo::ttft(2.0))
+///     .wafer(presets::config(3))
+///     // Trimmed TP menu to keep the doc example quick; drop this
+///     // line to sweep the full plan space.
+///     .options(SchedulerOptions {
+///         tp_candidates: Some(vec![4]),
+///         ..SchedulerOptions::default()
+///     })
+///     .no_ga()
+///     .seed(7)
+///     .build()
+///     .expect("serving workload and candidate provided")
+///     .run();
+/// assert!(report.best().is_ok());
+/// ```
+pub trait ServingExplorerExt {
+    /// Rank candidates by goodput-under-SLO on the workload's
+    /// synthesized trace (default batching knobs).
+    fn serving(self, workload: ServingWorkload, slo: ServingSlo) -> Self;
+
+    /// Same, with explicit [`SimConfig`] batching knobs.
+    fn serving_with(self, workload: ServingWorkload, slo: ServingSlo, sim: SimConfig) -> Self;
+}
+
+impl ServingExplorerExt for ExplorerBuilder {
+    fn serving(self, workload: ServingWorkload, slo: ServingSlo) -> Self {
+        self.serving_with(workload, slo, SimConfig::default())
+    }
+
+    fn serving_with(self, workload: ServingWorkload, slo: ServingSlo, sim: SimConfig) -> Self {
+        let model = SloServingModel::with_sim(workload, slo, sim);
+        let job = model.profile_job();
+        self.job(job).serving_model(Arc::new(model))
+    }
+}

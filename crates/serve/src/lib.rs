@@ -1,0 +1,35 @@
+//! # wsc-serve — trace-driven inference serving on wafer-scale chips
+//!
+//! WATOS's training search answers "which wafer and which plan train
+//! fastest"; this crate answers the ROADMAP's serving question: which
+//! of them *serve* best under production traffic. Four pieces, each
+//! reusing the training machinery instead of re-deriving it:
+//!
+//! - [`trace`] — seeded synthetic Poisson request traces (SplitMix64
+//!   streams, bit-exact JSON replay files, typed [`TraceError`]);
+//! - [`cost`] — the phase-split cost model: prefill priced per token
+//!   from the cached training stage profiles, decode priced against
+//!   the weight-streaming and KV-read bandwidth floors, weight
+//!   overflow borrowed via the exact Alg. 3 DRAM allocator;
+//! - [`kv`] + [`sim`] — reservation-based KV accounting and the
+//!   continuous-batching discrete-event simulator (JSQ across
+//!   replicas, FCFS within, `max_batch_tokens` admission cap),
+//!   producing per-request TTFT/TBT/E2E and goodput-under-SLO;
+//! - [`explore`] — the `Explorer::builder().serving(workload, slo)`
+//!   leg: candidates ranked by negated goodput-under-SLO through the
+//!   same pruned wave search, with a documented sound analytic bound.
+//!
+//! Everything is deterministic: one workload value yields one trace,
+//! one report, one winner — bit-exact across runs and thread counts.
+
+pub mod cost;
+pub mod explore;
+pub mod kv;
+pub mod sim;
+pub mod trace;
+
+pub use crate::cost::{PhaseCost, StagePhaseCost};
+pub use crate::explore::{ServingExplorerExt, SloServingModel};
+pub use crate::kv::KvTracker;
+pub use crate::sim::{simulate, RequestMetrics, ServeError, ServingReport, ServingSlo, SimConfig};
+pub use crate::trace::{Request, Trace, TraceError};

@@ -1,0 +1,331 @@
+//! The continuous-batching serving simulator: a discrete-event loop
+//! over request arrivals in the LLMEngineOnWafer mold.
+//!
+//! Requests are split over the plan's `dp` replicas at arrival by
+//! join-shortest-queue (least outstanding assigned context tokens,
+//! lowest replica index on ties), then each replica runs an ORCA-style
+//! iteration loop: every step serves one decode token per active
+//! request plus as many queued prompts as fit under the
+//! [`SimConfig::max_batch_tokens`] admission cap and the replica's KV
+//! budget, FCFS. A step's duration comes from the phase-split cost
+//! model ([`PhaseCost::step_secs`]): the pipeline advances at the
+//! bottleneck stage's cadence, and tokens emitted this step wait out
+//! the remaining pipeline fill on top.
+//!
+//! Everything is pure arithmetic over the trace: `Vec`s, FCFS
+//! order and `f64::total_cmp` digests — no clocks, no entropy, no
+//! hash-order iteration — so one trace yields one report, bit-exact
+//! across runs and thread counts.
+
+use crate::cost::PhaseCost;
+use crate::kv::KvTracker;
+use crate::trace::{Trace, TraceError};
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+use watos::SummaryStats;
+
+/// Continuous-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Admission cap: tokens one step may carry per replica (decode
+    /// tokens of active requests plus admitted prompt tokens).
+    pub max_batch_tokens: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_batch_tokens: 2048,
+        }
+    }
+}
+
+/// The service-level objective a request must meet to count toward
+/// goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingSlo {
+    /// Time-to-first-token ceiling in seconds.
+    pub ttft_secs: f64,
+}
+
+impl ServingSlo {
+    /// An SLO on TTFT only.
+    pub fn ttft(secs: f64) -> Self {
+        ServingSlo { ttft_secs: secs }
+    }
+}
+
+/// Typed failure modes of a serving simulation.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum ServeError {
+    /// The trace failed validation.
+    #[error("invalid trace: {source}")]
+    Trace {
+        /// The underlying trace defect.
+        source: TraceError,
+    },
+    /// A prompt alone exceeds the admission cap — it can never start.
+    #[error("request {id}'s prompt of {tokens} tokens exceeds the {cap}-token batch cap")]
+    PromptExceedsBatchCap {
+        /// Offending request id.
+        id: usize,
+        /// Its prompt tokens.
+        tokens: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A single request's context exceeds the replica's KV capacity.
+    #[error(
+        "request {id} needs {tokens} context tokens of KV but a replica holds only {capacity}"
+    )]
+    KvCapacityExceeded {
+        /// Offending request id.
+        id: usize,
+        /// Its worst-case context tokens.
+        tokens: usize,
+        /// Replica KV capacity in tokens.
+        capacity: usize,
+    },
+}
+
+impl From<TraceError> for ServeError {
+    fn from(source: TraceError) -> Self {
+        ServeError::Trace { source }
+    }
+}
+
+/// Per-request latency outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// Trace request id.
+    pub id: usize,
+    /// Replica that served it.
+    pub replica: usize,
+    /// Time to first token (seconds from arrival).
+    pub ttft_s: f64,
+    /// Mean time between output tokens after the first (zero for
+    /// single-token outputs).
+    pub tbt_s: f64,
+    /// End-to-end latency (seconds from arrival to last token).
+    pub e2e_s: f64,
+}
+
+/// Aggregate outcome of one simulated trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests in the trace (all complete by construction).
+    pub requests: usize,
+    /// Data-parallel replicas that served them.
+    pub replicas: usize,
+    /// Simulated steps summed over replicas.
+    pub steps: usize,
+    /// Seconds from first arrival to last emitted token.
+    pub makespan_s: f64,
+    /// Generated (output) tokens per second over the makespan.
+    pub throughput_tok_s: f64,
+    /// Time-to-first-token digest.
+    pub ttft: SummaryStats,
+    /// Time-between-tokens digest.
+    pub tbt: SummaryStats,
+    /// End-to-end latency digest.
+    pub e2e: SummaryStats,
+    /// Requests whose TTFT met the SLO.
+    pub slo_met: usize,
+    /// SLO-met requests per second over the makespan — the serving
+    /// search's objective (negated).
+    pub goodput_rps: f64,
+    /// Context tokens one replica's KV budget holds.
+    pub kv_capacity_tokens: usize,
+    /// Highest reserved-token watermark across replicas.
+    pub kv_peak_tokens: usize,
+    /// `kv_peak_tokens / kv_capacity_tokens`.
+    pub kv_peak_fraction: f64,
+    /// Per-request outcomes, trace order.
+    pub per_request: Vec<RequestMetrics>,
+}
+
+struct Active {
+    qidx: usize,
+    output_tokens: usize,
+    context_tokens: usize,
+    prompt_tokens: usize,
+    generated: usize,
+}
+
+/// Simulate a validated trace on one scheduled candidate's phase-split
+/// cost, under the batching config and SLO.
+pub fn simulate(
+    cost: &PhaseCost,
+    trace: &Trace,
+    cfg: &SimConfig,
+    slo: &ServingSlo,
+) -> Result<ServingReport, ServeError> {
+    trace.validate()?;
+    for r in &trace.requests {
+        if r.prompt_tokens > cfg.max_batch_tokens {
+            return Err(ServeError::PromptExceedsBatchCap {
+                id: r.id,
+                tokens: r.prompt_tokens,
+                cap: cfg.max_batch_tokens,
+            });
+        }
+        if r.context_tokens() > cost.token_capacity {
+            return Err(ServeError::KvCapacityExceeded {
+                id: r.id,
+                tokens: r.context_tokens(),
+                capacity: cost.token_capacity,
+            });
+        }
+    }
+
+    // Join-shortest-queue at arrival: the replica with the least
+    // outstanding assigned context tokens takes the request (lowest
+    // index on ties). Assignment happens in arrival order, so the
+    // split is a pure function of the trace.
+    let dp = cost.dp.max(1);
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); dp];
+    let mut loads = vec![0usize; dp];
+    for (i, r) in trace.requests.iter().enumerate() {
+        let mut target = 0usize;
+        for j in 1..dp {
+            if loads[j] < loads[target] {
+                target = j;
+            }
+        }
+        queues[target].push(i);
+        loads[target] += r.context_tokens();
+    }
+
+    let mut metrics: Vec<Option<RequestMetrics>> = vec![None; trace.requests.len()];
+    let mut makespan = 0.0f64;
+    let mut steps = 0usize;
+    let mut kv_peak = 0usize;
+
+    for (replica, queue) in queues.iter().enumerate() {
+        let mut kv = KvTracker::new(cost.token_capacity);
+        let mut active: Vec<Active> = Vec::new();
+        let mut next = 0usize;
+        let mut clock = 0.0f64;
+        while next < queue.len() || !active.is_empty() {
+            if active.is_empty() {
+                clock = clock.max(trace.requests[queue[next]].arrival_s);
+            }
+            // ORCA-style admission under the token cap and KV budget.
+            let mut batch_tokens = active.len();
+            let mut admitted: Vec<usize> = Vec::new();
+            while next < queue.len() {
+                let r = &trace.requests[queue[next]];
+                if r.arrival_s > clock
+                    || batch_tokens + r.prompt_tokens > cfg.max_batch_tokens
+                    || !kv.fits(r.context_tokens())
+                {
+                    break;
+                }
+                kv.admit(r.context_tokens());
+                batch_tokens += r.prompt_tokens;
+                admitted.push(next);
+                next += 1;
+            }
+            // Resident context re-read by the decoding requests.
+            let ctx_read: usize = active.iter().map(|a| a.prompt_tokens + a.generated).sum();
+            let (cadence, traversal) = cost.step_secs(batch_tokens, ctx_read);
+            clock += cadence;
+            steps += 1;
+            // Tokens produced this step surface after the remaining
+            // pipeline fill on top of the cadence the loop advances by.
+            let emit = clock + (traversal - cadence);
+            makespan = makespan.max(emit);
+
+            // Decode progress; completions release their reservation.
+            active.retain_mut(|a| {
+                a.generated += 1;
+                if a.generated >= a.output_tokens {
+                    let r = &trace.requests[queue[a.qidx]];
+                    let m = metrics[queue[a.qidx]]
+                        .as_mut()
+                        // wsc-lint: allow(S001, "admission wrote this slot before pushing the request onto `active`")
+                        .expect("active requests recorded TTFT at admission");
+                    m.e2e_s = emit - r.arrival_s;
+                    if a.output_tokens > 1 {
+                        m.tbt_s = (m.e2e_s - m.ttft_s) / (a.output_tokens - 1) as f64;
+                    }
+                    kv.release(a.context_tokens);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Admitted prompts emit their first token this step.
+            for &qidx in &admitted {
+                let r = &trace.requests[queue[qidx]];
+                let ttft = emit - r.arrival_s;
+                metrics[queue[qidx]] = Some(RequestMetrics {
+                    id: r.id,
+                    replica,
+                    ttft_s: ttft,
+                    tbt_s: 0.0,
+                    e2e_s: ttft,
+                });
+                if r.output_tokens > 1 {
+                    active.push(Active {
+                        qidx,
+                        output_tokens: r.output_tokens,
+                        context_tokens: r.context_tokens(),
+                        prompt_tokens: r.prompt_tokens,
+                        generated: 1,
+                    });
+                } else {
+                    kv.release(r.context_tokens());
+                }
+            }
+        }
+        kv_peak = kv_peak.max(kv.peak_tokens);
+    }
+
+    let per_request: Vec<RequestMetrics> = metrics
+        .into_iter()
+        // wsc-lint: allow(S001, "the per-replica loops run to queue exhaustion and the upfront cap/KV checks rule out unadmittable requests, so every slot was written")
+        .map(|m| m.expect("every request completes: admission is FCFS and reservations suffice"))
+        .collect();
+    let ttfts: Vec<f64> = per_request.iter().map(|m| m.ttft_s).collect();
+    let tbts: Vec<f64> = per_request
+        .iter()
+        .filter(|m| m.tbt_s > 0.0)
+        .map(|m| m.tbt_s)
+        .collect();
+    let e2es: Vec<f64> = per_request.iter().map(|m| m.e2e_s).collect();
+    let slo_met = per_request
+        .iter()
+        .filter(|m| m.ttft_s <= slo.ttft_secs)
+        .count();
+    let (_, out_tokens) = trace.total_tokens();
+    let makespan = makespan.max(f64::MIN_POSITIVE);
+    let zero = SummaryStats {
+        count: 0,
+        mean: 0.0,
+        p50: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+        max: 0.0,
+    };
+    Ok(ServingReport {
+        requests: trace.requests.len(),
+        replicas: dp,
+        steps,
+        makespan_s: makespan,
+        throughput_tok_s: out_tokens as f64 / makespan,
+        ttft: SummaryStats::from_samples(&ttfts).unwrap_or(zero),
+        tbt: SummaryStats::from_samples(&tbts).unwrap_or(zero),
+        e2e: SummaryStats::from_samples(&e2es).unwrap_or(zero),
+        slo_met,
+        goodput_rps: slo_met as f64 / makespan,
+        kv_capacity_tokens: cost.token_capacity,
+        kv_peak_tokens: kv_peak,
+        kv_peak_fraction: if cost.token_capacity == 0 || cost.token_capacity == usize::MAX {
+            0.0
+        } else {
+            kv_peak as f64 / cost.token_capacity as f64
+        },
+        per_request,
+    })
+}

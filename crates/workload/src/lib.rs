@@ -20,6 +20,7 @@ pub mod memory;
 pub mod model;
 pub mod ops;
 pub mod parallel;
+pub mod serving;
 pub mod training;
 pub mod zoo;
 
@@ -27,4 +28,5 @@ pub use crate::graph::{layer_input_bytes, layer_ops_at, summarize, LayerSummary,
 pub use crate::model::{LlmModel, ModelFamily};
 pub use crate::ops::{GemmShape, OpInstance, OpKind};
 pub use crate::parallel::{ParallelPlan, ParallelSpec, PlanError, StageMap, TpSplitStrategy};
+pub use crate::serving::{ServingWorkload, TokenDist};
 pub use crate::training::TrainingJob;

@@ -1,0 +1,104 @@
+//! Inference serving: co-explore the parallel plan for latency-bounded
+//! production traffic instead of training iteration time, then serve
+//! the same trace on both winners and compare.
+//!
+//! Run with: `cargo run --release --example inference_serving`
+
+use watos::{Explorer, ProfileCache};
+use wsc_arch::presets;
+use wsc_serve::{simulate, PhaseCost, ServingExplorerExt, ServingSlo, SimConfig, SloServingModel};
+use wsc_workload::serving::ServingWorkload;
+use wsc_workload::zoo;
+
+fn main() {
+    // 1. Pick a wafer (Table II, Config 3) and describe the offered
+    //    traffic: a seeded Poisson stream of chat-shaped requests.
+    let wafer = presets::config(3);
+    let workload = ServingWorkload::poisson(zoo::llama2_30b(), 32.0, 64, 7);
+    let slo = ServingSlo::ttft(1.0);
+    let sim = SimConfig::default();
+
+    // 2. One serving session: candidates are scheduled by the training
+    //    machinery, priced per token by the phase-split cost model, and
+    //    ranked by goodput-under-SLO on the synthesized trace.
+    let report = Explorer::builder()
+        .serving_with(workload.clone(), slo, sim)
+        .wafer(wafer.clone())
+        .no_ga()
+        .seed(7)
+        .build()
+        .expect("a workload and a candidate were provided")
+        .run();
+    let best = report
+        .best()
+        .expect("Llama2-30B fits Config 3")
+        .best
+        .as_ref()
+        .expect("feasible");
+
+    // 3. Replay the exact trace the search ranked with and report the
+    //    per-request latency digests.
+    let model = SloServingModel::with_sim(workload, slo, sim);
+    let job = model.profile_job();
+    let cache = ProfileCache::new();
+    let cost = PhaseCost::derive(&wafer, &job, best, &cache).expect("winner is servable");
+    let served = simulate(&cost, model.trace(), &sim, &model.slo()).expect("winner serves");
+
+    println!("model       : {}", job.model.name);
+    println!("wafer       : {} ({} dies)", wafer.name, wafer.die_count());
+    println!("plan        : {}", best.plan);
+    println!(
+        "traffic     : {} requests, TTFT SLO {:.2}s",
+        served.requests, slo.ttft_secs
+    );
+    println!("replicas    : {} (data-parallel)", served.replicas);
+    println!(
+        "goodput     : {:.3} SLO-met req/s ({}/{} within SLO)",
+        served.goodput_rps, served.slo_met, served.requests
+    );
+    println!("throughput  : {:.0} output tok/s", served.throughput_tok_s);
+    println!(
+        "TTFT        : p50 {:.3}s  p95 {:.3}s  p99 {:.3}s",
+        served.ttft.p50, served.ttft.p95, served.ttft.p99
+    );
+    println!(
+        "E2E         : p50 {:.3}s  p95 {:.3}s  p99 {:.3}s",
+        served.e2e.p50, served.e2e.p95, served.e2e.p99
+    );
+    println!(
+        "KV cache    : {:.1}% peak of {} context tokens per replica",
+        served.kv_peak_fraction * 100.0,
+        served.kv_capacity_tokens
+    );
+
+    // 4. The counterfactual: the training-iteration-time winner on the
+    //    same profile job, serving the same trace.
+    let train_report = Explorer::builder()
+        .job(job.clone())
+        .wafer(wafer.clone())
+        .no_ga()
+        .seed(7)
+        .build()
+        .expect("same job, same candidate")
+        .run();
+    let train_best = train_report
+        .best()
+        .expect("schedulable")
+        .best
+        .as_ref()
+        .expect("feasible");
+    let train_cost =
+        PhaseCost::derive(&wafer, &job, train_best, &cache).expect("train winner is servable");
+    let train_served =
+        simulate(&train_cost, model.trace(), &sim, &model.slo()).expect("train winner serves");
+    println!(
+        "vs training : plan {} serves {:.3} SLO-met req/s{}",
+        train_best.plan,
+        train_served.goodput_rps,
+        if train_best.plan != best.plan {
+            " — the searches crown different plans"
+        } else {
+            ""
+        }
+    );
+}

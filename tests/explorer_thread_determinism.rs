@@ -8,7 +8,9 @@ use watos::ga::{refine, GaParams};
 use watos::{Explorer, FaultEnsemble, FaultKind, PlanFilter, RobustObjective};
 use wsc_arch::presets;
 use wsc_bench::util::{ga_refine_presets, ga_setup};
+use wsc_serve::{ServingExplorerExt, ServingSlo};
 use wsc_workload::parallel::TpSplitStrategy;
+use wsc_workload::serving::ServingWorkload;
 use wsc_workload::training::TrainingJob;
 use wsc_workload::zoo;
 
@@ -63,6 +65,27 @@ fn report_is_identical_across_thread_counts() {
         placed_jsons.push(report.to_json());
     }
 
+    // Serving leg: candidates ranked by goodput-under-SLO on a
+    // synthesized Poisson trace through the same parallel wave sweep —
+    // the trace, every candidate's simulated goodput, and the crowned
+    // plan must be a pure function of the workload value, byte-identical
+    // at every pool size.
+    let mut serve_jsons = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let workload = ServingWorkload::poisson(zoo::llama2_30b(), 8.0, 24, 7);
+        let report = Explorer::builder()
+            .serving(workload, ServingSlo::ttft(1.0))
+            .wafer(presets::config(3))
+            .no_ga()
+            .strategies(vec![TpSplitStrategy::SequenceParallel])
+            .seed(7)
+            .build()
+            .expect("valid")
+            .run();
+        serve_jsons.push(report.to_json());
+    }
+
     // GA leg: `refine` decodes genomes in parallel through the
     // incremental cost engine (shared fragment table + plan memo);
     // fitness, history and placement must be byte-identical at every
@@ -103,4 +126,6 @@ fn report_is_identical_across_thread_counts() {
     assert_eq!(placed_jsons[1], placed_jsons[2]);
     assert_eq!(ga_runs[0], ga_runs[1]);
     assert_eq!(ga_runs[1], ga_runs[2]);
+    assert_eq!(serve_jsons[0], serve_jsons[1]);
+    assert_eq!(serve_jsons[1], serve_jsons[2]);
 }
